@@ -1,0 +1,1 @@
+bench/b_ablation.ml: Array Bytes List Printf Report Spin Spin_core Spin_kgc Spin_machine Spin_net Spin_vm

@@ -1,0 +1,1 @@
+bench/b_bechamel.ml: Analyze B_net Bechamel Benchmark Hashtbl Instance Measure Printf Report Spin Spin_core Spin_kgc Spin_machine Spin_sched Spin_vm Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/b_extra.ml: Bytes Host Http Ip Printf Report Spin Spin_baseline Spin_core Spin_fs Spin_kgc Spin_machine Spin_net Spin_sched String Tcp Udp

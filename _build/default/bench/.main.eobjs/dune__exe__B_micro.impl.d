@@ -1,0 +1,1 @@
+bench/b_micro.ml: Printf Report Spin Spin_baseline Spin_core Spin_machine Spin_sched Spin_vm

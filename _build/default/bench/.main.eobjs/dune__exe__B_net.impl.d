@@ -1,0 +1,1 @@
+bench/b_net.ml: Bytes Forward Hashtbl Host Http Ip Netif Printf Proto_graph Report Spin_baseline Spin_fs Spin_machine Spin_net Spin_sched Sys Tcp Udp Video

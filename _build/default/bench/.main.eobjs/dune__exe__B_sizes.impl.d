@@ -1,0 +1,1 @@
+bench/b_sizes.ml: Array Filename List Printf Report String Sys

@@ -1,0 +1,1 @@
+bench/b_video.ml: Bytes Host Ip List Option Printf Report Spin_baseline Spin_fs Spin_machine Spin_net Spin_sched String Udp Video

@@ -1,0 +1,1 @@
+bench/main.ml: Array B_ablation B_bechamel B_extra B_micro B_net B_sizes B_video List Printf Sys

@@ -1,0 +1,75 @@
+(* Host-time microbenchmarks via Bechamel: how fast the *simulation*
+   itself runs each reproduced workload. The virtual-time results live
+   in the other modules; this wraps one representative workload per
+   table as a Bechamel test, as a regression guard on simulator
+   performance. *)
+
+open Bechamel
+open Toolkit
+
+module Kernel = Spin.Kernel
+module Dispatcher = Spin_core.Dispatcher
+
+let test_table2 =
+  Test.make ~name:"table2:syscall" (Staged.stage (fun () ->
+    let k = Kernel.boot ~mem_mb:8 ~name:"bb" () in
+    Kernel.register_syscall k ~number:0 (fun _ -> 0);
+    for _ = 1 to 100 do
+      ignore (Kernel.syscall k ~number:0 ~args:[||])
+    done))
+
+let test_table3 =
+  Test.make ~name:"table3:fork-join" (Staged.stage (fun () ->
+    let k = Kernel.boot ~mem_mb:8 ~name:"bb" () in
+    ignore (Kernel.spawn k ~name:"m" (fun () ->
+      for _ = 1 to 20 do
+        let t = Spin_sched.Kthread.fork k.Kernel.sched (fun () -> ()) in
+        Spin_sched.Kthread.join k.Kernel.sched t
+      done));
+    Kernel.run k))
+
+let test_table4 =
+  Test.make ~name:"table4:vm-faults" (Staged.stage (fun () ->
+    let k = Kernel.boot ~mem_mb:8 ~name:"bb" () in
+    let ext = Spin_vm.Vm_ext.create k.Kernel.vm ~app:"bb" ~pages:16 in
+    Spin_vm.Vm_ext.activate ext;
+    Spin_vm.Vm_ext.on_protection_fault ext (fun page ->
+      Spin_vm.Vm_ext.protect ext ~first:page ~count:1
+        Spin_machine.Addr.prot_read_write);
+    for i = 0 to 15 do
+      Spin_vm.Vm_ext.protect ext ~first:i ~count:1 Spin_machine.Addr.prot_read;
+      Spin_vm.Vm_ext.write ext ~page:i 1L
+    done))
+
+let test_table5 =
+  Test.make ~name:"table5:udp-echo" (Staged.stage (fun () ->
+    ignore (B_net.udp_latency B_net.Spin_sys Spin_machine.Nic.Lance)))
+
+let test_gc =
+  Test.make ~name:"gc:collect" (Staged.stage (fun () ->
+    let clock = Spin_machine.Clock.create Spin_machine.Cost.alpha_133 in
+    let h = Spin_kgc.Kheap.create clock () in
+    Spin_kgc.Kheap.set_auto h false;
+    for _ = 1 to 500 do
+      ignore (Spin_kgc.Kheap.alloc h ~owner:"x" ~words:16)
+    done;
+    Spin_kgc.Kheap.collect h))
+
+let run () =
+  Report.header "Bechamel: host-time cost of the simulation itself";
+  let tests =
+    Test.make_grouped ~name:"spin-repro"
+      [ test_table2; test_table3; test_table4; test_table5; test_gc ] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+        Printf.printf "  %-28s %12.1f us/run (host time)\n" name (est /. 1e3)
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    results

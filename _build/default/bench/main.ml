@@ -1,0 +1,55 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (section 5) against this reproduction.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe table4     -- one experiment
+     dune exec bench/main.exe bechamel   -- host-time costs (Bechamel)
+
+   Virtual times are microseconds on the simulated 133 MHz Alpha; see
+   DESIGN.md for the cost model and EXPERIMENTS.md for the recorded
+   paper-vs-measured results. *)
+
+let experiments = [
+  ("table1", "kernel component sizes", B_sizes.table1);
+  ("table2", "protected communication", B_micro.table2);
+  ("table3", "thread management", B_micro.table3);
+  ("table4", "virtual memory operations", B_micro.table4);
+  ("table5", "network latency and bandwidth", B_net.table5);
+  ("table6", "protocol forwarding", B_net.table6);
+  ("table7", "extension sizes", B_sizes.table7);
+  ("figure5", "protocol graph", B_net.figure5);
+  ("figure6", "video server utilization", B_video.figure6);
+  ("dispatcher", "dispatcher scalability (5.5)", B_extra.dispatcher_scaling);
+  ("gc", "automatic storage management (5.5)", B_extra.gc_impact);
+  ("web", "web server latency (5.4)", B_extra.web);
+  ("ablation", "design-choice ablations", B_ablation.run);
+  ("bechamel", "host-time simulation costs", B_bechamel.run);
+]
+
+let usage () =
+  print_endline "usage: main.exe [experiment...]";
+  print_endline "experiments:";
+  List.iter (fun (name, desc, _) -> Printf.printf "  %-12s %s\n" name desc)
+    experiments;
+  print_endline "  all          every experiment except bechamel"
+
+let run_all () =
+  List.iter
+    (fun (name, _, f) -> if name <> "bechamel" then f ())
+    experiments
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] | _ :: [ "all" ] -> run_all ()
+  | _ :: [ "help" ] | _ :: [ "--help" ] -> usage ()
+  | _ :: names ->
+    List.iter
+      (fun name ->
+        match List.find_opt (fun (n, _, _) -> n = name) experiments with
+        | Some (_, _, f) -> f ()
+        | None ->
+          Printf.printf "unknown experiment %S\n" name;
+          usage ();
+          exit 1)
+      names
+  | [] -> run_all ()

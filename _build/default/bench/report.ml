@@ -1,0 +1,24 @@
+(* Shared formatting for the benchmark harness: every table prints
+   paper-reported values next to our measured ones. *)
+
+let header title =
+  let line = String.make 72 '-' in
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let columns3 a b c = Printf.printf "%-34s %14s %14s\n" a b c
+
+let columns4 a b c d = Printf.printf "%-28s %12s %12s %12s\n" a b c d
+
+let row_us name ~paper ~measured =
+  Printf.printf "%-34s %11.2f us %11.2f us   (x%.2f)\n"
+    name paper measured (measured /. paper)
+
+let row3_us name ~paper ~measured ~paper2 ~measured2 =
+  Printf.printf "%-22s %8.0f/%-8.0f %8.0f/%-8.0f  (paper/measured)\n"
+    name paper measured paper2 measured2
+
+let note fmt = Printf.printf fmt
+
+let mean = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)

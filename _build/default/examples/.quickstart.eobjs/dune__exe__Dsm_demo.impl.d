@@ -1,0 +1,1 @@
+examples/dsm_demo.ml: Host Int64 Ip List Printf Spin_dsm Spin_machine Spin_net Spin_sched Spin_vm

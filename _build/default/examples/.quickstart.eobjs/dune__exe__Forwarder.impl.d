@@ -1,0 +1,1 @@
+examples/forwarder.ml: Bytes Forward Host Ip Printf Spin_machine Spin_net Spin_sched Tcp Udp

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Option Printf Spin Spin_core Spin_machine

@@ -1,0 +1,1 @@
+examples/unix_server.ml: Array Bytes Hashtbl List Option Printf Spin Spin_fs Spin_machine Spin_sched Spin_vm

@@ -1,0 +1,1 @@
+examples/video_system.ml: Host Ip Option Printf Spin_fs Spin_machine Spin_net Spin_sched Video

@@ -1,0 +1,1 @@
+examples/web_server.ml: Buffer Bytes Host Http Ip List Option Printf Spin_baseline Spin_fs Spin_machine Spin_net Spin_sched String Tcp

@@ -1,0 +1,80 @@
+(* Distributed shared memory across three simulated hosts.
+
+     dune exec examples/dsm_demo.exe
+
+   DSM is one of the higher-level services the paper says implementors
+   can define on the translation events (section 4.1). Pages migrate
+   on demand: read faults fetch clean copies, write faults acquire
+   ownership and invalidate the other hosts' copies — all through
+   guarded handlers on PageNotPresent / ProtectionFault, with the RPC
+   extension as transport. *)
+
+open Spin_net
+module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
+module Sim = Spin_machine.Sim
+module Nic = Spin_machine.Nic
+module Machine = Spin_machine.Machine
+module Sched = Spin_sched.Sched
+module Translation = Spin_vm.Translation
+module Vm = Spin_vm.Vm
+module Dsm = Spin_dsm.Dsm
+
+let addr_m = Ip.addr_of_quad 10 0 0 1
+let addr_a = Ip.addr_of_quad 10 0 0 2
+let addr_b = Ip.addr_of_quad 10 0 0 3
+
+let () =
+  print_endline "== distributed shared memory on translation events ==";
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let mk name addr =
+    let host = Host.create sim ~name ~addr in
+    let vm = Vm.create host.Host.machine host.Host.dispatcher in
+    Spin_machine.Cpu.set_trap_handler host.Host.machine.Machine.cpu
+      (fun trap -> if Vm.handle_trap vm trap then 0 else -1);
+    (host, vm) in
+  let mh, mv = mk "manager" addr_m in
+  let ah, av = mk "node-a" addr_a in
+  let bh, bv = mk "node-b" addr_b in
+  ignore (Host.wire mh ah ~kind:Nic.Fore_atm);
+  ignore (Host.wire mh bh ~kind:Nic.Fore_atm);
+  let node host vm =
+    let dsm = Dsm.create vm host ~manager:addr_m in
+    let ctx = Translation.create_context vm.Vm.trans ~owner:"app" in
+    (dsm, Dsm.attach dsm ctx ~region_id:1 ~pages:2) in
+  let m_dsm, m_r = node mh mv in
+  let a_dsm, a_r = node ah av in
+  let b_dsm, b_r = node bh bv in
+
+  (* A token passes around the ring through shared page 0; each hop
+     increments it. Ownership chases the writer. *)
+  let hops = 9 in
+  let rec step i =
+    let dsm, r, host, who =
+      match i mod 3 with
+      | 0 -> (a_dsm, a_r, ah, "node-a")
+      | 1 -> (b_dsm, b_r, bh, "node-b")
+      | _ -> (m_dsm, m_r, mh, "manager") in
+    if i < hops then
+      ignore (Sched.spawn host.Host.sched ~name:"hop" (fun () ->
+        let v = Dsm.read_word dsm r ~page:0 in
+        Dsm.write_word dsm r ~page:0 (Int64.add v 1L);
+        Printf.printf "  hop %d: %-8s saw %Ld, wrote %Ld\n" i who v
+          (Int64.add v 1L);
+        step (i + 1))) in
+  step 0;
+  Host.run_all [ mh; ah; bh ];
+
+  ignore (Sched.spawn mh.Host.sched ~name:"final" (fun () ->
+    Printf.printf "final value at the manager: %Ld (expected %d)\n"
+      (Dsm.read_word m_dsm m_r ~page:0) hops));
+  Host.run_all [ mh; ah; bh ];
+  List.iter
+    (fun (name, dsm) ->
+      let s = Dsm.stats dsm in
+      Printf.printf "%-8s read faults=%d write faults=%d invalidations=%d\n"
+        name s.Dsm.read_faults s.Dsm.write_faults s.Dsm.invalidations)
+    [ ("manager", m_dsm); ("node-a", a_dsm); ("node-b", b_dsm) ];
+  Printf.printf "total virtual time: %.1f ms\n" (Clock.now_us clock /. 1000.);
+  print_endline "done."

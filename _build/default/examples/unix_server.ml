@@ -1,0 +1,117 @@
+(* A small UNIX server personality on SPIN (paper, section 1.2).
+
+     dune exec examples/unix_server.exe
+
+   The bulk of a UNIX server lives in its own address space; only the
+   thread, memory and device interfaces are SPIN extensions. Here the
+   server personality provides: UNIX address spaces with fork-style
+   copy-on-write, a few OSF/1-flavoured system calls backed by the
+   file system, and C-Threads concurrency. *)
+
+module Kernel = Spin.Kernel
+module Machine = Spin_machine.Machine
+module Addr = Spin_machine.Addr
+module Cpu = Spin_machine.Cpu
+module Sched = Spin_sched.Sched
+module Cthreads = Spin_sched.Cthreads
+module Addr_space = Spin_vm.Addr_space
+module Simple_fs = Spin_fs.Simple_fs
+module Block_cache = Spin_fs.Block_cache
+
+(* OSF/1-ish syscall numbers. *)
+let sys_getpid = 20
+let sys_open = 5
+let sys_read = 3
+let sys_write = 4
+let sys_close = 6
+
+let () =
+  print_endline "== UNIX server on SPIN ==";
+  let k = Kernel.boot ~name:"unix-server" () in
+  let disk = Machine.add_disk ~blocks:16384 k.Kernel.machine in
+  let bc = Block_cache.create k.Kernel.machine k.Kernel.sched disk in
+
+  (* --- address spaces: fork with copy-on-write ------------------- *)
+  let mgr = Addr_space.create_manager k.Kernel.vm in
+  let parent = Addr_space.create mgr ~name:"init" in
+  let va = Addr_space.allocate parent ~bytes:(4 * Addr.page_size) in
+  Addr_space.activate parent;
+  Cpu.store_word k.Kernel.machine.Machine.cpu ~va 0xC0FFEEL;
+  let child = Addr_space.copy mgr parent ~name:"sh" in
+  Addr_space.activate child;
+  Printf.printf "child reads parent's page: %Lx\n"
+    (Cpu.load_word k.Kernel.machine.Machine.cpu ~va);
+  Cpu.store_word k.Kernel.machine.Machine.cpu ~va 0xBEEFL;
+  Addr_space.activate parent;
+  Printf.printf "parent's copy unchanged:   %Lx (COW copies so far: %d)\n"
+    (Cpu.load_word k.Kernel.machine.Machine.cpu ~va)
+    (Addr_space.cow_copies mgr);
+
+  (* --- the file-descriptor layer and syscalls -------------------- *)
+  let fs = ref None in
+  let fd_table : (int, string * int ref) Hashtbl.t = Hashtbl.create 16 in
+  let next_fd = ref 3 in
+  (* Pending data passes through a staging buffer: the server copies
+     user data with Cpu.copy_{from,to}_user in a full system. *)
+  let io_staging : (int, Bytes.t) Hashtbl.t = Hashtbl.create 4 in
+  Kernel.register_syscall k ~number:sys_getpid (fun _ -> 42);
+  Kernel.register_syscall k ~number:sys_open (fun args ->
+    let name = Printf.sprintf "file%d" args.(0) in
+    let fsv = Option.get !fs in
+    if not (Simple_fs.exists fsv ~name) then Simple_fs.create fsv ~name;
+    let fd = !next_fd in
+    incr next_fd;
+    Hashtbl.replace fd_table fd (name, ref 0);
+    fd);
+  Kernel.register_syscall k ~number:sys_write (fun args ->
+    match Hashtbl.find_opt fd_table args.(0) with
+    | None -> -1
+    | Some (name, pos) ->
+      let data =
+        match Hashtbl.find_opt io_staging args.(0) with
+        | Some b -> b
+        | None -> Bytes.create args.(1) in
+      Simple_fs.append (Option.get !fs) ~name data;
+      pos := !pos + Bytes.length data;
+      Bytes.length data);
+  Kernel.register_syscall k ~number:sys_read (fun args ->
+    match Hashtbl.find_opt fd_table args.(0) with
+    | None -> -1
+    | Some (name, _) ->
+      let data = Simple_fs.read (Option.get !fs) ~name in
+      Hashtbl.replace io_staging args.(0) data;
+      Bytes.length data);
+  Kernel.register_syscall k ~number:sys_close (fun args ->
+    Hashtbl.remove fd_table args.(0);
+    Hashtbl.remove io_staging args.(0);
+    0);
+
+  (* --- run the "server" ------------------------------------------ *)
+  ignore (Kernel.spawn k ~name:"unix-main" (fun () ->
+    fs := Some (Simple_fs.format bc ~blocks:16384 ());
+    Printf.printf "getpid() = %d\n" (Kernel.syscall k ~number:sys_getpid ~args:[||]);
+    let fd = Kernel.syscall k ~number:sys_open ~args:[| 1 |] in
+    Hashtbl.replace io_staging fd (Bytes.of_string "hello from user space");
+    let n = Kernel.syscall k ~number:sys_write ~args:[| fd; 21 |] in
+    Printf.printf "write(fd=%d) = %d\n" fd n;
+    let n = Kernel.syscall k ~number:sys_read ~args:[| fd; 0 |] in
+    Printf.printf "read(fd=%d) = %d bytes: %S\n" fd n
+      (Bytes.to_string (Hashtbl.find io_staging fd));
+    ignore (Kernel.syscall k ~number:sys_close ~args:[| fd |]);
+
+    (* --- C-Threads concurrency inside the server ----------------- *)
+    let mu = Cthreads.mutex_alloc () in
+    let counter = ref 0 in
+    let workers =
+      List.init 4 (fun _ ->
+        Cthreads.cthread_fork k.Kernel.sched (fun () ->
+          for _ = 1 to 100 do
+            Cthreads.mutex_lock k.Kernel.sched mu;
+            incr counter;
+            Cthreads.mutex_unlock k.Kernel.sched mu
+          done)) in
+    List.iter (Cthreads.cthread_join k.Kernel.sched) workers;
+    Printf.printf "4 C-Threads incremented a shared counter to %d\n" !counter));
+  Kernel.run k;
+  Printf.printf "elapsed virtual time: %.2f ms\n" (Kernel.elapsed_us k /. 1000.);
+  print_endline "done."

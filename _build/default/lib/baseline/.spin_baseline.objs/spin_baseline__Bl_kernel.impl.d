@@ -1,0 +1,1 @@
+lib/baseline/bl_kernel.ml: Bl_path Os_costs Spin_core Spin_machine Spin_sched

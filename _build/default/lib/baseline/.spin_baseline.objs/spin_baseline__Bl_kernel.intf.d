@@ -1,0 +1,1 @@
+lib/baseline/bl_kernel.mli: Os_costs Spin_machine Spin_sched

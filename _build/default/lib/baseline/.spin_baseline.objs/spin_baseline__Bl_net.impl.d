@@ -1,0 +1,1 @@
+lib/baseline/bl_net.ml: Bl_path Bytes Hashtbl Host Ip Os_costs Spin_machine Spin_net Tcp Udp

@@ -1,0 +1,1 @@
+lib/baseline/bl_net.mli: Bytes Os_costs Spin_core Spin_machine Spin_net

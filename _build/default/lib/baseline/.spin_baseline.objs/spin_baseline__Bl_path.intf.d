@@ -1,0 +1,1 @@
+lib/baseline/bl_path.mli: Os_costs Spin_machine

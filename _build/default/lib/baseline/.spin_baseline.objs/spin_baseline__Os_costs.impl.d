@@ -1,0 +1,1 @@
+lib/baseline/os_costs.ml:

@@ -1,0 +1,56 @@
+open Spin_net
+module Clock = Spin_machine.Clock
+module Machine = Spin_machine.Machine
+
+type t = {
+  host : Host.t;
+  os : Os_costs.t;
+}
+
+let create sim ~name ~addr os = { host = Host.create sim ~name ~addr; os }
+
+let host t = t.host
+
+let clock t = t.host.Host.machine.Machine.clock
+
+let udp_send_from_user t ?src_port ~dst ~port payload =
+  Bl_path.user_send_overhead (clock t) t.os ~bytes:(Bytes.length payload);
+  Udp.send t.host.Host.udp ?src_port ~dst ~port payload
+
+let udp_listen_user t ~port app =
+  Udp.listen t.host.Host.udp ~port ~installer:(t.os.Os_costs.os_name ^ "-user")
+    (fun d ->
+      Bl_path.user_recv_overhead (clock t) t.os
+        ~bytes:(Bytes.length d.Udp.payload);
+      app d)
+
+let tcp_connect_from_user t ~dst ~dst_port =
+  Bl_path.null_syscall (clock t) t.os;
+  Tcp.connect t.host.Host.tcp ~dst ~dst_port
+
+let tcp_send_from_user t conn data =
+  Bl_path.user_send_overhead (clock t) t.os ~bytes:(Bytes.length data);
+  Tcp.send t.host.Host.tcp conn data
+
+let tcp_read_to_user t conn =
+  let data = Tcp.read t.host.Host.tcp conn in
+  Bl_path.user_recv_overhead (clock t) t.os ~bytes:(Bytes.length data);
+  data
+
+let user_splice_forwarder t ~port ~to_ ~to_port =
+  (* The splice keeps a per-flow table: reply traffic from the server
+     returns to the client that opened the flow. *)
+  let flows : (int, Ip.addr * int) Hashtbl.t = Hashtbl.create 8 in
+  ignore
+    (udp_listen_user t ~port (fun d ->
+       let dst, dst_port =
+         if d.Udp.src = to_ then
+           match Hashtbl.find_opt flows d.Udp.src_port with
+           | Some client -> client
+           | None -> (to_, to_port)
+         else begin
+           Hashtbl.replace flows to_port (d.Udp.src, d.Udp.src_port);
+           (to_, to_port)
+         end in
+       ignore (udp_send_from_user t ~src_port:port ~dst ~port:dst_port
+                 d.Udp.payload)))

@@ -1,0 +1,40 @@
+(** A networking host running a conventional (monolithic) OS.
+
+    The wire, NICs, drivers and in-kernel protocol stack are the very
+    same modules SPIN uses — the paper deliberately shares the vendor
+    drivers between systems. What differs is structure: applications
+    live at user level, so every send pays a syscall, a copy across
+    the boundary and socket bookkeeping, and every receive pays socket
+    work, a process wakeup, a copy out and a syscall return. *)
+
+type t
+
+val create :
+  Spin_machine.Sim.t -> name:string -> addr:Spin_net.Ip.addr ->
+  Os_costs.t -> t
+
+val host : t -> Spin_net.Host.t
+(** The underlying stack (for wiring links and kernel-side setup). *)
+
+val udp_send_from_user :
+  t -> ?src_port:int -> dst:Spin_net.Ip.addr -> port:int -> Bytes.t -> bool
+
+val udp_listen_user :
+  t -> port:int -> (Spin_net.Udp.datagram -> unit) ->
+  (Spin_net.Udp.datagram, unit) Spin_core.Dispatcher.handler
+(** The callback models the application: the user-boundary receive
+    overhead is charged before it runs. *)
+
+val tcp_connect_from_user :
+  t -> dst:Spin_net.Ip.addr -> dst_port:int -> Spin_net.Tcp.conn option
+
+val tcp_send_from_user : t -> Spin_net.Tcp.conn -> Bytes.t -> unit
+
+val tcp_read_to_user : t -> Spin_net.Tcp.conn -> Bytes.t
+
+val user_splice_forwarder :
+  t -> port:int -> to_:Spin_net.Ip.addr -> to_port:int -> unit
+(** The user-level UDP forwarder of Table 6: a process that receives
+    each datagram at user level and re-sends it — two boundary
+    crossings and two stack traversals per packet, and (for TCP) no
+    preservation of end-to-end control traffic. *)

@@ -1,0 +1,27 @@
+module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
+
+let trap_cost clock =
+  let hw = Clock.cost clock in
+  hw.Cost.trap_entry + hw.Cost.trap_exit
+
+let null_syscall clock os =
+  Clock.charge clock (trap_cost clock);
+  Clock.charge clock os.Os_costs.syscall_dispatch
+
+let copy_cost clock ~bytes =
+  ((bytes + 7) / 8) * (Clock.cost clock).Cost.copy_per_word
+
+let user_send_overhead clock os ~bytes =
+  null_syscall clock os;
+  Clock.charge clock os.Os_costs.net_socket_send;
+  Clock.charge clock (copy_cost clock ~bytes)
+
+let user_recv_overhead clock os ~bytes =
+  (* mbuf -> socket buffer -> user: two copies; the receiving process
+     wakes, is switched in, and returns from its recv system call. *)
+  Clock.charge clock os.Os_costs.net_socket_recv;
+  Clock.charge clock os.Os_costs.process_wakeup;
+  Clock.charge clock (2 * (Clock.cost clock).Cost.context_switch);
+  Clock.charge clock (2 * copy_cost clock ~bytes);
+  null_syscall clock os

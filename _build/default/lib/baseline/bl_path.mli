@@ -1,0 +1,14 @@
+(** Shared path-cost helpers for the baseline models: the charges an
+    application on a conventional OS pays at the user/kernel boundary,
+    parameterized by the hardware clock and the OS cost table. *)
+
+val null_syscall : Spin_machine.Clock.t -> Os_costs.t -> unit
+
+val copy_cost : Spin_machine.Clock.t -> bytes:int -> int
+
+val user_send_overhead : Spin_machine.Clock.t -> Os_costs.t -> bytes:int -> unit
+(** Application send to protocol stack: syscall, copyin, socket work. *)
+
+val user_recv_overhead : Spin_machine.Clock.t -> Os_costs.t -> bytes:int -> unit
+(** Packet arrival to application: socket work, process wakeup,
+    copyout, syscall return. *)

@@ -1,0 +1,57 @@
+(** Operating-system path-length constants for the baseline models.
+
+    These are *structural* software overheads (in cycles) layered on
+    the shared hardware cost model: what a monolithic UNIX or a
+    microkernel executes beyond the raw traps, copies and context
+    switches that the simulated machine already charges. SPIN has no
+    equivalent table — its paths are the real code in [spin_core] and
+    friends.
+
+    Calibration targets are the baseline columns of Tables 2-6 of the
+    paper; see EXPERIMENTS.md for the resulting numbers. *)
+
+type t = {
+  os_name : string;
+  syscall_dispatch : int;
+  (** generic trap-to-handler layer beyond the hardware trap *)
+  socket_op : int;
+  (** socket-layer bookkeeping per cross-address-space RPC leg *)
+  net_socket_send : int;
+  (** socket work per datagram sent by an application *)
+  net_socket_recv : int;
+  (** socket work per datagram delivered to an application *)
+  sunrpc_marshal : int;
+  (** SUN RPC stub work per call leg (OSF/1 cross-address-space) *)
+  message_ipc : int;
+  (** one-way protected message (Mach's optimized RPC path) *)
+  signal_path : int;
+  (** deliver a signal to a user handler (fault reflection, OSF) *)
+  exception_msg : int;
+  (** deliver an exception message to a user handler (Mach) *)
+  sigreturn : int;
+  (** return from a user fault handler and retry *)
+  pager_reply : int;
+  (** external-pager lock/supply reply granting access (Mach) *)
+  vm_layer_base : int;
+  (** generic vm_map/vm_object work to start a protection change *)
+  vm_layer_per_page : int;
+  (** ditto, per page *)
+  lazy_unprotect : bool;
+  (** Mach evaluates unprotection lazily (Table 4's cheap Unprot100) *)
+  thread_create_extra : int;
+  (** kernel thread creation beyond SPIN's strand spawn *)
+  thread_sync_extra : int;
+  (** kernel-thread block/wakeup bookkeeping per operation *)
+  user_fork_layer : int;
+  (** user-level thread library work to create/join a thread *)
+  user_sync_layer : int;
+  (** user-level thread library work per synchronization operation *)
+  user_thread_syscalls : int;
+  (** user/kernel crossings a user-level thread op needs *)
+  process_wakeup : int;
+  (** wake a user process blocked in the kernel (select/recv) *)
+}
+
+val osf1 : t
+
+val mach3 : t

@@ -1,0 +1,1 @@
+lib/core/dispatcher.ml: Fun Hashtbl List Option Printf Queue Spin_machine Ty

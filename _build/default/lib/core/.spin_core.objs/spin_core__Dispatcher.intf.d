@@ -1,0 +1,1 @@
+lib/core/dispatcher.mli: Spin_machine Ty

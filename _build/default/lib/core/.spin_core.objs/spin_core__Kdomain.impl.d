@@ -1,0 +1,1 @@
+lib/core/kdomain.ml: List Object_file Option Printf String Symbol Ty Univ

@@ -1,0 +1,1 @@
+lib/core/kdomain.mli: Object_file Symbol Ty Univ

@@ -1,0 +1,1 @@
+lib/core/nameserver.ml: Hashtbl Kdomain List Spin_machine String

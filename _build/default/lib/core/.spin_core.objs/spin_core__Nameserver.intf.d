@@ -1,0 +1,1 @@
+lib/core/nameserver.mli: Kdomain Spin_machine

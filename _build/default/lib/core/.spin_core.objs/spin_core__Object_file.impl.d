@@ -1,0 +1,1 @@
+lib/core/object_file.ml: List Symbol Univ

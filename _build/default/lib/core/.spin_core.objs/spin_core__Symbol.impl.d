@@ -1,0 +1,1 @@
+lib/core/symbol.ml: String Ty

@@ -1,0 +1,30 @@
+type 'a t = {
+  id : int;
+  owner : string;
+  mutable resource : 'a option;
+}
+
+exception Revoked of string
+
+let next_id = ref 0
+
+let mint ~owner v =
+  incr next_id;
+  { id = !next_id; owner; resource = Some v }
+
+let deref c =
+  match c.resource with
+  | Some v -> v
+  | None -> raise (Revoked (Printf.sprintf "%s#%d" c.owner c.id))
+
+let deref_opt c = c.resource
+
+let revoke c = c.resource <- None
+
+let is_valid c = Option.is_some c.resource
+
+let owner c = c.owner
+
+let id c = c.id
+
+let equal a b = a.id = b.id

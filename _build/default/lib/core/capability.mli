@@ -1,0 +1,32 @@
+(** Capabilities: unforgeable references to kernel resources.
+
+    In SPIN a capability *is* a type-safe pointer; here it is a value
+    of an abstract type that only the owning service can mint. A
+    capability can be revoked by its owner, after which dereferencing
+    raises {!Revoked} — the analogue of the collector reclaiming a
+    resource whose extension died. *)
+
+type 'a t
+
+exception Revoked of string
+(** Carries the owner and id of the dead capability. *)
+
+val mint : owner:string -> 'a -> 'a t
+(** [mint ~owner v] creates a capability for resource [v]. *)
+
+val deref : 'a t -> 'a
+(** Raises {!Revoked} if the capability was revoked. *)
+
+val deref_opt : 'a t -> 'a option
+
+val revoke : 'a t -> unit
+(** Idempotent. *)
+
+val is_valid : 'a t -> bool
+
+val owner : 'a t -> string
+
+val id : 'a t -> int
+(** Unique across all capabilities in the process. *)
+
+val equal : 'a t -> 'a t -> bool

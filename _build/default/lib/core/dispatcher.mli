@@ -1,0 +1,177 @@
+(** The event dispatcher — the heart of SPIN's extension model.
+
+    An event is a procedure exported from an interface; raising the
+    event is calling the procedure. The module that statically exports
+    the procedure is its *primary implementation module*: it provides
+    the default handler, authorizes additional handler installations
+    (possibly attaching guards and execution constraints), and may
+    permit removal of the primary handler.
+
+    Dispatch semantics follow the paper:
+    - with a single unguarded synchronous handler, a raise is a direct
+      procedure call (the 0.13 us protected in-kernel call of Table 2);
+    - otherwise the dispatcher evaluates each handler's guard stack and
+      invokes the passing handlers, charging per-guard and per-handler
+      costs (the linear scaling measured in section 5.5);
+    - handlers may be asynchronous (decoupling the raiser from handler
+      latency) or bounded in time (aborted — result discarded — when
+      they overrun);
+    - one result is returned, by default that of the final handler
+      executed; an event may install a result-combination function. *)
+
+type t
+(** A dispatcher instance (one per kernel). *)
+
+type costs = {
+  dispatch_fixed : int;   (** slow-path entry bookkeeping *)
+  guard_eval : int;       (** evaluating one guard predicate *)
+  handler_invoke : int;   (** invoking one handler beyond its body *)
+}
+
+val default_costs : costs
+(** Calibrated against section 5.5: ~0.4 us per false guard, ~1.44 us
+    per additional invoked handler. *)
+
+val create : ?costs:costs -> Spin_machine.Clock.t -> t
+
+val set_async_spawn : t -> ((unit -> unit) -> unit) -> unit
+(** Installs the thread-spawn hook used for asynchronous handlers.
+    Before a scheduler exists, asynchronous handlers queue and run at
+    the next {!flush_deferred}. *)
+
+val flush_deferred : t -> int
+(** Runs handlers deferred while no spawn hook was installed; returns
+    how many ran. *)
+
+type ('a, 'r) event
+
+type ('a, 'r) handler
+
+type 'a decision =
+  | Deny
+  | Allow of {
+      guard : ('a -> bool) option;   (** guard imposed by the primary *)
+      bound_cycles : int option;     (** time bound imposed *)
+      force_async : bool;            (** isolate the raiser *)
+    }
+
+val allow : 'a decision
+(** [Allow] with no constraints. *)
+
+exception No_handler of string
+(** Raised when an event with no applicable handler needs a result. *)
+
+val declare :
+  t ->
+  name:string ->
+  owner:string ->
+  ?ty:Ty.t ->
+  ?combine:('r list -> 'r) ->
+  ?auth:(installer:string -> 'a decision) ->
+  ?index:('a -> int) ->
+  ?allow_remove_primary:(requester:string -> bool) ->
+  ('a -> 'r) ->
+  ('a, 'r) event
+(** [declare t ~name ~owner default] declares an event whose default
+    implementation is [default], owned by module [owner]. The default
+    [combine] returns the last result ([No_handler] when none). By
+    default installations are allowed unconstrained and primary
+    removal is denied. *)
+
+val event_name : ('a, 'r) event -> string
+
+val event_owner : ('a, 'r) event -> string
+
+val install :
+  ('a, 'r) event ->
+  installer:string ->
+  ?guard:('a -> bool) ->
+  ?bound_cycles:int ->
+  ?async:bool ->
+  ('a -> 'r) ->
+  (('a, 'r) handler, [ `Denied ]) result
+(** Installs an additional handler, subject to the primary module's
+    authorization. Constraints from the authorizer are merged with
+    the installer's own (guards conjoin; the tighter bound wins;
+    async is forced if either asks). *)
+
+val install_exn :
+  ('a, 'r) event ->
+  installer:string ->
+  ?guard:('a -> bool) ->
+  ?bound_cycles:int ->
+  ?async:bool ->
+  ('a -> 'r) ->
+  ('a, 'r) handler
+
+val install_indexed :
+  ('a, 'r) event ->
+  installer:string ->
+  key:int ->
+  ?bound_cycles:int ->
+  ?async:bool ->
+  ('a -> 'r) ->
+  (('a, 'r) handler, [ `Denied | `No_index ]) result
+(** The optimization section 5.5 leaves as future work ("representing
+    guard predicates as decision trees"): when the event was declared
+    with an [index] function, handlers registered under a key are
+    found by hashing the raised argument's index instead of walking a
+    linear guard list — equality guards in O(1). Only applicable to
+    events with an index; the primary module's authorization applies
+    as usual. *)
+
+val install_with_closure :
+  ('a, 'r) event ->
+  installer:string ->
+  closure:'c ->
+  ?guard:('c -> 'a -> bool) ->
+  ?bound_cycles:int ->
+  ?async:bool ->
+  ('c -> 'a -> 'r) ->
+  (('a, 'r) handler, [ `Denied ]) result
+(** The paper's footnote 1: "the dispatcher also allows a handler to
+    specify an additional closure to be passed to the handler during
+    event processing", letting one handler procedure serve several
+    contexts. The closure is passed to the guard as well. *)
+
+val add_guard : ('a, 'r) handler -> ('a -> bool) -> unit
+(** Stacks one more guard on a handler (conjunction). *)
+
+val uninstall : ('a, 'r) event -> ('a, 'r) handler -> unit
+
+val remove_primary :
+  ('a, 'r) event -> requester:string -> (unit, [ `Denied ]) result
+(** Removes the default handler from dispatch, if the primary module
+    allows it. *)
+
+val reinstate_primary : ('a, 'r) event -> unit
+
+val raise_event : ('a, 'r) event -> 'a -> 'r
+(** Raise the event. May raise {!No_handler}. *)
+
+val raise_default : ('a, 'r) event -> 'r -> 'a -> 'r
+(** [raise_default e fallback arg] is [raise_event e arg], returning
+    [fallback] instead of raising {!No_handler} (useful for unit
+    events with optional listeners). *)
+
+val handler_count : ('a, 'r) event -> int
+(** Active handlers, including the primary. *)
+
+type stats = {
+  raises : int;
+  fast_path : int;      (** raises that collapsed to a direct call *)
+  invocations : int;    (** handler bodies executed *)
+  guard_rejections : int;
+  aborted : int;        (** bounded handlers that overran *)
+  handler_failures : int;
+  (** extension handlers that raised: caught, counted, uninstalled —
+      failure is isolated to the extension (paper, section 4.3).
+      Primary-handler exceptions propagate (the default implementation
+      is trusted). *)
+}
+
+val stats : ('a, 'r) event -> stats
+
+val topology : t -> (string * string * string list) list
+(** [(event, owner, handler installers)] for every declared event, in
+    declaration order — the data behind Figure 5. *)

@@ -1,0 +1,19 @@
+type t = {
+  app : string;
+  table : Univ.t Spin_dstruct.Idtable.t;
+}
+
+let create ~app = { app; table = Spin_dstruct.Idtable.create () }
+
+let app t = t.app
+
+let externalize t tag v = Spin_dstruct.Idtable.insert t.table (Univ.pack tag v)
+
+let recover t tag i =
+  match Spin_dstruct.Idtable.lookup t.table i with
+  | None -> None
+  | Some u -> Univ.unpack tag u
+
+let release t i = Spin_dstruct.Idtable.remove t.table i
+
+let live t = Spin_dstruct.Idtable.length t.table

@@ -1,0 +1,27 @@
+(** Externalized references (paper, section 3.1).
+
+    User-level code cannot be assumed type safe, so a kernel service
+    never hands it a pointer; it hands an index into a
+    per-application table of type-safe in-kernel references. Recovery
+    checks both the index and the tag under which the reference was
+    externalized. *)
+
+type t
+(** One table per application. *)
+
+val create : app:string -> t
+
+val app : t -> string
+
+val externalize : t -> 'a Univ.tag -> 'a -> int
+(** Stores the reference, returning the external index to pass to
+    user space. *)
+
+val recover : t -> 'a Univ.tag -> int -> 'a option
+(** [None] for stale indices, forged indices, and tag mismatches
+    (an index externalized as one resource type cannot be recovered
+    as another). *)
+
+val release : t -> int -> unit
+
+val live : t -> int

@@ -1,0 +1,59 @@
+(** Logical protection domains and the in-kernel dynamic linker
+    (the paper's [Domain] interface, Figure 2).
+
+    A domain names a set of program symbols. [create] initializes a
+    domain from a safe object file; [create_from_module] lets a
+    module name and export itself at runtime; [resolve] patches the
+    target's unresolved imports against the source's exports
+    (cross-linking is a pair of resolves); [combine] builds aggregate
+    namespaces such as SpinPublic.
+
+    Resolution is atomic: if any matched symbol fails the type check,
+    no import is patched. *)
+
+type t
+
+type error =
+  | Unsafe_object of string
+  | Type_mismatch of { symbol : string; expected : Ty.t; found : Ty.t }
+
+exception Link_error of error
+
+val error_to_string : error -> string
+
+val create : Object_file.t -> (t, error) result
+(** Rejects unsigned object files. *)
+
+val create_exn : Object_file.t -> t
+
+val create_from_module :
+  name:string -> exports:(Symbol.t * Univ.t) list -> t
+
+val name : t -> string
+
+val combine : name:string -> t -> t -> t
+(** The aggregate exports the union of both domains' interfaces.
+    Underlying object files are shared, not copied (domains may
+    intersect). *)
+
+val combine_all : name:string -> t list -> t
+
+val exports : t -> Symbol.t list
+
+val unresolved : t -> Symbol.t list
+(** Imports not yet patched, across all object files in the domain. *)
+
+val fully_resolved : t -> bool
+
+val resolve : source:t -> target:t -> (int, error) result
+(** [resolve ~source ~target] patches the target's unresolved imports
+    from the source's exports and returns how many were patched.
+    Does not export additional symbols from the target. *)
+
+val resolve_exn : source:t -> target:t -> int
+
+val lookup : t -> string -> Univ.t option
+(** [lookup d "Console.Open"] finds an exported item by full name. *)
+
+val initialize : t -> unit
+(** Runs each member object file's initializer (once per file). *)

@@ -1,0 +1,47 @@
+type identity = { who : string }
+
+type lookup_error = Unknown_name | Denied
+
+type binding = {
+  domain : Kdomain.t;
+  authorize : (identity -> bool) option;
+}
+
+type t = {
+  clock : Spin_machine.Clock.t;
+  table : (string, binding) Hashtbl.t;
+  mutable order : string list;          (* reverse registration order *)
+  mutable denials : int;
+}
+
+let create clock =
+  { clock; table = Hashtbl.create 64; order = []; denials = 0 }
+
+let register t ~name ?authorize domain =
+  if not (Hashtbl.mem t.table name) then t.order <- name :: t.order;
+  Hashtbl.replace t.table name { domain; authorize }
+
+let unregister t ~name =
+  Hashtbl.remove t.table name;
+  t.order <- List.filter (fun n -> not (String.equal n name)) t.order
+
+let lookup t ~name identity =
+  match Hashtbl.find_opt t.table name with
+  | None -> Error Unknown_name
+  | Some { domain; authorize } ->
+    match authorize with
+    | None -> Ok domain
+    | Some auth ->
+      (* The importer, exporter and authorizer interact through
+         direct procedure calls — charge one. *)
+      Spin_machine.Clock.charge t.clock
+        (Spin_machine.Clock.cost t.clock).Spin_machine.Cost.proc_call;
+      if auth identity then Ok domain
+      else begin
+        t.denials <- t.denials + 1;
+        Error Denied
+      end
+
+let names t = List.rev t.order
+
+let denials t = t.denials

@@ -1,0 +1,85 @@
+type safety =
+  | Compiler_signed
+  | Asserted_safe of string
+  | Unsigned
+
+type import = {
+  import_symbol : Symbol.t;
+  cell : Univ.t option ref;
+}
+
+type t = {
+  name : string;
+  safety : safety;
+  exports : (Symbol.t * Univ.t) list;
+  imports : import list;
+  init : (unit -> unit) option;
+  source_lines : int;
+  text_bytes : int;
+  data_bytes : int;
+  mutable initialized : bool;
+}
+
+module Builder = struct
+  type obj = t
+
+  type t = {
+    b_name : string;
+    b_safety : safety;
+    b_lines : int;
+    b_text : int;
+    b_data : int;
+    mutable b_exports : (Symbol.t * Univ.t) list;
+    mutable b_imports : import list;
+    mutable b_init : (unit -> unit) option;
+  }
+
+  let create ~name ~safety ?(source_lines = 0) ?(text_bytes = 0)
+      ?(data_bytes = 0) () =
+    { b_name = name; b_safety = safety; b_lines = source_lines;
+      b_text = text_bytes; b_data = data_bytes;
+      b_exports = []; b_imports = []; b_init = None }
+
+  let export b sym value =
+    if List.exists (fun (s, _) -> Symbol.same_name s sym) b.b_exports then
+      invalid_arg ("Object_file: duplicate export " ^ Symbol.full_name sym);
+    b.b_exports <- b.b_exports @ [ (sym, value) ]
+
+  let import b sym =
+    let cell = ref None in
+    b.b_imports <- b.b_imports @ [ { import_symbol = sym; cell } ];
+    cell
+
+  let set_init b f = b.b_init <- Some f
+
+  let build b =
+    (* Size estimates default to something proportional to the symbol
+       count so that the size reports have sane values even for
+       hand-built test objects. *)
+    let nsyms = List.length b.b_exports + List.length b.b_imports in
+    let text = if b.b_text > 0 then b.b_text else 96 * (1 + nsyms) in
+    let data = if b.b_data > 0 then b.b_data else 64 * (1 + nsyms) in
+    { name = b.b_name; safety = b.b_safety;
+      exports = b.b_exports; imports = b.b_imports; init = b.b_init;
+      source_lines = b.b_lines; text_bytes = text; data_bytes = data;
+      initialized = false }
+end
+
+let name t = t.name
+let safety t = t.safety
+let exports t = t.exports
+let imports t = t.imports
+let source_lines t = t.source_lines
+let text_bytes t = t.text_bytes
+let data_bytes t = t.data_bytes
+
+let run_init t =
+  if not t.initialized then begin
+    t.initialized <- true;
+    match t.init with None -> () | Some f -> f ()
+  end
+
+let is_safe t =
+  match t.safety with
+  | Compiler_signed | Asserted_safe _ -> true
+  | Unsigned -> false

@@ -1,0 +1,56 @@
+(** Safe object files.
+
+    An object file is *safe* if it was signed by the (simulated)
+    Modula-3 compiler, or if the kernel asserts its safety — the path
+    the paper uses to link DEC OSF/1 device drivers written in C.
+    Unsigned files are rejected by domain creation.
+
+    A file carries typed exports, typed import slots (patched by the
+    linker), an optional initializer, and size accounting used by the
+    Table 1 / Table 7 reports. *)
+
+type safety =
+  | Compiler_signed               (** signed by the Modula-3 compiler *)
+  | Asserted_safe of string       (** trusted by fiat; argument says who *)
+  | Unsigned
+
+type t
+
+type import = {
+  import_symbol : Symbol.t;
+  cell : Univ.t option ref;       (** patched by [Kdomain.resolve] *)
+}
+
+module Builder : sig
+  type obj = t
+  type t
+
+  val create :
+    name:string -> safety:safety ->
+    ?source_lines:int -> ?text_bytes:int -> ?data_bytes:int -> unit -> t
+
+  val export : t -> Symbol.t -> Univ.t -> unit
+  (** Raises [Invalid_argument] on duplicate export names. *)
+
+  val import : t -> Symbol.t -> Univ.t option ref
+  (** Declares an import and returns the cell the module's code reads
+      resolved values from. *)
+
+  val set_init : t -> (unit -> unit) -> unit
+  (** Run once when the containing domain is initialized. *)
+
+  val build : t -> obj
+end
+
+val name : t -> string
+val safety : t -> safety
+val exports : t -> (Symbol.t * Univ.t) list
+val imports : t -> import list
+val source_lines : t -> int
+val text_bytes : t -> int
+val data_bytes : t -> int
+
+val run_init : t -> unit
+(** Runs the initializer on first call; later calls are no-ops. *)
+
+val is_safe : t -> bool

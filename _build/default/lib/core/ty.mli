@@ -1,0 +1,25 @@
+(** A small structural type language standing in for Modula-3
+    signatures.
+
+    The in-kernel linker compares the declared type of an imported
+    symbol against the exported one; a mismatch is a link-time error,
+    reproducing the paper's "type conflict results in an error"
+    behaviour for redefined interface types. Opaque types are branded
+    by name ([Opaque "Console.T"]), so a redefinition is a different
+    type. *)
+
+type t =
+  | Unit
+  | Bool
+  | Int
+  | Text
+  | Bytes
+  | Opaque of string            (** a branded opaque type, e.g. "Console.T" *)
+  | Ref of t
+  | Array of t
+  | Proc of t list * t          (** procedure: argument types and result *)
+  | Record of (string * t) list
+
+val equal : t -> t -> bool
+
+val to_string : t -> string

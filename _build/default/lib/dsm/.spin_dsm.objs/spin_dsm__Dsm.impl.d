@@ -1,0 +1,1 @@
+lib/dsm/dsm.ml: Array Bytes Hashtbl Host Int32 Ip List Option Rpc Spin_core Spin_machine Spin_net Spin_vm

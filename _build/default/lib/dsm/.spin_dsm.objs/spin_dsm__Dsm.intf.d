@@ -1,0 +1,1 @@
+lib/dsm/dsm.mli: Spin_net Spin_vm

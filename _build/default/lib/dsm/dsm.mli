@@ -1,0 +1,55 @@
+(** Distributed shared memory, as a SPIN extension.
+
+    The paper lists DSM (Carter et al.'s Munin) among the services
+    implementors build on the translation events: handlers on
+    [Translation.PageNotPresent] and [Translation.ProtectionFault]
+    fetch pages and ownership over the network.
+
+    The protocol is a classic centralized-manager, single-writer /
+    multiple-reader invalidation scheme (Li & Hudak's Ivy):
+    - the *manager* host keeps, per page, the current owner and the
+      copyset of hosts holding read copies;
+    - a read fault fetches a clean copy from the owner (who downgrades
+      to read-only) and joins the copyset;
+    - a write fault invalidates every copy, transfers ownership, and
+      maps the page read-write.
+
+    Transport is the RPC extension; each node's fault handlers run in
+    strand context and block on the calls, exactly as the demand pager
+    blocks on the disk. Page size must fit the link MTU (use ATM). *)
+
+type t
+(** One DSM node (per host). *)
+
+type region
+(** A shared region attached on this node. *)
+
+val create :
+  Spin_vm.Vm.t -> Spin_net.Host.t -> manager:Spin_net.Ip.addr -> t
+(** Creates a node. The node whose host address equals [manager]
+    serves the directory; create it first. *)
+
+val attach :
+  t -> Spin_vm.Translation.context -> region_id:int -> pages:int -> region
+(** Attach a shared region in the given context. The virtual range is
+    allocated here and is the same size on every node; pages start
+    zero-filled, owned by the manager. All nodes must use the same
+    [region_id] and [pages]. *)
+
+val base_va : region -> int
+
+val va_of_page : region -> int -> int
+
+val read_word : t -> region -> page:int -> int64
+(** Strand context: may fault and fetch the page over the network. *)
+
+val write_word : t -> region -> page:int -> int64 -> unit
+(** Strand context: may fetch ownership over the network. *)
+
+type node_stats = {
+  read_faults : int;      (** pages fetched for reading *)
+  write_faults : int;     (** ownership acquisitions *)
+  invalidations : int;    (** local copies shot down *)
+}
+
+val stats : t -> node_stats

@@ -1,0 +1,1 @@
+lib/dstruct/lru.ml: Dllist Hashtbl

@@ -1,0 +1,60 @@
+type t = {
+  bits : Bytes.t;
+  nbits : int;
+  mutable set_count : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative size";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; nbits = n; set_count = 0 }
+
+let length t = t.nbits
+
+let check t i =
+  if i < 0 || i >= t.nbits then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let set t i =
+  check t i;
+  if not (mem t i) then begin
+    let b = Char.code (Bytes.get t.bits (i / 8)) in
+    Bytes.set t.bits (i / 8) (Char.chr (b lor (1 lsl (i mod 8))));
+    t.set_count <- t.set_count + 1
+  end
+
+let clear t i =
+  check t i;
+  if mem t i then begin
+    let b = Char.code (Bytes.get t.bits (i / 8)) in
+    Bytes.set t.bits (i / 8) (Char.chr (b land lnot (1 lsl (i mod 8)) land 0xff));
+    t.set_count <- t.set_count - 1
+  end
+
+let count t = t.set_count
+
+let find_first p t =
+  let rec loop i = if i >= t.nbits then None else if p (mem t i) then Some i else loop (i + 1) in
+  loop 0
+
+let find_first_clear t = find_first not t
+
+let find_first_set t = find_first (fun b -> b) t
+
+let find_clear_run t k =
+  if k <= 0 then invalid_arg "Bitset.find_clear_run: run must be positive";
+  let rec scan start run i =
+    if run = k then Some start
+    else if i >= t.nbits then None
+    else if mem t i then scan (i + 1) 0 (i + 1)
+    else scan start (run + 1) (i + 1) in
+  scan 0 0 0
+
+let fill t =
+  for i = 0 to t.nbits - 1 do set t i done
+
+let reset t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.set_count <- 0

@@ -1,0 +1,101 @@
+type 'a entry = {
+  value : 'a;
+  seq : int;                    (* FIFO tie-break *)
+  mutable index : int;          (* -1 when removed *)
+}
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable heap : 'a entry array; (* slots >= size are stale *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp = { cmp; heap = [||]; size = 0; next_seq = 0 }
+
+let size t = t.size
+
+let is_empty t = t.size = 0
+
+let entry_cmp t a b =
+  let c = t.cmp a.value b.value in
+  if c <> 0 then c else compare a.seq b.seq
+
+let swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b; t.heap.(j) <- a;
+  a.index <- j; b.index <- i
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_cmp t t.heap.(i) t.heap.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_cmp t t.heap.(l) t.heap.(!smallest) < 0 then smallest := l;
+  if r < t.size && entry_cmp t t.heap.(r) t.heap.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let nheap = Array.make ncap t.heap.(0) in
+    Array.blit t.heap 0 nheap 0 t.size;
+    t.heap <- nheap
+  end
+
+let add t v =
+  let e = { value = v; seq = t.next_seq; index = t.size } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 8 e else grow t;
+  t.heap.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  e
+
+let peek t = if t.size = 0 then None else Some t.heap.(0).value
+
+let delete_at t i =
+  let e = t.heap.(i) in
+  e.index <- -1;
+  t.size <- t.size - 1;
+  if i <> t.size then begin
+    let last = t.heap.(t.size) in
+    t.heap.(i) <- last;
+    last.index <- i;
+    sift_down t i;
+    sift_up t last.index
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    delete_at t 0;
+    Some e.value
+  end
+
+let remove t e = if e.index >= 0 then delete_at t e.index
+
+let mem e = e.index >= 0
+
+let value e = e.value
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.size - 1 downto 0 do acc := t.heap.(i).value :: !acc done;
+  !acc
+
+let clear t =
+  for i = 0 to t.size - 1 do t.heap.(i).index <- -1 done;
+  t.size <- 0

@@ -1,0 +1,41 @@
+(** Binary-heap priority queues with removable entries.
+
+    Used for the discrete-event queue and for priority run queues.
+    Entries added to the heap receive a handle that supports O(log n)
+    removal, which the simulator uses to cancel pending timeouts. *)
+
+type 'a t
+(** A mutable min-heap ordered by the comparison given at creation. *)
+
+type 'a entry
+(** Handle to an element currently (or formerly) in a heap. *)
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap; the minimum element w.r.t. [cmp]
+    is popped first. Insertion order breaks ties (FIFO). *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> 'a entry
+(** [add t v] inserts [v] and returns its handle. *)
+
+val peek : 'a t -> 'a option
+(** [peek t] is the minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop t] removes and returns the minimum element. *)
+
+val remove : 'a t -> 'a entry -> unit
+(** [remove t e] deletes [e]'s element if still present; no-op otherwise. *)
+
+val mem : 'a entry -> bool
+(** [mem e] is [true] while [e]'s element is still in its heap. *)
+
+val value : 'a entry -> 'a
+
+val to_list : 'a t -> 'a list
+(** [to_list t] is the heap contents in unspecified order. *)
+
+val clear : 'a t -> unit

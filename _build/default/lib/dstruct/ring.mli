@@ -1,0 +1,32 @@
+(** Fixed-capacity circular buffers.
+
+    Device transmit/receive queues and the console input queue are
+    rings: producers fail (rather than block or grow) when the ring
+    is full, modelling bounded hardware queues that drop on overflow. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create n] is an empty ring holding at most [n] elements.
+    Raises [Invalid_argument] if [n <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push t v] appends [v]; [false] (and no change) when full. *)
+
+val pop : 'a t -> 'a option
+(** [pop t] removes and returns the oldest element. *)
+
+val peek : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f t] applies [f] oldest-first. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/fs/block_cache.ml: Bytes Hashtbl Spin_dstruct Spin_machine Spin_sched

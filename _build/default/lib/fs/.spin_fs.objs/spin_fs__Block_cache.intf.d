@@ -1,0 +1,1 @@
+lib/fs/block_cache.mli: Bytes Spin_machine Spin_sched

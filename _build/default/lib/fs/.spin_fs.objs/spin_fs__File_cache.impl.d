@@ -1,0 +1,1 @@
+lib/fs/file_cache.ml: Bytes Lazy Simple_fs Spin_dstruct

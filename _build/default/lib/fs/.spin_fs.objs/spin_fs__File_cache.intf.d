@@ -1,0 +1,1 @@
+lib/fs/file_cache.mli: Bytes Simple_fs

@@ -1,0 +1,1 @@
+lib/fs/simple_fs.ml: Array Block_cache Buffer Bytes Char Int32 List Option Spin_dstruct Spin_machine String

@@ -1,0 +1,1 @@
+lib/fs/simple_fs.mli: Block_cache Bytes

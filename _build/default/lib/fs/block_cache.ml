@@ -1,0 +1,105 @@
+module Machine = Spin_machine.Machine
+module Disk = Spin_machine.Disk_dev
+module Intr = Spin_machine.Intr
+module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
+module Sched = Spin_sched.Sched
+module Lru = Spin_dstruct.Lru
+
+type pending = {
+  strand : Spin_sched.Strand.t;
+  mutable data : Bytes.t option;
+  mutable complete : bool;
+}
+
+type t = {
+  machine : Machine.t;
+  sched : Sched.t;
+  disk : Disk.t;
+  cache : (int, Bytes.t) Lru.t;
+  pending : (int, pending) Hashtbl.t;     (* block -> waiter *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity_blocks = 2048) machine sched disk =
+  let t = {
+    machine; sched; disk;
+    cache = Lru.create ~capacity:capacity_blocks ();
+    pending = Hashtbl.create 32;
+    hits = 0; misses = 0;
+  } in
+  Intr.register machine.Machine.intr ~line:(Disk.line disk) (fun () ->
+    let rec drain () =
+      match Disk.take_completion disk with
+      | None -> ()
+      | Some completion ->
+        let block, data =
+          match completion with
+          | Disk.Read_done { block; data; _ } -> block, Some data
+          | Disk.Write_done { block; _ } -> block, None in
+        (match Hashtbl.find_opt t.pending block with
+         | Some p ->
+           Hashtbl.remove t.pending block;
+           p.data <- data;
+           p.complete <- true;
+           Sched.unblock sched p.strand
+         | None -> ());
+        drain () in
+    drain ());
+  t
+
+let charge_copy t =
+  Clock.charge t.machine.Machine.clock
+    ((Disk.block_size / 8) * t.machine.Machine.cost.Cost.copy_per_word)
+
+let wait_for t block submit =
+  let p = { strand = Sched.self t.sched; data = None; complete = false } in
+  Hashtbl.replace t.pending block p;
+  submit ();
+  (* Wakeups can be spurious (e.g. the caller is a protocol thread
+     that network interrupts also unblock): wait for completion. *)
+  while not p.complete do
+    Sched.block_current t.sched
+  done;
+  p.data
+
+let disk_read t block =
+  match wait_for t block (fun () -> Disk.submit_read t.disk ~block ~count:1) with
+  | Some data -> data
+  | None -> Bytes.make Disk.block_size '\000'
+
+let read t ~block =
+  match Lru.find t.cache block with
+  | Some data ->
+    t.hits <- t.hits + 1;
+    charge_copy t;
+    Bytes.copy data
+  | None ->
+    t.misses <- t.misses + 1;
+    let data = disk_read t block in
+    Lru.add t.cache block (Bytes.copy data);
+    data
+
+let read_uncached t ~block =
+  t.misses <- t.misses + 1;
+  disk_read t block
+
+let write_block t block data =
+  if Bytes.length data <> Disk.block_size then
+    invalid_arg "Block_cache.write: not one block";
+  ignore (wait_for t block (fun () -> Disk.submit_write t.disk ~block data))
+
+let write t ~block data =
+  write_block t block data;
+  if Lru.mem t.cache block then Lru.add t.cache block (Bytes.copy data)
+
+let write_uncached t ~block data =
+  Lru.remove t.cache block;
+  write_block t block data
+
+let flush t = Lru.clear t.cache
+
+let hits t = t.hits
+
+let misses t = t.misses

@@ -1,0 +1,38 @@
+(** The buffer cache: synchronous block I/O for strand-context code,
+    with an LRU cache of recently used blocks.
+
+    Reads and writes block the calling strand on the disk when they
+    miss; cached reads cost only the memory copy. Writes are
+    write-through (the cache never holds dirty data), which keeps the
+    web-server experiment's "double buffering" story honest: caching
+    happens either here or in the file cache, and both can be turned
+    off. *)
+
+type t
+
+val create :
+  ?capacity_blocks:int ->
+  Spin_machine.Machine.t -> Spin_sched.Sched.t -> Spin_machine.Disk_dev.t ->
+  t
+(** Default capacity: 2048 blocks (1 MB). Registers the disk's
+    completion interrupt handler. *)
+
+val read : t -> block:int -> Bytes.t
+(** One block; a private copy. Must run in strand context on a miss. *)
+
+val read_uncached : t -> block:int -> Bytes.t
+(** Bypass the cache entirely (the "non-caching file system" mode the
+    SPIN web server runs on). *)
+
+val write : t -> block:int -> Bytes.t -> unit
+(** Write-through; updates the cache copy unless the block was never
+    cached. *)
+
+val write_uncached : t -> block:int -> Bytes.t -> unit
+
+val flush : t -> unit
+(** Drop every cached block. *)
+
+val hits : t -> int
+
+val misses : t -> int

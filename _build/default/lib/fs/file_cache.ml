@@ -1,0 +1,80 @@
+module Lru = Spin_dstruct.Lru
+
+type stats = {
+  hits : int;
+  misses : int;
+  large_bypasses : int;
+  cached_bytes : int;
+}
+
+(* Declared after [stats] so the shared field names resolve here. *)
+type t = {
+  fs : Simple_fs.t;
+  large_threshold : int;
+  capacity_bytes : int;
+  cache : (string, Bytes.t) Lru.t;
+  mutable bytes_held : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable large_count : int;
+}
+
+let create ?(capacity_bytes = 4 * 1024 * 1024) ?(large_threshold = 64 * 1024) fs =
+  let rec t =
+    lazy
+      { fs; large_threshold; capacity_bytes;
+        cache =
+          Lru.create
+            ~on_evict:(fun _ data ->
+              let self = Lazy.force t in
+              self.bytes_held <- self.bytes_held - Bytes.length data)
+            ~capacity:4096 ();
+        bytes_held = 0; hit_count = 0; miss_count = 0; large_count = 0 } in
+  Lazy.force t
+
+let evict_to_budget t =
+  while t.bytes_held > t.capacity_bytes do
+    (* Walk to the cold end of the LRU (last in iteration order). *)
+    let last = ref None in
+    Lru.iter (fun k _ -> last := Some k) t.cache;
+    match !last with
+    | None -> t.bytes_held <- 0
+    | Some k ->
+      (match Lru.peek t.cache k with
+       | Some data -> t.bytes_held <- t.bytes_held - Bytes.length data
+       | None -> ());
+      Lru.remove t.cache k
+  done
+
+let fetch t ~name =
+  if not (Simple_fs.exists t.fs ~name) then None
+  else begin
+    let size = Simple_fs.size t.fs ~name in
+    if size > t.large_threshold then begin
+      (* Large: never cached, read around the buffer cache too. *)
+      t.large_count <- t.large_count + 1;
+      Some (Simple_fs.read ~cached:false t.fs ~name)
+    end else
+      match Lru.find t.cache name with
+      | Some data -> t.hit_count <- t.hit_count + 1; Some (Bytes.copy data)
+      | None ->
+        t.miss_count <- t.miss_count + 1;
+        let data = Simple_fs.read ~cached:false t.fs ~name in
+        Lru.add t.cache name (Bytes.copy data);
+        t.bytes_held <- t.bytes_held + Bytes.length data;
+        evict_to_budget t;
+        Some data
+  end
+
+let invalidate t ~name =
+  (match Lru.peek t.cache name with
+   | Some data -> t.bytes_held <- t.bytes_held - Bytes.length data
+   | None -> ());
+  Lru.remove t.cache name
+
+let stats t = {
+  hits = t.hit_count;
+  misses = t.miss_count;
+  large_bypasses = t.large_count;
+  cached_bytes = t.bytes_held;
+}

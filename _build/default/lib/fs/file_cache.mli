@@ -1,0 +1,26 @@
+(** The SPIN web server's hybrid object cache (paper, section 5.4):
+    LRU caching for small files, no caching for large files (which
+    "tend to be accessed infrequently"), running over the non-caching
+    file system mode so that nothing is double-buffered. *)
+
+type t
+
+val create :
+  ?capacity_bytes:int -> ?large_threshold:int -> Simple_fs.t -> t
+(** Defaults: 4 MB capacity, 64 KB large-file threshold. *)
+
+val fetch : t -> name:string -> Bytes.t option
+(** The file's contents, from cache when possible; [None] if the file
+    does not exist. Small files are inserted on miss; large files
+    always go to the file system (uncached at both levels). *)
+
+val invalidate : t -> name:string -> unit
+
+type stats = {
+  hits : int;
+  misses : int;
+  large_bypasses : int;
+  cached_bytes : int;
+}
+
+val stats : t -> stats

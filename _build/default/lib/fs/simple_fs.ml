@@ -1,0 +1,399 @@
+module Disk = Spin_machine.Disk_dev
+module Bitset = Spin_dstruct.Bitset
+
+let bs = Disk.block_size
+let magic = 0x53504653                    (* "SPFS" *)
+let ndirect = 12
+let nindirect = bs / 4                    (* 128 pointers *)
+let max_file_blocks = ndirect + nindirect
+let max_file_bytes = max_file_blocks * bs
+let inode_size = 64
+let inodes_per_block = bs / inode_size
+let dirent_size = 32
+let max_name = dirent_size - 4 - 1        (* name, NUL, inode number *)
+let root_inode = 0
+
+type error =
+  | No_such_file
+  | File_exists
+  | No_space
+  | File_too_large
+  | Name_too_long
+
+exception Fs_error of error
+
+let error_to_string = function
+  | No_such_file -> "no such file"
+  | File_exists -> "file exists"
+  | No_space -> "no space on device"
+  | File_too_large -> "file too large"
+  | Name_too_long -> "name too long"
+
+type inode = {
+  mutable size : int;
+  direct : int array;                     (* block numbers; 0 = hole *)
+  mutable indirect : int;                 (* indirect block, 0 = none *)
+}
+
+type t = {
+  cache : Block_cache.t;
+  ninodes : int;
+  nblocks : int;
+  ibitmap_block : int;
+  dbitmap_start : int;
+  dbitmap_blocks : int;
+  itable_start : int;
+  data_start : int;
+  ibitmap : Bitset.t;
+  dbitmap : Bitset.t;                     (* indexed by data block ordinal *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* On-disk encoding helpers                                           *)
+(* ------------------------------------------------------------------ *)
+
+let get32 b off = Int32.to_int (Bytes.get_int32_le b off)
+let set32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let encode_inode ino =
+  let b = Bytes.make inode_size '\000' in
+  set32 b 0 ino.size;
+  Array.iteri (fun i blk -> set32 b (4 + (i * 4)) blk) ino.direct;
+  set32 b (4 + (ndirect * 4)) ino.indirect;
+  b
+
+let decode_inode b off =
+  { size = get32 b off;
+    direct = Array.init ndirect (fun i -> get32 b (off + 4 + (i * 4)));
+    indirect = get32 b (off + 4 + (ndirect * 4)) }
+
+let encode_bitset set =
+  (* One bit per entry, packed into whole blocks. *)
+  let nbits = Bitset.length set in
+  let blocks = (((nbits + 7) / 8) + bs - 1) / bs in
+  let b = Bytes.make (blocks * bs) '\000' in
+  for i = 0 to nbits - 1 do
+    if Bitset.mem set i then begin
+      let byte = Char.code (Bytes.get b (i / 8)) in
+      Bytes.set b (i / 8) (Char.chr (byte lor (1 lsl (i mod 8))))
+    end
+  done;
+  b
+
+let decode_bitset b nbits =
+  let set = Bitset.create nbits in
+  for i = 0 to nbits - 1 do
+    if Char.code (Bytes.get b (i / 8)) land (1 lsl (i mod 8)) <> 0 then
+      Bitset.set set i
+  done;
+  set
+
+(* ------------------------------------------------------------------ *)
+(* Metadata I/O                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let write_blocks t start data =
+  let nblocks = (Bytes.length data + bs - 1) / bs in
+  for i = 0 to nblocks - 1 do
+    let chunk = Bytes.make bs '\000' in
+    let len = min bs (Bytes.length data - (i * bs)) in
+    Bytes.blit data (i * bs) chunk 0 len;
+    Block_cache.write t.cache ~block:(start + i) chunk
+  done
+
+let sync_ibitmap t = write_blocks t t.ibitmap_block (encode_bitset t.ibitmap)
+
+let sync_dbitmap t = write_blocks t t.dbitmap_start (encode_bitset t.dbitmap)
+
+let read_inode t i =
+  let block = t.itable_start + (i / inodes_per_block) in
+  let data = Block_cache.read t.cache ~block in
+  decode_inode data ((i mod inodes_per_block) * inode_size)
+
+let write_inode t i ino =
+  let block = t.itable_start + (i / inodes_per_block) in
+  let data = Block_cache.read t.cache ~block in
+  Bytes.blit (encode_inode ino) 0 data ((i mod inodes_per_block) * inode_size)
+    inode_size;
+  Block_cache.write t.cache ~block data
+
+let alloc_inode t =
+  match Bitset.find_first_clear t.ibitmap with
+  | None -> raise (Fs_error No_space)
+  | Some i ->
+    Bitset.set t.ibitmap i;
+    sync_ibitmap t;
+    i
+
+let alloc_data_block t =
+  match Bitset.find_first_clear t.dbitmap with
+  | None -> raise (Fs_error No_space)
+  | Some ordinal ->
+    Bitset.set t.dbitmap ordinal;
+    sync_dbitmap t;
+    t.data_start + ordinal
+
+let free_data_block t block =
+  if block >= t.data_start then begin
+    Bitset.clear t.dbitmap (block - t.data_start);
+    sync_dbitmap t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Block mapping through an inode                                     *)
+(* ------------------------------------------------------------------ *)
+
+let indirect_table t ino =
+  if ino.indirect = 0 then None
+  else Some (Block_cache.read t.cache ~block:ino.indirect)
+
+let block_of t ino n =
+  if n < ndirect then (if ino.direct.(n) = 0 then None else Some ino.direct.(n))
+  else if n >= max_file_blocks then raise (Fs_error File_too_large)
+  else
+    match indirect_table t ino with
+    | None -> None
+    | Some table ->
+      let blk = get32 table ((n - ndirect) * 4) in
+      if blk = 0 then None else Some blk
+
+let ensure_block t ino n =
+  match block_of t ino n with
+  | Some blk -> blk
+  | None ->
+    let blk = alloc_data_block t in
+    if n < ndirect then ino.direct.(n) <- blk
+    else begin
+      if ino.indirect = 0 then begin
+        ino.indirect <- alloc_data_block t;
+        Block_cache.write t.cache ~block:ino.indirect (Bytes.make bs '\000')
+      end;
+      let table = Block_cache.read t.cache ~block:ino.indirect in
+      set32 table ((n - ndirect) * 4) blk;
+      Block_cache.write t.cache ~block:ino.indirect table
+    end;
+    blk
+
+let truncate_inode t ino =
+  for n = 0 to ndirect - 1 do
+    if ino.direct.(n) <> 0 then begin
+      free_data_block t ino.direct.(n);
+      ino.direct.(n) <- 0
+    end
+  done;
+  (match indirect_table t ino with
+   | Some table ->
+     for i = 0 to nindirect - 1 do
+       let blk = get32 table (i * 4) in
+       if blk <> 0 then free_data_block t blk
+     done;
+     free_data_block t ino.indirect;
+     ino.indirect <- 0
+   | None -> ());
+  ino.size <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Inode-level read and write                                         *)
+(* ------------------------------------------------------------------ *)
+
+let read_inode_data t ?(cached = true) ino ~off ~len =
+  let len = max 0 (min len (ino.size - off)) in
+  let out = Bytes.create len in
+  let fetch block =
+    if cached then Block_cache.read t.cache ~block
+    else Block_cache.read_uncached t.cache ~block in
+  let rec loop pos =
+    if pos < len then begin
+      let file_off = off + pos in
+      let n = file_off / bs and boff = file_off mod bs in
+      let chunk = min (len - pos) (bs - boff) in
+      (match block_of t ino n with
+       | Some block -> Bytes.blit (fetch block) boff out pos chunk
+       | None -> ());                      (* hole reads as zeros *)
+      loop (pos + chunk)
+    end in
+  loop 0;
+  out
+
+let write_inode_data t ino ~off data =
+  let len = Bytes.length data in
+  if off + len > max_file_bytes then raise (Fs_error File_too_large);
+  let rec loop pos =
+    if pos < len then begin
+      let file_off = off + pos in
+      let n = file_off / bs and boff = file_off mod bs in
+      let chunk = min (len - pos) (bs - boff) in
+      let block = ensure_block t ino n in
+      let cur =
+        if chunk = bs then Bytes.make bs '\000'
+        else Block_cache.read t.cache ~block in
+      Bytes.blit data pos cur boff chunk;
+      Block_cache.write t.cache ~block cur;
+      loop (pos + chunk)
+    end in
+  loop 0;
+  ino.size <- max ino.size (off + len)
+
+(* ------------------------------------------------------------------ *)
+(* Directory (single root)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let decode_dirent data off =
+  let rec name_len i = if i >= max_name || Bytes.get data (off + i) = '\000'
+    then i else name_len (i + 1) in
+  let len = name_len 0 in
+  if len = 0 then None
+  else Some (Bytes.sub_string data off len, get32 data (off + dirent_size - 4))
+
+let dir_entries t =
+  let root = read_inode t root_inode in
+  let data = read_inode_data t root ~off:0 ~len:root.size in
+  let rec loop off acc =
+    if off + dirent_size > Bytes.length data then List.rev acc
+    else
+      match decode_dirent data off with
+      | Some e -> loop (off + dirent_size) (e :: acc)
+      | None -> loop (off + dirent_size) acc in
+  loop 0 []
+
+let dir_lookup t name =
+  List.assoc_opt name (dir_entries t)
+
+let dir_add t name inum =
+  if String.length name > max_name then raise (Fs_error Name_too_long);
+  let root = read_inode t root_inode in
+  let data = read_inode_data t root ~off:0 ~len:root.size in
+  (* Reuse a tombstone slot if one exists. *)
+  let rec find_slot off =
+    if off + dirent_size > Bytes.length data then root.size
+    else if decode_dirent data off = None then off
+    else find_slot (off + dirent_size) in
+  let slot = find_slot 0 in
+  let entry = Bytes.make dirent_size '\000' in
+  Bytes.blit_string name 0 entry 0 (String.length name);
+  set32 entry (dirent_size - 4) inum;
+  write_inode_data t root ~off:slot entry;
+  write_inode t root_inode root
+
+let dir_remove t name =
+  let root = read_inode t root_inode in
+  let data = read_inode_data t root ~off:0 ~len:root.size in
+  let rec loop off =
+    if off + dirent_size > Bytes.length data then ()
+    else
+      match decode_dirent data off with
+      | Some (n, _) when String.equal n name ->
+        write_inode_data t root ~off (Bytes.make dirent_size '\000');
+        write_inode t root_inode root
+      | Some _ | None -> loop (off + dirent_size) in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Public interface                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let layout ~ninodes ~blocks =
+  let ibitmap_block = 1 in
+  let dbitmap_start = 2 in
+  (* One bit per block of the whole device keeps the math simple. *)
+  let dbitmap_blocks = (((blocks + 7) / 8) + bs - 1) / bs in
+  let itable_start = dbitmap_start + dbitmap_blocks in
+  let itable_blocks = (ninodes + inodes_per_block - 1) / inodes_per_block in
+  let data_start = itable_start + itable_blocks in
+  (ibitmap_block, dbitmap_start, dbitmap_blocks, itable_start, data_start)
+
+let make cache ~ninodes ~blocks ~ibitmap ~dbitmap =
+  let ibitmap_block, dbitmap_start, dbitmap_blocks, itable_start, data_start =
+    layout ~ninodes ~blocks in
+  { cache; ninodes; nblocks = blocks;
+    ibitmap_block; dbitmap_start; dbitmap_blocks; itable_start; data_start;
+    ibitmap; dbitmap }
+
+let format cache ?(ninodes = 512) ~blocks () =
+  let _, _, _, _, data_start = layout ~ninodes ~blocks in
+  if data_start + 8 > blocks then invalid_arg "Simple_fs.format: too few blocks";
+  let ibitmap = Bitset.create ninodes in
+  let dbitmap = Bitset.create (blocks - data_start) in
+  let t = make cache ~ninodes ~blocks ~ibitmap ~dbitmap in
+  (* Superblock. *)
+  let sb = Bytes.make bs '\000' in
+  set32 sb 0 magic;
+  set32 sb 4 ninodes;
+  set32 sb 8 blocks;
+  Block_cache.write cache ~block:0 sb;
+  (* Root directory: inode 0, empty. *)
+  Bitset.set ibitmap root_inode;
+  sync_ibitmap t;
+  sync_dbitmap t;
+  (* Zero the inode table. *)
+  let itable_blocks = (ninodes + inodes_per_block - 1) / inodes_per_block in
+  for i = 0 to itable_blocks - 1 do
+    Block_cache.write cache ~block:(t.itable_start + i) (Bytes.make bs '\000')
+  done;
+  write_inode t root_inode { size = 0; direct = Array.make ndirect 0; indirect = 0 };
+  t
+
+let mount cache =
+  let sb = Block_cache.read cache ~block:0 in
+  if get32 sb 0 <> magic then raise (Fs_error No_such_file);
+  let ninodes = get32 sb 4 and blocks = get32 sb 8 in
+  let ibitmap_block, dbitmap_start, dbitmap_blocks, _, data_start =
+    layout ~ninodes ~blocks in
+  let ibm_data = Block_cache.read cache ~block:ibitmap_block in
+  let ibitmap = decode_bitset ibm_data ninodes in
+  let dbm = Buffer.create (dbitmap_blocks * bs) in
+  for i = 0 to dbitmap_blocks - 1 do
+    Buffer.add_bytes dbm (Block_cache.read cache ~block:(dbitmap_start + i))
+  done;
+  let dbitmap = decode_bitset (Buffer.to_bytes dbm) (blocks - data_start) in
+  make cache ~ninodes ~blocks ~ibitmap ~dbitmap
+
+let lookup_exn t name =
+  match dir_lookup t name with
+  | Some inum -> inum
+  | None -> raise (Fs_error No_such_file)
+
+let exists t ~name = Option.is_some (dir_lookup t name)
+
+let create t ~name =
+  if String.length name > max_name then raise (Fs_error Name_too_long);
+  if exists t ~name then raise (Fs_error File_exists);
+  let inum = alloc_inode t in
+  write_inode t inum { size = 0; direct = Array.make ndirect 0; indirect = 0 };
+  dir_add t name inum
+
+let write t ~name data =
+  let inum = lookup_exn t name in
+  let ino = read_inode t inum in
+  truncate_inode t ino;
+  write_inode_data t ino ~off:0 data;
+  write_inode t inum ino
+
+let append t ~name data =
+  let inum = lookup_exn t name in
+  let ino = read_inode t inum in
+  write_inode_data t ino ~off:ino.size data;
+  write_inode t inum ino
+
+let read ?(cached = true) t ~name =
+  let ino = read_inode t (lookup_exn t name) in
+  read_inode_data t ~cached ino ~off:0 ~len:ino.size
+
+let read_range ?(cached = true) t ~name ~off ~len =
+  let ino = read_inode t (lookup_exn t name) in
+  read_inode_data t ~cached ino ~off ~len
+
+let size t ~name = (read_inode t (lookup_exn t name)).size
+
+let delete t ~name =
+  let inum = lookup_exn t name in
+  let ino = read_inode t inum in
+  truncate_inode t ino;
+  write_inode t inum ino;
+  Bitset.clear t.ibitmap inum;
+  sync_ibitmap t;
+  dir_remove t name
+
+let list_files t = List.map fst (dir_entries t)
+
+let free_blocks t = Bitset.length t.dbitmap - Bitset.count t.dbitmap

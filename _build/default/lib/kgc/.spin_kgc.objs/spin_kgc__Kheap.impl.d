@@ -1,0 +1,1 @@
+lib/kgc/kheap.ml: Array Hashtbl List Printf Spin_machine String

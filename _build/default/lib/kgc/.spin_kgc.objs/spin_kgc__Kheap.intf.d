@@ -1,0 +1,1 @@
+lib/kgc/kheap.mli: Spin_machine

@@ -1,0 +1,1 @@
+lib/machine/clock.ml: Cost Fun List

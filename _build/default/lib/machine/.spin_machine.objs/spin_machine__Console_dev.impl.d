@@ -1,0 +1,1 @@
+lib/machine/console_dev.ml: Buffer Clock Intr Sim Spin_dstruct String

@@ -1,0 +1,1 @@
+lib/machine/console_dev.mli: Intr Sim

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Addr Bytes Clock Cost Fun Mmu Phys_mem

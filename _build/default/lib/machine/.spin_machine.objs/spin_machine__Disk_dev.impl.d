@@ -1,0 +1,1 @@
+lib/machine/disk_dev.ml: Bytes Hashtbl Intr Queue Sim

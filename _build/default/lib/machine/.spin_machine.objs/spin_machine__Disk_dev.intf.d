@@ -1,0 +1,1 @@
+lib/machine/disk_dev.mli: Bytes Intr Sim

@@ -1,0 +1,1 @@
+lib/machine/intr.ml: Clock Cost Fun Hashtbl Queue

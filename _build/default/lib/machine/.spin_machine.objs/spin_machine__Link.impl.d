@@ -1,0 +1,1 @@
+lib/machine/link.ml: Bytes Clock Cost Sim

@@ -1,0 +1,1 @@
+lib/machine/link.mli: Bytes Sim

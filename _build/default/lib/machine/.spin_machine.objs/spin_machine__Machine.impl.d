@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Addr Clock Console_dev Cost Cpu Disk_dev Intr Link Mmu Nic Phys_mem Sim

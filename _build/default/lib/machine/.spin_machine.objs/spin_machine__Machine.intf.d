@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Clock Console_dev Cost Cpu Disk_dev Intr Mmu Nic Phys_mem Sim

@@ -1,0 +1,1 @@
+lib/machine/mmu.ml: Addr Clock Cost Hashtbl Phys_mem Queue

@@ -1,0 +1,1 @@
+lib/machine/mmu.mli: Addr Clock Phys_mem

@@ -1,0 +1,1 @@
+lib/machine/nic.ml: Bytes Clock Intr Link Sim Spin_dstruct

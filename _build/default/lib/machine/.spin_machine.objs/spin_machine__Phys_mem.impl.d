@@ -1,0 +1,1 @@
+lib/machine/phys_mem.ml: Addr Array Bytes Clock Cost

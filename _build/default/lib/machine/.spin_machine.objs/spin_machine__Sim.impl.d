@@ -1,0 +1,1 @@
+lib/machine/sim.ml: Clock Cost Fun List Spin_dstruct

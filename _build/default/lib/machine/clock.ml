@@ -1,0 +1,47 @@
+type t = {
+  cost : Cost.t;
+  mutable now : int;
+  mutable hooks : (t -> unit) list;
+  mutable in_hook : bool;
+  mutable idle : int;
+}
+
+let create cost = { cost; now = 0; hooks = []; in_hook = false; idle = 0 }
+
+let cost t = t.cost
+
+let now t = t.now
+
+let now_us t = Cost.cycles_to_us t.cost t.now
+
+let run_hooks t =
+  if not t.in_hook then begin
+    t.in_hook <- true;
+    Fun.protect ~finally:(fun () -> t.in_hook <- false)
+      (fun () -> List.iter (fun f -> f t) t.hooks)
+  end
+
+let charge t c =
+  if c < 0 then invalid_arg "Clock.charge: negative cycles";
+  if c > 0 then begin
+    t.now <- t.now + c;
+    run_hooks t
+  end
+
+let charge_us t us = charge t (Cost.us_to_cycles t.cost us)
+
+let skip_to t target =
+  if target > t.now then begin
+    t.idle <- t.idle + (target - t.now);
+    t.now <- target;
+    run_hooks t
+  end
+
+let idle_cycles t = t.idle
+
+let add_hook t f = t.hooks <- t.hooks @ [ f ]
+
+let stamp t f =
+  let before = t.now in
+  f ();
+  t.now - before

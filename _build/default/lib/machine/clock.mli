@@ -1,0 +1,39 @@
+(** The virtual cycle counter.
+
+    Every simulated activity advances a single global-per-machine
+    clock by charging cycles. Components (the discrete-event queue,
+    the preemptive scheduler) register advance hooks that run after
+    each charge; hooks are not re-entered while one is running, which
+    lets a hook's own work charge cycles safely. *)
+
+type t
+
+val create : Cost.t -> t
+
+val cost : t -> Cost.t
+
+val now : t -> int
+(** Current virtual time in cycles since boot. *)
+
+val now_us : t -> float
+
+val charge : t -> int -> unit
+(** [charge t c] advances time by [c >= 0] cycles, then runs hooks. *)
+
+val charge_us : t -> float -> unit
+
+val skip_to : t -> int -> unit
+(** [skip_to t cycles] advances directly to an absolute time (used when
+    the machine is idle until the next scheduled event). No-op if the
+    target is in the past. *)
+
+val idle_cycles : t -> int
+(** Cycles skipped while idle since boot; [now - idle_cycles] is the
+    busy time, from which CPU utilization is computed (the paper's
+    low-priority idle thread, measured exactly). *)
+
+val add_hook : t -> (t -> unit) -> unit
+(** [add_hook t f] runs [f t] after every advance (charge or skip). *)
+
+val stamp : t -> (unit -> unit) -> int
+(** [stamp t f] runs [f] and returns the cycles it consumed. *)

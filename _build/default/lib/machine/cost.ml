@@ -1,0 +1,39 @@
+type t = {
+  cycles_per_us : int;
+  proc_call : int;
+  cross_module_call : int;
+  trap_entry : int;
+  trap_exit : int;
+  interrupt_entry : int;
+  interrupt_exit : int;
+  context_switch : int;
+  addr_space_switch : int;
+  tlb_fill : int;
+  mmu_map_op : int;
+  copy_per_word : int;
+  alloc_fixed : int;
+  alloc_per_word : int;
+  mem_access : int;
+}
+
+let alpha_133 = {
+  cycles_per_us = 133;
+  proc_call = 10;
+  cross_module_call = 17;      (* 0.13 us: Table 2, protected in-kernel call *)
+  trap_entry = 230;
+  trap_exit = 180;
+  interrupt_entry = 300;
+  interrupt_exit = 200;
+  context_switch = 450;
+  addr_space_switch = 1400;
+  tlb_fill = 40;
+  mmu_map_op = 160;
+  copy_per_word = 4;
+  alloc_fixed = 60;
+  alloc_per_word = 2;
+  mem_access = 3;
+}
+
+let us_to_cycles c us = int_of_float (Float.round (us *. float_of_int c.cycles_per_us))
+
+let cycles_to_us c cycles = float_of_int cycles /. float_of_int c.cycles_per_us

@@ -1,0 +1,33 @@
+(** Hardware cost model for the simulated workstation.
+
+    All simulated kernel code charges virtual cycles through {!Clock};
+    the constants here describe the *hardware* (a 133 MHz DEC Alpha
+    AXP 3000/400, as used in the paper). Operating-system path lengths
+    are not in this table: they are composed by executing the actual
+    code paths of the SPIN kernel and the baseline OS models. *)
+
+type t = {
+  cycles_per_us : int;       (** 133 for the 133 MHz Alpha. *)
+  proc_call : int;           (** intra-module procedure call + return *)
+  cross_module_call : int;   (** inter-module call (compiler makes it ~2x) *)
+  trap_entry : int;          (** user->kernel mode switch, register save *)
+  trap_exit : int;           (** kernel->user return, register restore *)
+  interrupt_entry : int;     (** device interrupt taken *)
+  interrupt_exit : int;
+  context_switch : int;      (** thread switch within an address space *)
+  addr_space_switch : int;   (** context switch + ASN/TLB activity *)
+  tlb_fill : int;            (** PAL-code TLB fill after a miss *)
+  mmu_map_op : int;          (** install/remove one PTE in the MMU *)
+  copy_per_word : int;       (** memory-to-memory copy, per 8-byte word *)
+  alloc_fixed : int;         (** heap allocation fixed overhead *)
+  alloc_per_word : int;      (** heap allocation, per word (zeroing) *)
+  mem_access : int;          (** one simulated load/store through the MMU *)
+}
+
+val alpha_133 : t
+(** Calibrated for the paper's hardware; see DESIGN.md section 2. *)
+
+val us_to_cycles : t -> float -> int
+(** [us_to_cycles c us] rounds [us] microseconds to cycles. *)
+
+val cycles_to_us : t -> int -> float

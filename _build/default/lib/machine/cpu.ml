@@ -1,0 +1,118 @@
+type mode = User | Kernel
+
+type trap =
+  | Syscall of { number : int; args : int array }
+  | Mem_fault of { va : int; access : Mmu.access; fault : Mmu.fault }
+  | Illegal of string
+
+exception Unhandled_trap of trap
+
+type t = {
+  clock : Clock.t;
+  mmu : Mmu.t;
+  mutable mode : mode;
+  mutable ctx : Mmu.context option;
+  mutable handler : (trap -> int) option;
+}
+
+let create clock mmu = { clock; mmu; mode = Kernel; ctx = None; handler = None }
+
+let clock t = t.clock
+
+let mmu t = t.mmu
+
+let mode t = t.mode
+
+let set_trap_handler t h = t.handler <- Some h
+
+let trap t tr =
+  match t.handler with
+  | None -> raise (Unhandled_trap tr)
+  | Some handler ->
+    let cost = Clock.cost t.clock in
+    Clock.charge t.clock cost.Cost.trap_entry;
+    let saved = t.mode in
+    t.mode <- Kernel;
+    let result =
+      Fun.protect ~finally:(fun () -> t.mode <- saved) (fun () -> handler tr) in
+    Clock.charge t.clock cost.Cost.trap_exit;
+    result
+
+let syscall t ~number ~args = trap t (Syscall { number; args })
+
+let set_context t ctx =
+  let same =
+    match t.ctx, ctx with
+    | None, None -> true
+    | Some a, Some b -> Mmu.context_id a = Mmu.context_id b
+    | _ -> false in
+  if not same then begin
+    Clock.charge t.clock (Clock.cost t.clock).Cost.addr_space_switch;
+    t.ctx <- ctx
+  end
+
+let context t = t.ctx
+
+let in_user_mode t f =
+  let saved = t.mode in
+  t.mode <- User;
+  Fun.protect ~finally:(fun () -> t.mode <- saved) f
+
+let max_fault_retries = 16
+
+let resolve t ~va access =
+  match t.ctx with
+  | None -> raise (Unhandled_trap (Illegal "user access with no context"))
+  | Some ctx ->
+    let rec attempt n =
+      if n > max_fault_retries then
+        raise (Unhandled_trap (Mem_fault { va; access; fault = Mmu.Page_not_present }));
+      match Mmu.translate t.mmu ctx ~va access with
+      | Ok pa -> pa
+      | Error fault ->
+        ignore (trap t (Mem_fault { va; access; fault }));
+        attempt (n + 1) in
+    attempt 0
+
+let charge_access t = Clock.charge t.clock (Clock.cost t.clock).Cost.mem_access
+
+let load_word t ~va =
+  let pa = resolve t ~va Mmu.Read in
+  charge_access t;
+  Phys_mem.read_word (Mmu.mem t.mmu) ~pa
+
+let store_word t ~va v =
+  let pa = resolve t ~va Mmu.Write in
+  charge_access t;
+  Phys_mem.write_word (Mmu.mem t.mmu) ~pa v
+
+let touch t ~va access =
+  ignore (resolve t ~va access);
+  charge_access t
+
+(* Copies resolve page by page so that each touched page faults
+   independently, as a real copyin/copyout would. *)
+let copy_from_user t ~va ~len =
+  let mem = Mmu.mem t.mmu in
+  let out = Bytes.create len in
+  let rec loop va off remaining =
+    if remaining > 0 then begin
+      let pa = resolve t ~va Mmu.Read in
+      let chunk = min remaining (Addr.page_size - Addr.offset_of_va va) in
+      Bytes.blit (Phys_mem.read_bytes mem ~pa ~len:chunk) 0 out off chunk;
+      loop (va + chunk) (off + chunk) (remaining - chunk)
+    end in
+  loop va 0 len;
+  out
+
+let copy_to_user t ~va src =
+  let mem = Mmu.mem t.mmu in
+  let len = Bytes.length src in
+  let rec loop va off remaining =
+    if remaining > 0 then begin
+      let pa = resolve t ~va Mmu.Write in
+      let chunk = min remaining (Addr.page_size - Addr.offset_of_va va) in
+      Phys_mem.write_bytes mem ~pa (Bytes.sub src off chunk);
+      loop (va + chunk) (off + chunk) (remaining - chunk)
+    end in
+  loop va 0 len

@@ -1,0 +1,64 @@
+(** The simulated processor: modes, traps, and user-space access.
+
+    User programs in this reproduction are OCaml closures that touch
+    simulated memory through the CPU; a failed translation raises a
+    trap into the registered kernel handler, after which the access is
+    retried — exactly the fault/resume cycle the SPIN translation
+    events are built on. *)
+
+type t
+
+type mode = User | Kernel
+
+type trap =
+  | Syscall of { number : int; args : int array }
+  | Mem_fault of { va : int; access : Mmu.access; fault : Mmu.fault }
+  | Illegal of string
+
+exception Unhandled_trap of trap
+(** Raised when no handler is installed, or a faulting access cannot
+    be resolved after repeated retries. *)
+
+val create : Clock.t -> Mmu.t -> t
+
+val clock : t -> Clock.t
+
+val mmu : t -> Mmu.t
+
+val mode : t -> mode
+
+val set_trap_handler : t -> (trap -> int) -> unit
+(** Installs the kernel's trap entry point. The handler's integer
+    result is delivered as the trap's return value (syscall result). *)
+
+val trap : t -> trap -> int
+(** Takes a trap: charges entry cost, runs the handler in kernel mode,
+    charges exit cost. *)
+
+val syscall : t -> number:int -> args:int array -> int
+(** Issues a system call trap from the current mode. *)
+
+val set_context : t -> Mmu.context option -> unit
+(** Switches the user translation context, charging the address-space
+    switch cost when it actually changes. *)
+
+val context : t -> Mmu.context option
+
+val in_user_mode : t -> (unit -> 'a) -> 'a
+(** Runs [f] with the CPU in user mode (for code standing in for an
+    application binary). *)
+
+val load_word : t -> va:int -> int64
+(** User-context 8-byte load; faults are trapped and the access
+    retried. Charges the per-access cost. *)
+
+val store_word : t -> va:int -> int64 -> unit
+
+val touch : t -> va:int -> Mmu.access -> unit
+(** Performs an access for its fault/protection side effects only. *)
+
+val copy_from_user : t -> va:int -> len:int -> Bytes.t
+(** Kernel copy-in across the user/kernel boundary; faults resolve as
+    usual and the copy cost is charged. *)
+
+val copy_to_user : t -> va:int -> Bytes.t -> unit

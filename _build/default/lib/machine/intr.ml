@@ -1,0 +1,55 @@
+type t = {
+  clock : Clock.t;
+  handlers : (int, unit -> unit) Hashtbl.t;
+  pending : int Queue.t;
+  mutable mask_depth : int;
+  mutable delivered : int;
+  mutable spurious : int;
+}
+
+let create clock = {
+  clock;
+  handlers = Hashtbl.create 16;
+  pending = Queue.create ();
+  mask_depth = 0;
+  delivered = 0;
+  spurious = 0;
+}
+
+let register t ~line h = Hashtbl.replace t.handlers line h
+
+let deliver t line =
+  match Hashtbl.find_opt t.handlers line with
+  | None -> t.spurious <- t.spurious + 1
+  | Some h ->
+    let cost = Clock.cost t.clock in
+    Clock.charge t.clock cost.Cost.interrupt_entry;
+    t.delivered <- t.delivered + 1;
+    (* handlers run with further interrupts masked, as on real hardware *)
+    t.mask_depth <- t.mask_depth + 1;
+    Fun.protect ~finally:(fun () -> t.mask_depth <- t.mask_depth - 1) h;
+    Clock.charge t.clock cost.Cost.interrupt_exit
+
+let rec drain t =
+  if t.mask_depth = 0 then
+    match Queue.take_opt t.pending with
+    | None -> ()
+    | Some line -> deliver t line; drain t
+
+let post t ~line =
+  if t.mask_depth > 0 then Queue.add line t.pending
+  else deliver t line;
+  drain t
+
+let with_masked t f =
+  t.mask_depth <- t.mask_depth + 1;
+  let finally () =
+    t.mask_depth <- t.mask_depth - 1;
+    drain t in
+  Fun.protect ~finally f
+
+let masked t = t.mask_depth > 0
+
+let delivered t = t.delivered
+
+let spurious t = t.spurious

@@ -1,0 +1,27 @@
+(** The interrupt controller.
+
+    Devices post interrupts on numbered lines; a posted line runs its
+    registered handler immediately (charging entry/exit costs) unless
+    interrupts are masked, in which case it is latched and delivered
+    on unmask. *)
+
+type t
+
+val create : Clock.t -> t
+
+val register : t -> line:int -> (unit -> unit) -> unit
+(** Replaces any previous handler on [line]. *)
+
+val post : t -> line:int -> unit
+(** Raises the line. Unhandled lines are counted as spurious. *)
+
+val with_masked : t -> (unit -> 'a) -> 'a
+(** Runs the critical section with interrupts masked; pending lines
+    are delivered afterwards. Nestable. *)
+
+val masked : t -> bool
+
+val delivered : t -> int
+(** Total interrupts delivered since boot. *)
+
+val spurious : t -> int

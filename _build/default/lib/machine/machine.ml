@@ -1,0 +1,58 @@
+type t = {
+  name : string;
+  cost : Cost.t;
+  clock : Clock.t;
+  sim : Sim.t;
+  mem : Phys_mem.t;
+  mmu : Mmu.t;
+  cpu : Cpu.t;
+  intr : Intr.t;
+  console : Console_dev.t;
+  mutable disks : Disk_dev.t list;
+  mutable nics : Nic.t list;
+  mutable next_line : int;
+}
+
+let build sim ~mem_mb ~name =
+  let clock = Sim.clock sim in
+  let frames = mem_mb * 1024 * 1024 / Addr.page_size in
+  let mem = Phys_mem.create clock ~frames in
+  let mmu = Mmu.create clock mem in
+  let cpu = Cpu.create clock mmu in
+  let intr = Intr.create clock in
+  let console = Console_dev.create sim intr ~line:0 in
+  { name; cost = Clock.cost clock; clock; sim; mem; mmu; cpu; intr; console;
+    disks = []; nics = []; next_line = 1 }
+
+let create ?(cost = Cost.alpha_133) ?(mem_mb = 64) ~name () =
+  let clock = Clock.create cost in
+  let sim = Sim.create clock in
+  build sim ~mem_mb ~name
+
+let create_on sim ?(mem_mb = 64) ~name () = build sim ~mem_mb ~name
+
+let fresh_line t =
+  let line = t.next_line in
+  t.next_line <- line + 1;
+  line
+
+let add_disk ?(blocks = 32768) t =
+  let disk = Disk_dev.create t.sim t.intr ~line:(fresh_line t) ~blocks in
+  t.disks <- t.disks @ [ disk ];
+  disk
+
+let add_nic t ~kind =
+  let nic = Nic.create t.sim t.intr ~line:(fresh_line t) ~kind in
+  t.nics <- t.nics @ [ nic ];
+  nic
+
+let connect a b ~kind ?(latency_us = 5.) () =
+  if a.sim != b.sim then
+    invalid_arg "Machine.connect: machines must share a simulation";
+  let nic_a = add_nic a ~kind and nic_b = add_nic b ~kind in
+  let link = Link.create a.sim ~latency_us ~mbps:(Nic.link_mbps kind) () in
+  Nic.attach nic_a link Link.A;
+  Nic.attach nic_b link Link.B;
+  (nic_a, nic_b)
+
+let elapsed_us t = Clock.now_us t.clock

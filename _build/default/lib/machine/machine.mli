@@ -1,0 +1,40 @@
+(** A complete simulated workstation.
+
+    [create] builds a standalone machine with its own clock and event
+    queue; [create_on] builds one sharing an existing event queue so
+    that several hosts can be co-simulated on a common virtual
+    timeline (used by the networking experiments). *)
+
+type t = {
+  name : string;
+  cost : Cost.t;
+  clock : Clock.t;
+  sim : Sim.t;
+  mem : Phys_mem.t;
+  mmu : Mmu.t;
+  cpu : Cpu.t;
+  intr : Intr.t;
+  console : Console_dev.t;
+  mutable disks : Disk_dev.t list;
+  mutable nics : Nic.t list;
+  mutable next_line : int;
+}
+
+val create : ?cost:Cost.t -> ?mem_mb:int -> name:string -> unit -> t
+(** Default memory: 64 MB, as in the paper's machines. *)
+
+val create_on : Sim.t -> ?mem_mb:int -> name:string -> unit -> t
+
+val add_disk : ?blocks:int -> t -> Disk_dev.t
+(** Attaches a disk (default ~16 MB) on a fresh interrupt line. *)
+
+val add_nic : t -> kind:Nic.kind -> Nic.t
+(** Attaches a NIC on a fresh interrupt line; plug it into a link with
+    {!Nic.attach}. *)
+
+val connect : t -> t -> kind:Nic.kind -> ?latency_us:float -> unit -> Nic.t * Nic.t
+(** [connect a b ~kind ()] gives each machine a NIC of [kind] and
+    wires them with a link of the kind's line rate. The machines must
+    share a simulation (build them with {!create_on}). *)
+
+val elapsed_us : t -> float

@@ -1,0 +1,97 @@
+type kind = Lance | Fore_atm | T3
+
+type io_model =
+  | Pio of { cycles_per_word32 : int }
+  | Dma of { setup_cycles : int }
+
+type t = {
+  sim : Sim.t;
+  intr : Intr.t;
+  line : int;
+  kind : kind;
+  mtu : int;
+  io : io_model;
+  rx_ring : Bytes.t Spin_dstruct.Ring.t;
+  mutable link : (Link.t * Link.endpoint) option;
+  mutable rx_dropped : int;
+  mutable frames_tx : int;
+  mutable frames_rx : int;
+}
+
+let mtu_of = function
+  | Lance -> 1500
+  | Fore_atm -> 9180
+  | T3 -> 1500
+
+let io_of = function
+  | Lance -> Dma { setup_cycles = 400 }
+  | Fore_atm -> Pio { cycles_per_word32 = 80 }   (* tx; rx costs more *)
+  | T3 -> Dma { setup_cycles = 500 }
+
+let link_mbps = function
+  | Lance -> 10.
+  | Fore_atm -> 155.
+  | T3 -> 45.
+
+let kind_name = function
+  | Lance -> "lance-ethernet"
+  | Fore_atm -> "fore-atm"
+  | T3 -> "t3-dma"
+
+let create sim intr ~line ~kind =
+  { sim; intr; line; kind; mtu = mtu_of kind; io = io_of kind;
+    rx_ring = Spin_dstruct.Ring.create 64; link = None;
+    rx_dropped = 0; frames_tx = 0; frames_rx = 0 }
+
+let kind t = t.kind
+
+let line t = t.line
+
+let mtu t = t.mtu
+
+let io_model t = t.io
+
+let header_allowance = 48
+
+let charge_io ?(rx = false) t len =
+  let clock = Sim.clock t.sim in
+  match t.io with
+  | Dma { setup_cycles } -> Clock.charge clock setup_cycles
+  | Pio { cycles_per_word32 } ->
+    (* Device reads over the bus are slower than writes. *)
+    let per_word = if rx then cycles_per_word32 * 3 / 2 else cycles_per_word32 in
+    Clock.charge clock (((len + 3) / 4) * per_word)
+
+let attach t link ep =
+  t.link <- Some (link, ep);
+  Link.set_receiver link ep (fun frame ->
+    if Spin_dstruct.Ring.push t.rx_ring frame then begin
+      t.frames_rx <- t.frames_rx + 1;
+      Intr.post t.intr ~line:t.line
+    end else
+      t.rx_dropped <- t.rx_dropped + 1)
+
+let transmit t frame =
+  match t.link with
+  | None -> false
+  | Some (link, ep) ->
+    if Bytes.length frame > t.mtu + header_allowance then false
+    else begin
+      charge_io t (Bytes.length frame);
+      t.frames_tx <- t.frames_tx + 1;
+      Link.send link ~from:ep frame;
+      true
+    end
+
+let receive t =
+  match Spin_dstruct.Ring.pop t.rx_ring with
+  | None -> None
+  | Some frame -> charge_io ~rx:true t (Bytes.length frame); Some frame
+
+let rx_pending t = Spin_dstruct.Ring.length t.rx_ring
+
+let rx_dropped t = t.rx_dropped
+
+let frames_tx t = t.frames_tx
+
+let frames_rx t = t.frames_rx

@@ -1,0 +1,58 @@
+(** Network interface models.
+
+    Three interfaces from the paper:
+    - [Lance]: 10 Mb/s Ethernet, DMA-based (bus master), 1500-byte MTU.
+    - [Fore_atm]: FORE TCA-100 155 Mb/s ATM (9180-byte AAL5 MTU),
+      *programmed I/O* — the CPU moves every word, which caps usable
+      bandwidth near 53 Mb/s and burns sender and receiver cycles
+      (paper section 5).
+    - [T3]: the experimental 45 Mb/s DMA interface used in Figure 6
+      (1500-byte frames).
+
+    A PIO interface charges CPU cycles per 32-bit word on both
+    transmit and receive; DMA interfaces charge only a fixed setup.
+    Received frames queue in a bounded ring and raise the NIC's
+    interrupt line. *)
+
+type kind = Lance | Fore_atm | T3
+
+type io_model =
+  | Pio of { cycles_per_word32 : int }
+  | Dma of { setup_cycles : int }
+
+type t
+
+val create : Sim.t -> Intr.t -> line:int -> kind:kind -> t
+
+val kind : t -> kind
+
+val kind_name : kind -> string
+
+val line : t -> int
+
+val mtu : t -> int
+
+val io_model : t -> io_model
+
+val link_mbps : kind -> float
+(** Line rate to configure the attached {!Link} with. *)
+
+val attach : t -> Link.t -> Link.endpoint -> unit
+(** Plug the NIC into one end of a link. *)
+
+val transmit : t -> Bytes.t -> bool
+(** Send a frame: charges the I/O-model cost, hands the frame to the
+    link. [false] if unplugged or larger than the MTU (+ link-level
+    header allowance of 48 bytes). *)
+
+val receive : t -> Bytes.t option
+(** Driver side: pull one received frame, paying the I/O-model receive
+    cost. *)
+
+val rx_pending : t -> int
+
+val rx_dropped : t -> int
+
+val frames_tx : t -> int
+
+val frames_rx : t -> int

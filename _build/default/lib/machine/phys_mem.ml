@@ -1,0 +1,74 @@
+type t = {
+  clock : Clock.t;
+  frames : Bytes.t option array;
+  mutable allocated : int;
+}
+
+let create clock ~frames =
+  if frames <= 0 then invalid_arg "Phys_mem.create: no frames";
+  { clock; frames = Array.make frames None; allocated = 0 }
+
+let frames t = Array.length t.frames
+
+let bytes_total t = Array.length t.frames * Addr.page_size
+
+let frame_bytes t n =
+  if n < 0 || n >= Array.length t.frames then
+    invalid_arg "Phys_mem: bad frame number";
+  match t.frames.(n) with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make Addr.page_size '\000' in
+    t.frames.(n) <- Some b;
+    t.allocated <- t.allocated + 1;
+    b
+
+let charge_copy t len =
+  let words = (len + 7) / 8 in
+  Clock.charge t.clock (words * (Clock.cost t.clock).Cost.copy_per_word)
+
+let zero_frame t n =
+  Bytes.fill (frame_bytes t n) 0 Addr.page_size '\000';
+  charge_copy t Addr.page_size
+
+(* Walk the [len] bytes starting at [pa] frame by frame. *)
+let iter_spans t ~pa ~len f =
+  if pa < 0 || len < 0 || pa + len > bytes_total t then
+    invalid_arg "Phys_mem: physical range out of bounds";
+  let rec loop pa len off =
+    if len > 0 then begin
+      let frame = Addr.page_of_pa pa in
+      let foff = pa land Addr.page_mask in
+      let chunk = min len (Addr.page_size - foff) in
+      f (frame_bytes t frame) foff off chunk;
+      loop (pa + chunk) (len - chunk) (off + chunk)
+    end in
+  loop pa len 0
+
+let read_bytes t ~pa ~len =
+  let out = Bytes.create len in
+  iter_spans t ~pa ~len (fun fb foff off chunk -> Bytes.blit fb foff out off chunk);
+  charge_copy t len;
+  out
+
+let write_bytes t ~pa src =
+  let len = Bytes.length src in
+  iter_spans t ~pa ~len (fun fb foff off chunk -> Bytes.blit src off fb foff chunk);
+  charge_copy t len
+
+let read_word t ~pa =
+  let b = Bytes.create 8 in
+  iter_spans t ~pa ~len:8 (fun fb foff off chunk -> Bytes.blit fb foff b off chunk);
+  Bytes.get_int64_le b 0
+
+let write_word t ~pa v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  iter_spans t ~pa ~len:8 (fun fb foff off chunk -> Bytes.blit b off fb foff chunk)
+
+let copy t ~src ~dst ~len =
+  (* read side charges once; avoid double charge on write side *)
+  let data = Bytes.create len in
+  iter_spans t ~pa:src ~len (fun fb foff off chunk -> Bytes.blit fb foff data off chunk);
+  iter_spans t ~pa:dst ~len (fun fb foff off chunk -> Bytes.blit data off fb foff chunk);
+  charge_copy t len

@@ -1,0 +1,73 @@
+type event = {
+  time : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  clock : Clock.t;
+  queue : event Spin_dstruct.Pqueue.t;
+  mutable firing : bool;
+}
+
+let rec create clock =
+  let queue = Spin_dstruct.Pqueue.create ~cmp:(fun a b -> compare a.time b.time) in
+  let t = { clock; queue; firing = false } in
+  Clock.add_hook clock (fun _ -> fire_due t);
+  t
+
+and fire_due t =
+  if not t.firing then begin
+    t.firing <- true;
+    Fun.protect ~finally:(fun () -> t.firing <- false) (fun () ->
+      let rec loop () =
+        match Spin_dstruct.Pqueue.peek t.queue with
+        | Some ev when ev.time <= Clock.now t.clock ->
+          ignore (Spin_dstruct.Pqueue.pop t.queue);
+          if not ev.cancelled then ev.action ();
+          loop ()
+        | Some _ | None -> () in
+      loop ())
+  end
+
+let clock t = t.clock
+
+let now t = Clock.now t.clock
+
+let at t time action =
+  let time = max time (Clock.now t.clock) in
+  let ev = { time; action; cancelled = false } in
+  ignore (Spin_dstruct.Pqueue.add t.queue ev);
+  ev
+
+let after t delta action = at t (Clock.now t.clock + delta) action
+
+let after_us t us action =
+  after t (Cost.us_to_cycles (Clock.cost t.clock) us) action
+
+let cancel _t ev = ev.cancelled <- true
+
+let live t =
+  List.length
+    (List.filter (fun ev -> not ev.cancelled) (Spin_dstruct.Pqueue.to_list t.queue))
+
+let pending t = live t
+
+let next_deadline t =
+  let rec drop () =
+    match Spin_dstruct.Pqueue.peek t.queue with
+    | Some ev when ev.cancelled -> ignore (Spin_dstruct.Pqueue.pop t.queue); drop ()
+    | Some ev -> Some ev.time
+    | None -> None in
+  drop ()
+
+let idle_step t =
+  match next_deadline t with
+  | None -> false
+  | Some time -> Clock.skip_to t.clock time; fire_due t; true
+
+let run t = while idle_step t do () done
+
+let quiesce t = fire_due t

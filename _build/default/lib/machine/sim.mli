@@ -1,0 +1,45 @@
+(** Discrete-event engine.
+
+    Devices and timers schedule callbacks at absolute virtual times.
+    Events become *due* when the clock passes their deadline; they are
+    fired from a clock hook, which models interrupt delivery at the
+    next instruction boundary. When no strand is runnable the machine
+    idles by skipping the clock to the next deadline. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : Clock.t -> t
+
+val clock : t -> Clock.t
+
+val now : t -> int
+
+val at : t -> int -> (unit -> unit) -> handle
+(** [at t time f] schedules [f] at absolute cycle [time] (clamped to
+    now). *)
+
+val after : t -> int -> (unit -> unit) -> handle
+(** [after t delta f] schedules [f] [delta] cycles from now. *)
+
+val after_us : t -> float -> (unit -> unit) -> handle
+
+val cancel : t -> handle -> unit
+(** Cancels a pending event; no-op if already fired or cancelled. *)
+
+val pending : t -> int
+(** Number of scheduled events not yet fired. *)
+
+val next_deadline : t -> int option
+
+val idle_step : t -> bool
+(** [idle_step t] skips the clock to the next deadline so its events
+    fire; [false] when nothing is pending. *)
+
+val run : t -> unit
+(** [idle_step] until the queue drains. *)
+
+val quiesce : t -> unit
+(** Fire everything already due at the current time. *)

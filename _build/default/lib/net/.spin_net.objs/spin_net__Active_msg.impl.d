@@ -1,0 +1,1 @@
+lib/net/active_msg.ml: Bytes Ip Spin_dstruct Spin_machine

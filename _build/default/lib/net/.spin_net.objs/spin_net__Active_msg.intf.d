@@ -1,0 +1,1 @@
+lib/net/active_msg.mli: Bytes Ip Spin_core Spin_machine

@@ -1,0 +1,1 @@
+lib/net/forward.ml: Bytes Hashtbl Ip Spin_core Tcp

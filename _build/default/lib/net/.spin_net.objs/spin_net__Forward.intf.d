@@ -1,0 +1,1 @@
+lib/net/forward.mli: Ip Tcp

@@ -1,0 +1,1 @@
+lib/net/host.ml: Active_msg Icmp Ip List Netif Rpc Spin_core Spin_machine Spin_sched Tcp Udp

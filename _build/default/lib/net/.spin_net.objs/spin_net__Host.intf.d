@@ -1,0 +1,1 @@
+lib/net/host.mli: Active_msg Icmp Ip Netif Rpc Spin_core Spin_machine Spin_sched Tcp Udp

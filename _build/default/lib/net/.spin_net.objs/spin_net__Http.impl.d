@@ -1,0 +1,1 @@
+lib/net/http.ml: Buffer Bytes Printf Spin_fs Spin_machine Spin_sched String Tcp

@@ -1,0 +1,1 @@
+lib/net/http.mli: Spin_fs Spin_machine Spin_sched Tcp

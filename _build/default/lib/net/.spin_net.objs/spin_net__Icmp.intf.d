@@ -1,0 +1,1 @@
+lib/net/icmp.mli: Bytes Ip Spin_core

@@ -1,0 +1,1 @@
+lib/net/ip.ml: Bytes Int32 List Netif Option Pkt Printf Spin_core Spin_machine

@@ -1,0 +1,1 @@
+lib/net/ip.mli: Bytes Netif Spin_core Spin_machine

@@ -1,0 +1,1 @@
+lib/net/netdbg.ml: Bytes Host Int32 Int64 List Spin_core Spin_machine Spin_sched Udp

@@ -1,0 +1,1 @@
+lib/net/netdbg.mli: Host Ip Spin_sched

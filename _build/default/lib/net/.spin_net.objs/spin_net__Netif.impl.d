@@ -1,0 +1,1 @@
+lib/net/netif.ml: Pkt Queue Spin_core Spin_machine Spin_sched

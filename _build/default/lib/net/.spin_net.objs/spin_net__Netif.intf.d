@@ -1,0 +1,1 @@
+lib/net/netif.mli: Pkt Spin_core Spin_machine Spin_sched

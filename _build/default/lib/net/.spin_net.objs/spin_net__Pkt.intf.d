@@ -1,0 +1,1 @@
+lib/net/pkt.mli: Bytes

@@ -1,0 +1,1 @@
+lib/net/pkt_filter.ml: Bytes Ip List Spin_machine

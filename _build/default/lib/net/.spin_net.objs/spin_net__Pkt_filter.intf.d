@@ -1,0 +1,1 @@
+lib/net/pkt_filter.mli: Bytes Spin_machine

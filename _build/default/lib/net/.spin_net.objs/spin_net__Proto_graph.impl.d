@@ -1,0 +1,1 @@
+lib/net/proto_graph.ml: Buffer List Printf Spin_core String

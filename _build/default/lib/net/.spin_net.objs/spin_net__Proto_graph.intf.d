@@ -1,0 +1,1 @@
+lib/net/proto_graph.mli: Spin_core

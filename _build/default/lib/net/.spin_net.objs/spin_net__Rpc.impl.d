@@ -1,0 +1,1 @@
+lib/net/rpc.ml: Active_msg Bytes Hashtbl Int32 Spin_machine Spin_sched String

@@ -1,0 +1,1 @@
+lib/net/rpc.mli: Active_msg Bytes Ip Spin_machine Spin_sched

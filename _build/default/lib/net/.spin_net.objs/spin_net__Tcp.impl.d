@@ -1,0 +1,1 @@
+lib/net/tcp.ml: Buffer Bytes Hashtbl Int32 Ip List Spin_core Spin_machine Spin_sched

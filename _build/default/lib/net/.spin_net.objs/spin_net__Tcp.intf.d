@@ -1,0 +1,1 @@
+lib/net/tcp.mli: Bytes Ip Spin_core Spin_machine Spin_sched

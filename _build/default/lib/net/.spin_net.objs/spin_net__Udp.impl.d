@@ -1,0 +1,1 @@
+lib/net/udp.ml: Bytes Ip Option Spin_core Spin_machine

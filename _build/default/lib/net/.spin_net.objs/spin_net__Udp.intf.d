@@ -1,0 +1,1 @@
+lib/net/udp.mli: Bytes Ip Spin_core Spin_machine

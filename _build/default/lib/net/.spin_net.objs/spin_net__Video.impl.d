@@ -1,0 +1,1 @@
+lib/net/video.ml: Bytes Char Host Ip Lazy List Netif Pkt Printf Spin_core Spin_fs Spin_machine Spin_sched Udp

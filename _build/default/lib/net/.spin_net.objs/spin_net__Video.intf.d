@@ -1,0 +1,1 @@
+lib/net/video.mli: Bytes Host Ip Netif Spin_core Spin_fs

@@ -1,0 +1,58 @@
+module Machine = Spin_machine.Machine
+module Clock = Spin_machine.Clock
+
+let proto = 200
+let header = 4                            (* handler u16, len u16 *)
+
+type t = {
+  machine : Machine.t;
+  ip : Ip.t;
+  handlers : (src:Ip.addr -> Bytes.t -> unit) Spin_dstruct.Idtable.t;
+  mutable s_sent : int;
+  mutable s_delivered : int;
+  mutable s_dropped : int;
+}
+
+let process_cost = 180                    (* deliberately lean *)
+
+let input t (pkt : Ip.packet) =
+  Clock.charge t.machine.Machine.clock process_cost;
+  let b = pkt.Ip.payload in
+  if Bytes.length b >= header then begin
+    let h = Bytes.get_uint16_le b 0 in
+    let len = Bytes.get_uint16_le b 2 in
+    if Bytes.length b >= header + len then
+      match Spin_dstruct.Idtable.lookup t.handlers h with
+      | Some handler ->
+        t.s_delivered <- t.s_delivered + 1;
+        handler ~src:pkt.Ip.src (Bytes.sub b header len)
+      | None -> t.s_dropped <- t.s_dropped + 1
+  end
+
+let create machine dispatcher ip =
+  ignore dispatcher;
+  let t = {
+    machine; ip;
+    handlers = Spin_dstruct.Idtable.create ();
+    s_sent = 0; s_delivered = 0; s_dropped = 0;
+  } in
+  ignore (Ip.attach ip ~protos:[ proto ] ~installer:"A.M." (input t));
+  t
+
+let register t handler = Spin_dstruct.Idtable.insert t.handlers handler
+
+let unregister t i = Spin_dstruct.Idtable.remove t.handlers i
+
+let send t ~dst ~handler payload =
+  Clock.charge t.machine.Machine.clock process_cost;
+  let b = Bytes.make (header + Bytes.length payload) '\000' in
+  Bytes.set_uint16_le b 0 handler;
+  Bytes.set_uint16_le b 2 (Bytes.length payload);
+  Bytes.blit payload 0 b header (Bytes.length payload);
+  let ok = Ip.send t.ip ~dst ~proto b in
+  if ok then t.s_sent <- t.s_sent + 1;
+  ok
+
+type stats = { sent : int; delivered : int; dropped : int }
+
+let stats t = { sent = t.s_sent; delivered = t.s_delivered; dropped = t.s_dropped }

@@ -1,0 +1,70 @@
+module Machine = Spin_machine.Machine
+module Sim = Spin_machine.Sim
+module Nic = Spin_machine.Nic
+module Link = Spin_machine.Link
+module Dispatcher = Spin_core.Dispatcher
+module Sched = Spin_sched.Sched
+
+type t = {
+  machine : Machine.t;
+  dispatcher : Dispatcher.t;
+  sched : Sched.t;
+  ip : Ip.t;
+  icmp : Icmp.t;
+  udp : Udp.t;
+  tcp : Tcp.t;
+  am : Active_msg.t;
+  rpc : Rpc.t;
+  addr : Ip.addr;
+}
+
+let create sim ~name ~addr =
+  let machine = Machine.create_on sim ~name () in
+  let dispatcher = Dispatcher.create machine.Machine.clock in
+  let sched = Sched.create sim dispatcher in
+  let ip = Ip.create machine dispatcher in
+  let icmp = Icmp.create dispatcher ip in
+  let udp = Udp.create machine dispatcher ip in
+  let tcp = Tcp.create machine sched dispatcher ip in
+  let am = Active_msg.create machine dispatcher ip in
+  let rpc = Rpc.create machine sched am in
+  { machine; dispatcher; sched; ip; icmp; udp; tcp; am; rpc; addr }
+
+let netif_name kind =
+  match kind with
+  | Nic.Lance -> "Ether"
+  | Nic.Fore_atm -> "ATM"
+  | Nic.T3 -> "T3"
+
+let wire ?(optimized = false) ?(latency_us = 5.) a b ~kind =
+  let nic_a, nic_b = Machine.connect a.machine b.machine ~kind ~latency_us () in
+  let name = netif_name kind in
+  let na = Netif.create ~optimized a.machine a.sched a.dispatcher nic_a ~name in
+  let nb = Netif.create ~optimized b.machine b.sched b.dispatcher nic_b ~name in
+  Ip.add_interface a.ip na ~addr:a.addr;
+  Ip.add_interface b.ip nb ~addr:b.addr;
+  Ip.add_route a.ip ~dst:b.addr na;
+  Ip.add_route b.ip ~dst:a.addr nb;
+  Netif.start na;
+  Netif.start nb;
+  (na, nb)
+
+let add_route t ~dst netif = Ip.add_route t.ip ~dst netif
+
+let run ?until t = Sched.run ?until t.sched
+
+let run_all ?(until = fun () -> false) hosts =
+  match hosts with
+  | [] -> ()
+  | first :: _ ->
+    let sim = first.machine.Machine.sim in
+    let rec loop () =
+      if not (until ()) then begin
+        let progressed =
+          List.fold_left
+            (fun acc h -> if Sched.step h.sched then true else acc)
+            false hosts in
+        if progressed then loop ()
+        else if Sim.idle_step sim then loop ()
+      end in
+    loop ()

@@ -1,0 +1,35 @@
+(** A networking host: machine, scheduler, dispatcher and the SPIN
+    protocol stack, assembled for multi-host experiments.
+
+    Hosts sharing a simulation are wired together point-to-point with
+    {!wire}; each host has one address used on all its interfaces. *)
+
+type t = {
+  machine : Spin_machine.Machine.t;
+  dispatcher : Spin_core.Dispatcher.t;
+  sched : Spin_sched.Sched.t;
+  ip : Ip.t;
+  icmp : Icmp.t;
+  udp : Udp.t;
+  tcp : Tcp.t;
+  am : Active_msg.t;
+  rpc : Rpc.t;
+  addr : Ip.addr;
+}
+
+val create : Spin_machine.Sim.t -> name:string -> addr:Ip.addr -> t
+
+val wire :
+  ?optimized:bool -> ?latency_us:float ->
+  t -> t -> kind:Spin_machine.Nic.kind -> Netif.t * Netif.t
+(** Gives both hosts an interface of [kind], links them, installs
+    routes in both directions, and starts the protocol threads. *)
+
+val add_route : t -> dst:Ip.addr -> Netif.t -> unit
+
+val run : ?until:(unit -> bool) -> t -> unit
+(** Runs this host's scheduler alone (single-host experiments). *)
+
+val run_all : ?until:(unit -> bool) -> t list -> unit
+(** Co-simulates several hosts: interleaves their schedulers on the
+    shared virtual timeline until all are idle (or [until]). *)

@@ -1,0 +1,84 @@
+module Machine = Spin_machine.Machine
+module Clock = Spin_machine.Clock
+module Sched = Spin_sched.Sched
+module File_cache = Spin_fs.File_cache
+
+type t = {
+  machine : Machine.t;
+  sched : Sched.t;
+  tcp : Tcp.t;
+  cache : File_cache.t;
+  port : int;
+  mutable s_requests : int;
+  mutable s_ok : int;
+  mutable s_not_found : int;
+  mutable s_bytes : int;
+}
+
+let parse_cost = 250                      (* request-line handling *)
+
+let parse_request line =
+  match String.split_on_char ' ' (String.trim line) with
+  | "GET" :: path :: _ when String.length path > 1 && path.[0] = '/' ->
+    Some (String.sub path 1 (String.length path - 1))
+  | _ -> None
+
+let respond t conn ~status ~body =
+  let head =
+    Printf.sprintf "HTTP/1.0 %s\r\nContent-Length: %d\r\n\r\n"
+      status (Bytes.length body) in
+  Tcp.send t.tcp conn (Bytes.cat (Bytes.of_string head) body);
+  Tcp.close t.tcp conn
+
+let handle_request t conn request =
+  Clock.charge t.machine.Machine.clock parse_cost;
+  t.s_requests <- t.s_requests + 1;
+  match parse_request request with
+  | None -> respond t conn ~status:"400 Bad Request" ~body:Bytes.empty
+  | Some name ->
+    match File_cache.fetch t.cache ~name with
+    | Some body ->
+      t.s_ok <- t.s_ok + 1;
+      t.s_bytes <- t.s_bytes + Bytes.length body;
+      respond t conn ~status:"200 OK" ~body
+    | None ->
+      t.s_not_found <- t.s_not_found + 1;
+      respond t conn ~status:"404 Not Found" ~body:Bytes.empty
+
+let create ?(port = 80) machine sched tcp cache =
+  let t = {
+    machine; sched; tcp; cache; port;
+    s_requests = 0; s_ok = 0; s_not_found = 0; s_bytes = 0;
+  } in
+  Tcp.listen tcp ~port ~on_accept:(fun conn ->
+    let pending = Buffer.create 128 in
+    let started = ref false in
+    Tcp.on_receive conn (fun data ->
+      Buffer.add_bytes pending data;
+      let all = Buffer.contents pending in
+      (* One request per connection; complete at the header break.
+         Service runs on a fresh strand: a file-cache miss blocks on
+         the disk without wedging the protocol input thread. *)
+      match String.index_opt all '\n' with
+      | Some _ when not !started ->
+        started := true;
+        ignore (Sched.spawn t.sched ~name:"http-request" (fun () ->
+          handle_request t conn all))
+      | Some _ | None -> ()));
+  t
+
+let port t = t.port
+
+type stats = {
+  requests : int;
+  ok : int;
+  not_found : int;
+  bytes_served : int;
+}
+
+let stats t = {
+  requests = t.s_requests;
+  ok = t.s_ok;
+  not_found = t.s_not_found;
+  bytes_served = t.s_bytes;
+}

@@ -1,0 +1,24 @@
+(** The in-kernel HTTP server extension (paper, sections 5.3-5.4):
+    splices the TCP stack to the file system inside the kernel, with
+    the hybrid object cache deciding what stays in memory. *)
+
+type t
+
+val create :
+  ?port:int -> Spin_machine.Machine.t -> Spin_sched.Sched.t -> Tcp.t ->
+  Spin_fs.File_cache.t -> t
+(** Listens (default port 80). Request format: [GET /name HTTP/1.0].
+    Each request is served on its own kernel strand, so a cache miss
+    blocks that request on the disk without stalling the protocol
+    input thread. *)
+
+val port : t -> int
+
+type stats = {
+  requests : int;
+  ok : int;
+  not_found : int;
+  bytes_served : int;
+}
+
+val stats : t -> stats

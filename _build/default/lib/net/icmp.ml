@@ -1,0 +1,53 @@
+type t = {
+  ip : Ip.t;
+  mutable waiting : (int * (unit -> unit)) list;   (* seq -> callback *)
+  mutable served : int;
+  mutable replies : int;
+}
+
+let type_echo_request = 8
+let type_echo_reply = 0
+let header = 4                            (* type, code, seq u16 *)
+
+let encode ~typ ~seq payload =
+  let h = Bytes.make header '\000' in
+  Bytes.set_uint8 h 0 typ;
+  Bytes.set_uint16_le h 2 seq;
+  Bytes.cat h payload
+
+let input t (pkt : Ip.packet) =
+  if Bytes.length pkt.Ip.payload >= header then begin
+    let typ = Bytes.get_uint8 pkt.Ip.payload 0 in
+    let seq = Bytes.get_uint16_le pkt.Ip.payload 2 in
+    let body =
+      Bytes.sub pkt.Ip.payload header (Bytes.length pkt.Ip.payload - header) in
+    if typ = type_echo_request then begin
+      t.served <- t.served + 1;
+      ignore (Ip.send t.ip ~dst:pkt.Ip.src ~proto:Ip.proto_icmp
+                (encode ~typ:type_echo_reply ~seq body))
+    end else if typ = type_echo_reply then begin
+      t.replies <- t.replies + 1;
+      match List.assoc_opt seq t.waiting with
+      | Some k ->
+        t.waiting <- List.remove_assoc seq t.waiting;
+        k ()
+      | None -> ()
+    end
+  end
+
+let create _dispatcher ip =
+  let t = { ip; waiting = []; served = 0; replies = 0 } in
+  ignore (Ip.attach ip ~protos:[ Ip.proto_icmp ] ~installer:"ICMP" (input t));
+  t
+
+let ping t ~dst ~seq ?(payload = Bytes.create 16) k =
+  t.waiting <- (seq, k) :: t.waiting;
+  let sent =
+    Ip.send t.ip ~dst ~proto:Ip.proto_icmp
+      (encode ~typ:type_echo_request ~seq payload) in
+  if not sent then t.waiting <- List.remove_assoc seq t.waiting;
+  sent
+
+let echo_requests_served t = t.served
+
+let replies_received t = t.replies

@@ -1,0 +1,18 @@
+(** ICMP echo (the "Ping" box of Figure 5).
+
+    The module attaches to IP protocol 1, answers echo requests, and
+    routes echo replies to per-sequence callbacks. *)
+
+type t
+
+val create : Spin_core.Dispatcher.t -> Ip.t -> t
+
+val ping :
+  t -> dst:Ip.addr -> seq:int -> ?payload:Bytes.t ->
+  (unit -> unit) -> bool
+(** Sends an echo request; the callback runs when the matching reply
+    arrives. [false] if the request could not be sent. *)
+
+val echo_requests_served : t -> int
+
+val replies_received : t -> int

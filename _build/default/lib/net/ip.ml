@@ -1,0 +1,201 @@
+module Machine = Spin_machine.Machine
+module Clock = Spin_machine.Clock
+module Dispatcher = Spin_core.Dispatcher
+
+type addr = int
+
+let addr_to_string a =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((a lsr 24) land 0xff) ((a lsr 16) land 0xff)
+    ((a lsr 8) land 0xff) (a land 0xff)
+
+let addr_of_quad a b c d =
+  ((a land 0xff) lsl 24) lor ((b land 0xff) lsl 16)
+  lor ((c land 0xff) lsl 8) lor (d land 0xff)
+
+type packet = {
+  src : addr;
+  dst : addr;
+  proto : int;
+  ttl : int;
+  payload : Bytes.t;
+}
+
+let proto_icmp = 1
+let proto_tcp = 6
+let proto_udp = 17
+
+let ethertype_ip = 0x0800
+let link_header = 2                       (* ethertype only: p2p links *)
+let ip_header = 12
+
+type iface = {
+  netif : Netif.t;
+  addr : addr;
+}
+
+type stats = {
+  received : int;
+  delivered : int;
+  forwarded : int;
+  dropped : int;
+  sent : int;
+}
+
+type t = {
+  machine : Machine.t;
+  event : (packet, unit) Dispatcher.event;
+  mutable ifaces : iface list;
+  mutable routes : (addr * Netif.t) list;
+  mutable s_received : int;
+  mutable s_delivered : int;
+  mutable s_forwarded : int;
+  mutable s_dropped : int;
+  mutable s_sent : int;
+}
+
+let process_cost = 420                    (* header handling per packet *)
+
+let create machine dispatcher =
+  let event =
+    Dispatcher.declare dispatcher ~name:"IP.PacketArrived" ~owner:"IP"
+      ~combine:(fun _ -> ()) (fun (_ : packet) -> ()) in
+  { machine; event; ifaces = []; routes = [];
+    s_received = 0; s_delivered = 0; s_forwarded = 0; s_dropped = 0;
+    s_sent = 0 }
+
+let packet_arrived t = t.event
+
+let is_local t a = List.exists (fun i -> i.addr = a) t.ifaces
+
+let local_addr t =
+  match t.ifaces with
+  | i :: _ -> i.addr
+  | [] -> raise Not_found
+
+let route_toward t dst =
+  if is_local t dst then None              (* loopback handled in send *)
+  else List.assoc_opt dst t.routes
+
+let mtu_toward t dst =
+  if is_local t dst then Some 65_000
+  else
+    route_toward t dst
+    |> Option.map (fun netif -> Netif.mtu netif - link_header - ip_header)
+
+let encode pkt payload =
+  let h = Bytes.make ip_header '\000' in
+  Bytes.set_uint8 h 0 pkt.proto;
+  Bytes.set_uint8 h 1 pkt.ttl;
+  Bytes.set_uint16_le h 2 (Bytes.length payload);
+  Bytes.set_int32_le h 4 (Int32.of_int pkt.src);
+  Bytes.set_int32_le h 8 (Int32.of_int pkt.dst);
+  h
+
+let decode h =
+  let proto = Bytes.get_uint8 h 0 in
+  let ttl = Bytes.get_uint8 h 1 in
+  let len = Bytes.get_uint16_le h 2 in
+  let src = Int32.to_int (Bytes.get_int32_le h 4) in
+  let dst = Int32.to_int (Bytes.get_int32_le h 8) in
+  (proto, ttl, len, src, dst)
+
+let encode_frame ~src ~dst ~proto payload =
+  let pkt = { src; dst; proto; ttl = 64; payload } in
+  let frame = Pkt.of_payload payload in
+  Pkt.push frame (encode pkt payload);
+  let ethertype = Bytes.create link_header in
+  Bytes.set_uint16_le ethertype 0 ethertype_ip;
+  Pkt.push frame ethertype;
+  Pkt.contents frame
+
+let charge t = Clock.charge t.machine.Machine.clock process_cost
+
+let deliver t pkt =
+  t.s_delivered <- t.s_delivered + 1;
+  Dispatcher.raise_default t.event () pkt
+
+let transmit_on t netif pkt =
+  let frame = Pkt.of_payload pkt.payload in
+  Pkt.push frame (encode pkt pkt.payload);
+  let ethertype = Bytes.create link_header in
+  Bytes.set_uint16_le ethertype 0 ethertype_ip;
+  Pkt.push frame ethertype;
+  if Netif.transmit netif frame then begin
+    t.s_sent <- t.s_sent + 1;
+    true
+  end else begin
+    t.s_dropped <- t.s_dropped + 1;
+    false
+  end
+
+let send t ?(ttl = 64) ?src ~dst ~proto payload =
+  charge t;
+  let src = match src with Some s -> s | None -> local_addr t in
+  let pkt = { src; dst; proto; ttl; payload } in
+  if is_local t dst then begin
+    t.s_sent <- t.s_sent + 1;
+    deliver t pkt;
+    true
+  end else
+    match route_toward t dst with
+    | None -> t.s_dropped <- t.s_dropped + 1; false
+    | Some netif ->
+      if Bytes.length payload > Netif.mtu netif - link_header - ip_header then begin
+        t.s_dropped <- t.s_dropped + 1;
+        false
+      end else transmit_on t netif pkt
+
+let forward t pkt =
+  if pkt.ttl <= 1 then t.s_dropped <- t.s_dropped + 1
+  else
+    match route_toward t pkt.dst with
+    | None -> t.s_dropped <- t.s_dropped + 1
+    | Some netif ->
+      t.s_forwarded <- t.s_forwarded + 1;
+      ignore (transmit_on t netif { pkt with ttl = pkt.ttl - 1 })
+
+let input t frame =
+  charge t;
+  t.s_received <- t.s_received + 1;
+  let _ethertype = Pkt.pull frame link_header in
+  let header = Pkt.pull frame ip_header in
+  let proto, ttl, len, src, dst = decode header in
+  let payload = Pkt.contents frame in
+  if Bytes.length payload < len then t.s_dropped <- t.s_dropped + 1
+  else begin
+    let payload = Bytes.sub payload 0 len in
+    let pkt = { src; dst; proto; ttl; payload } in
+    if is_local t dst then deliver t pkt else forward t pkt
+  end
+
+let frame_is_ip frame =
+  Pkt.length frame >= link_header
+  && Bytes.get_uint16_le (Pkt.peek frame link_header) 0 = ethertype_ip
+
+let add_interface t netif ~addr =
+  t.ifaces <- t.ifaces @ [ { netif; addr } ];
+  ignore
+    (Dispatcher.install_exn (Netif.rx_event netif) ~installer:"IP"
+       ~guard:frame_is_ip
+       (fun frame -> input t frame))
+
+let add_route t ~dst netif = t.routes <- (dst, netif) :: t.routes
+
+(* "The IP module, which defines the default implementation of the
+   PacketArrived event, upon each installation constructs a guard that
+   compares the type field in the header of the incoming packet
+   against the set of IP protocol types that the handler may
+   service." *)
+let attach t ~protos ~installer handler =
+  Dispatcher.install_exn t.event ~installer
+    ~guard:(fun pkt -> List.mem pkt.proto protos)
+    handler
+
+let stats t = {
+  received = t.s_received;
+  delivered = t.s_delivered;
+  forwarded = t.s_forwarded;
+  dropped = t.s_dropped;
+  sent = t.s_sent;
+}

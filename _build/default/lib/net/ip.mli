@@ -1,0 +1,77 @@
+(** The IP layer, as a SPIN extension.
+
+    Incoming frames arrive on the interfaces' [PktArrived] events;
+    IP's handler parses, then either raises [IP.PacketArrived] for
+    local delivery or forwards toward the destination. As in the
+    paper, the IP module is the default implementation of
+    [IP.PacketArrived] and constructs, for each installation, a guard
+    that compares the protocol field of the incoming packet against
+    the set of protocol types the handler services — one event, many
+    per-instance dispatches. *)
+
+type addr = int
+
+val addr_to_string : addr -> string
+(** Dotted quad. *)
+
+val addr_of_quad : int -> int -> int -> int -> addr
+
+type packet = {
+  src : addr;
+  dst : addr;
+  proto : int;
+  ttl : int;
+  payload : Bytes.t;
+}
+
+val proto_icmp : int
+val proto_tcp : int
+val proto_udp : int
+
+type t
+
+val create : Spin_machine.Machine.t -> Spin_core.Dispatcher.t -> t
+
+val add_interface : t -> Netif.t -> addr:addr -> unit
+(** Binds an interface and a local address; installs IP's handler on
+    the interface's receive event. *)
+
+val add_route : t -> dst:addr -> Netif.t -> unit
+(** Host route: packets for [dst] leave through that interface. *)
+
+val local_addr : t -> addr
+(** The first bound address. Raises [Not_found] if none. *)
+
+val is_local : t -> addr -> bool
+
+val packet_arrived : t -> (packet, unit) Spin_core.Dispatcher.event
+
+val attach :
+  t -> protos:int list -> installer:string -> (packet -> unit) ->
+  (packet, unit) Spin_core.Dispatcher.handler
+(** Installs a handler; the IP module supplies the protocol-type
+    guard. *)
+
+val encode_frame :
+  src:addr -> dst:addr -> proto:int -> Bytes.t -> Bytes.t
+(** Build a ready-to-transmit link frame (no charges, no routing) —
+    for extensions that sit below IP and patch headers themselves,
+    like the video multicast. *)
+
+val send :
+  t -> ?ttl:int -> ?src:addr -> dst:addr -> proto:int -> Bytes.t -> bool
+(** [false] when no route exists or the datagram exceeds the route's
+    MTU (no fragmentation). Local destinations loop back. *)
+
+val mtu_toward : t -> addr -> int option
+(** Usable payload bytes toward a destination. *)
+
+type stats = {
+  received : int;
+  delivered : int;
+  forwarded : int;
+  dropped : int;
+  sent : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,146 @@
+module Machine = Spin_machine.Machine
+module Phys_mem = Spin_machine.Phys_mem
+module Sim = Spin_machine.Sim
+module Sched = Spin_sched.Sched
+module Dispatcher = Spin_core.Dispatcher
+
+let default_port = 2345
+
+type t = {
+  host : Host.t;
+  sched : Sched.t;
+  mutable served : int;
+}
+
+type report = {
+  strands_spawned : int;
+  strands_completed : int;
+  strands_failed : int;
+  context_switches : int;
+  events_declared : int;
+}
+
+type answer =
+  | Alive
+  | Stats of report
+  | Word of int64
+  | Refused
+
+(* Requests: [op u8][arg u64]. Replies: [op u8][payload]. *)
+let op_alive = 0
+let op_stats = 1
+let op_peek = 2
+let op_refused = 255
+
+let encode_request ~op ~arg =
+  let b = Bytes.make 9 '\000' in
+  Bytes.set_uint8 b 0 op;
+  Bytes.set_int64_le b 1 (Int64.of_int arg);
+  b
+
+let answer t (d : Udp.datagram) =
+  t.served <- t.served + 1;
+  if Bytes.length d.Udp.payload < 9 then None
+  else
+    let op = Bytes.get_uint8 d.Udp.payload 0 in
+    let arg = Int64.to_int (Bytes.get_int64_le d.Udp.payload 1) in
+    let reply ~op payload =
+      let b = Bytes.create (1 + Bytes.length payload) in
+      Bytes.set_uint8 b 0 op;
+      Bytes.blit payload 0 b 1 (Bytes.length payload);
+      Some b in
+    if op = op_alive then reply ~op Bytes.empty
+    else if op = op_stats then begin
+      let st = Sched.stats t.sched in
+      let b = Bytes.create 20 in
+      Bytes.set_int32_le b 0 (Int32.of_int st.Sched.spawned);
+      Bytes.set_int32_le b 4 (Int32.of_int st.Sched.completed);
+      Bytes.set_int32_le b 8 (Int32.of_int st.Sched.failed);
+      Bytes.set_int32_le b 12 (Int32.of_int st.Sched.switches);
+      Bytes.set_int32_le b 16
+        (Int32.of_int
+           (List.length (Dispatcher.topology t.host.Host.dispatcher)));
+      reply ~op b
+    end
+    else if op = op_peek then begin
+      let mem = t.host.Host.machine.Machine.mem in
+      if arg < 0 || arg + 8 > Phys_mem.bytes_total mem then
+        reply ~op:op_refused Bytes.empty
+      else begin
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 (Phys_mem.read_word mem ~pa:arg);
+        reply ~op b
+      end
+    end
+    else reply ~op:op_refused Bytes.empty
+
+let serve ?(port = default_port) host sched =
+  let t = { host; sched; served = 0 } in
+  ignore (Udp.listen host.Host.udp ~port ~installer:"NetDbg" (fun d ->
+    match answer t d with
+    | Some reply ->
+      ignore (Udp.send host.Host.udp ~src_port:port ~dst:d.Udp.src
+                ~port:d.Udp.src_port reply)
+    | None -> ()));
+  t
+
+let queries_served t = t.served
+
+(* ------------------------------------------------------------------ *)
+(* Client side                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip host ~dst ~port ~op ~arg =
+  let reply = ref None in
+  let reply_port = 32_000 + op in
+  let h = Udp.listen host.Host.udp ~port:reply_port ~installer:"NetDbg-client"
+      (fun d -> reply := Some d.Udp.payload) in
+  let sent =
+    Udp.send host.Host.udp ~src_port:reply_port ~dst ~port
+      (encode_request ~op ~arg) in
+  if sent then begin
+    (* Up to ~20 ms: debug queries share links with whatever traffic
+       the wedged kernel is still moving. *)
+    let sched = host.Host.sched in
+    let waited = ref 0 in
+    while !reply = None && !waited < 100 do
+      Sched.sleep_us sched 200.;
+      incr waited
+    done
+  end;
+  Udp.unlisten host.Host.udp h;
+  !reply
+
+let decode_answer payload =
+  if Bytes.length payload < 1 then Refused
+  else
+    let op = Bytes.get_uint8 payload 0 in
+    if op = op_alive then Alive
+    else if op = op_stats && Bytes.length payload >= 21 then
+      Stats {
+        strands_spawned = Int32.to_int (Bytes.get_int32_le payload 1);
+        strands_completed = Int32.to_int (Bytes.get_int32_le payload 5);
+        strands_failed = Int32.to_int (Bytes.get_int32_le payload 9);
+        context_switches = Int32.to_int (Bytes.get_int32_le payload 13);
+        events_declared = Int32.to_int (Bytes.get_int32_le payload 17);
+      }
+    else if op = op_peek && Bytes.length payload >= 9 then
+      Word (Bytes.get_int64_le payload 1)
+    else Refused
+
+let query_alive host ~dst ?(port = default_port) () =
+  match roundtrip host ~dst ~port ~op:op_alive ~arg:0 with
+  | Some payload -> decode_answer payload = Alive
+  | None -> false
+
+let query_stats host ~dst ?(port = default_port) () =
+  match roundtrip host ~dst ~port ~op:op_stats ~arg:0 with
+  | Some payload ->
+    (match decode_answer payload with Stats r -> Some r | _ -> None)
+  | None -> None
+
+let query_peek host ~dst ?(port = default_port) ~pa () =
+  match roundtrip host ~dst ~port ~op:op_peek ~arg:pa with
+  | Some payload ->
+    (match decode_answer payload with Word w -> Some w | _ -> None)
+  | None -> None

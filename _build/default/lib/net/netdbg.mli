@@ -1,0 +1,43 @@
+(** The network debugger (the paper's `core` component includes "a
+    network debugger" in the style of Topaz teledebugging).
+
+    A debugged kernel answers UDP queries from a peer workstation
+    entirely inside its network stack — usable even when everything
+    above the stack is wedged. Queries: liveness, scheduler and
+    event-dispatch statistics, and physical-memory peeks. *)
+
+type t
+
+val serve :
+  ?port:int -> Host.t -> Spin_sched.Sched.t -> t
+(** Installs the debugger on the kernel's UDP stack (default port
+    2345). *)
+
+type report = {
+  strands_spawned : int;
+  strands_completed : int;
+  strands_failed : int;
+  context_switches : int;
+  events_declared : int;
+}
+
+type answer =
+  | Alive
+  | Stats of report
+  | Word of int64
+  | Refused
+
+val query_alive :
+  Host.t -> dst:Ip.addr -> ?port:int -> unit -> bool
+(** Client side; blocks the calling strand (1 ms timeout). *)
+
+val query_stats :
+  Host.t -> dst:Ip.addr -> ?port:int -> unit -> report option
+
+val query_peek :
+  Host.t -> dst:Ip.addr -> ?port:int -> pa:int -> unit ->
+  int64 option
+(** Reads 8 bytes of the debugged kernel's physical memory. Out-of-
+    range addresses are refused. *)
+
+val queries_served : t -> int

@@ -1,0 +1,39 @@
+(** Network interface glue: turns NIC interrupts into dispatcher
+    events.
+
+    The receive interrupt handler only moves the frame off the device
+    and wakes the protocol thread; protocol processing runs in "a
+    separately scheduled kernel thread outside of the interrupt
+    handler" (paper, section 5.3), which raises the interface's
+    [<Name>.PktArrived] event for each frame.
+
+    Driver overheads model the paper's unoptimized vendor drivers;
+    [optimized:true] models the faster drivers of the 337/241 us
+    footnote. *)
+
+type t
+
+val create :
+  ?optimized:bool ->
+  Spin_machine.Machine.t -> Spin_sched.Sched.t -> Spin_core.Dispatcher.t ->
+  Spin_machine.Nic.t -> name:string -> t
+(** [name] prefixes the event ("Ether", "ATM", "T3"). *)
+
+val rx_event : t -> (Pkt.t, unit) Spin_core.Dispatcher.event
+
+val name : t -> string
+
+val mtu : t -> int
+
+val transmit : t -> Pkt.t -> bool
+(** Driver transmit: charges the driver overhead and the NIC I/O
+    cost. [false] when the frame exceeds the MTU or the NIC is
+    unplugged. *)
+
+val start : t -> unit
+(** Spawns the protocol-processing thread. Call once, before
+    [Sched.run]. *)
+
+val frames_rx : t -> int
+
+val frames_tx : t -> int

@@ -1,0 +1,25 @@
+type t = { mutable data : Bytes.t }
+
+let of_payload b = { data = Bytes.copy b }
+
+let of_string s = { data = Bytes.of_string s }
+
+let length t = Bytes.length t.data
+
+let push t header = t.data <- Bytes.cat header t.data
+
+let pull t n =
+  if n > Bytes.length t.data then invalid_arg "Pkt.pull: short packet";
+  let head = Bytes.sub t.data 0 n in
+  t.data <- Bytes.sub t.data n (Bytes.length t.data - n);
+  head
+
+let peek t n =
+  if n > Bytes.length t.data then invalid_arg "Pkt.peek: short packet";
+  Bytes.sub t.data 0 n
+
+let contents t = Bytes.copy t.data
+
+let to_string t = Bytes.to_string t.data
+
+let copy t = { data = Bytes.copy t.data }

@@ -1,0 +1,31 @@
+(** Packet buffers.
+
+    A packet is a byte sequence that grows at the front as each layer
+    pushes its header and shrinks as receiving layers pull theirs —
+    the paper's packets are "pushed through the protocol graph by
+    events and pulled by handlers". *)
+
+type t
+
+val of_payload : Bytes.t -> t
+
+val of_string : string -> t
+
+val length : t -> int
+
+val push : t -> Bytes.t -> unit
+(** Prepend a header. *)
+
+val pull : t -> int -> Bytes.t
+(** Remove and return the first [n] bytes. Raises [Invalid_argument]
+    if the packet is shorter. *)
+
+val peek : t -> int -> Bytes.t
+(** The first [n] bytes without consuming them. *)
+
+val contents : t -> Bytes.t
+(** The remaining bytes (a copy). *)
+
+val to_string : t -> string
+
+val copy : t -> t

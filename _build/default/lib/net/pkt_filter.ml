@@ -1,0 +1,83 @@
+module Clock = Spin_machine.Clock
+
+type instr =
+  | Push_byte of int
+  | Push_u16 of int
+  | Push_const of int
+  | Eq
+  | Lt
+  | And
+  | Or
+  | Not
+
+type program = instr list
+
+exception Bad_program of string
+
+(* Interpretation overhead per instruction: decode, bounds checks,
+   stack traffic. *)
+let instruction_cost = 18
+
+let max_offset = 64 * 1024
+
+let validate program =
+  if program = [] then raise (Bad_program "empty program");
+  let depth =
+    List.fold_left
+      (fun depth instr ->
+        let depth =
+          match instr with
+          | Push_byte off | Push_u16 off ->
+            if off < 0 || off >= max_offset then
+              raise (Bad_program "offset out of range");
+            depth + 1
+          | Push_const _ -> depth + 1
+          | Eq | Lt | And | Or ->
+            if depth < 2 then raise (Bad_program "stack underflow");
+            depth - 1
+          | Not ->
+            if depth < 1 then raise (Bad_program "stack underflow");
+            depth in
+        depth)
+      0 program in
+  if depth <> 1 then raise (Bad_program "program must leave one value")
+
+let run clock program pkt =
+  let len = Bytes.length pkt in
+  let byte off = if off < len then Bytes.get_uint8 pkt off else 0 in
+  let u16 off = if off + 1 < len then Bytes.get_uint16_le pkt off else 0 in
+  let stack = ref [] in
+  let push v = stack := v :: !stack in
+  let pop2 () =
+    match !stack with
+    | a :: b :: rest -> stack := rest; (b, a)
+    | _ -> raise (Bad_program "stack underflow at run time") in
+  List.iter
+    (fun instr ->
+      Clock.charge clock instruction_cost;
+      match instr with
+      | Push_byte off -> push (byte off)
+      | Push_u16 off -> push (u16 off)
+      | Push_const v -> push v
+      | Eq -> let b, a = pop2 () in push (if a = b then 1 else 0)
+      | Lt -> let b, a = pop2 () in push (if b < a then 1 else 0)
+      | And -> let b, a = pop2 () in push (if a <> 0 && b <> 0 then 1 else 0)
+      | Or -> let b, a = pop2 () in push (if a <> 0 || b <> 0 then 1 else 0)
+      | Not ->
+        (match !stack with
+         | a :: rest -> stack := (if a = 0 then 1 else 0) :: rest
+         | [] -> raise (Bad_program "stack underflow at run time")))
+    program;
+  match !stack with
+  | [ v ] -> v <> 0
+  | _ -> raise (Bad_program "program left a bad stack")
+
+(* Over this stack's wire format: link header is 2 bytes of ethertype,
+   the IP protocol byte sits at offset 2, and the UDP destination port
+   at offset 2 + 12 + 2. *)
+let match_udp_port ~port =
+  [
+    Push_byte 2; Push_const Ip.proto_udp; Eq;
+    Push_u16 16; Push_const port; Eq;
+    And;
+  ]

@@ -1,0 +1,46 @@
+(** An interpreted packet-filter "little language" (Mogul's packet
+    filter, the paper's section 2 foil).
+
+    Section 2 criticizes kernel extension via interpreted little
+    languages: limited expressiveness, awkward integration, and
+    interpretation overhead. This module implements exactly such a
+    language — a small stack machine over packet bytes — so the
+    ablation bench can measure that overhead against SPIN's
+    compiled-procedure guards on the same demultiplexing workload.
+
+    Programs operate on a packet and leave a truth value:
+
+    {v
+      [ Push_byte 9; Push_const 17; Eq ]     (* ip.proto == UDP *)
+    v} *)
+
+type instr =
+  | Push_byte of int        (** push packet byte at offset *)
+  | Push_u16 of int         (** push little-endian u16 at offset *)
+  | Push_const of int
+  | Eq                      (** pop two, push equality *)
+  | Lt                      (** pop two, push (second < top) *)
+  | And                     (** pop two, push conjunction *)
+  | Or
+  | Not
+
+type program = instr list
+
+exception Bad_program of string
+(** Raised at install time for programs that underflow the stack or
+    read outside any plausible packet. *)
+
+val validate : program -> unit
+(** Static checks, as the kernel would perform at filter install. *)
+
+val run : Spin_machine.Clock.t -> program -> Bytes.t -> bool
+(** Interpret the filter over a packet, charging per-instruction
+    interpretation cost. Out-of-range reads yield 0 (packets shorter
+    than the filter expects simply fail to match). *)
+
+val instruction_cost : int
+(** Cycles per interpreted instruction. *)
+
+val match_udp_port : port:int -> program
+(** A ready-made filter: IP protocol is UDP and the UDP destination
+    port equals [port] (over this stack's wire format). *)

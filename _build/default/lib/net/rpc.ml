@@ -1,0 +1,124 @@
+module Machine = Spin_machine.Machine
+module Sim = Spin_machine.Sim
+module Sched = Spin_sched.Sched
+
+type outcome = Pending | Done of Bytes.t option
+
+type waiting = {
+  strand : Spin_sched.Strand.t;
+  mutable outcome : outcome;
+}
+
+type t = {
+  machine : Machine.t;
+  sched : Sched.t;
+  am : Active_msg.t;
+  procs : (string, Bytes.t -> Bytes.t) Hashtbl.t;
+  calls : (int, waiting) Hashtbl.t;
+  mutable next_id : int;
+  mutable request_handler : int;
+  mutable reply_handler : int;
+  mutable s_calls : int;
+  mutable s_served : int;
+  mutable s_timeouts : int;
+}
+
+(* Request: id u32, ok u8 (unused), namelen u8, name, args.
+   Reply:   id u32, ok u8, result. *)
+
+let encode_request ~id ~name args =
+  let nlen = String.length name in
+  let b = Bytes.make (6 + nlen + Bytes.length args) '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int id);
+  Bytes.set_uint8 b 5 nlen;
+  Bytes.blit_string name 0 b 6 nlen;
+  Bytes.blit args 0 b (6 + nlen) (Bytes.length args);
+  b
+
+let encode_reply ~id ~ok result =
+  let b = Bytes.make (5 + Bytes.length result) '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int id);
+  Bytes.set_uint8 b 4 (if ok then 1 else 0);
+  Bytes.blit result 0 b 5 (Bytes.length result);
+  b
+
+(* Requests are served on a fresh kernel strand: a service procedure
+   may block (nested calls, disk I/O) without stalling the protocol
+   input thread. *)
+let serve t ~src request =
+  let id = Int32.to_int (Bytes.get_int32_le request 0) in
+  let nlen = Bytes.get_uint8 request 5 in
+  let name = Bytes.sub_string request 6 nlen in
+  let args = Bytes.sub request (6 + nlen) (Bytes.length request - 6 - nlen) in
+  ignore (Sched.spawn t.sched ~name:("rpc:" ^ name) (fun () ->
+    let reply =
+      match Hashtbl.find_opt t.procs name with
+      | Some proc ->
+        t.s_served <- t.s_served + 1;
+        encode_reply ~id ~ok:true (proc args)
+      | None -> encode_reply ~id ~ok:false Bytes.empty in
+    ignore (Active_msg.send t.am ~dst:src ~handler:t.reply_handler reply)))
+
+let accept_reply t ~src:_ reply =
+  let id = Int32.to_int (Bytes.get_int32_le reply 0) in
+  let ok = Bytes.get_uint8 reply 4 = 1 in
+  match Hashtbl.find_opt t.calls id with
+  | None -> ()
+  | Some w ->
+    Hashtbl.remove t.calls id;
+    w.outcome <-
+      Done (if ok then Some (Bytes.sub reply 5 (Bytes.length reply - 5)) else None);
+    Sched.unblock t.sched w.strand
+
+let create machine sched am =
+  let t = {
+    machine; sched; am;
+    procs = Hashtbl.create 16;
+    calls = Hashtbl.create 16;
+    next_id = 1;
+    request_handler = 0; reply_handler = 0;
+    s_calls = 0; s_served = 0; s_timeouts = 0;
+  } in
+  t.request_handler <- Active_msg.register am (fun ~src b -> serve t ~src b);
+  t.reply_handler <- Active_msg.register am (fun ~src b -> accept_reply t ~src b);
+  t
+
+let export t ~name proc = Hashtbl.replace t.procs name proc
+
+let call t ?(timeout_us = 1_000_000.) ~dst ~name args =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.s_calls <- t.s_calls + 1;
+  let w = { strand = Sched.self t.sched; outcome = Pending } in
+  Hashtbl.replace t.calls id w;
+  let timer =
+    Sim.after_us t.machine.Machine.sim timeout_us (fun () ->
+      match Hashtbl.find_opt t.calls id with
+      | Some w ->
+        Hashtbl.remove t.calls id;
+        t.s_timeouts <- t.s_timeouts + 1;
+        w.outcome <- Done None;
+        Sched.unblock t.sched w.strand
+      | None -> ()) in
+  if not (Active_msg.send t.am ~dst ~handler:t.request_handler
+            (encode_request ~id ~name args)) then begin
+    Hashtbl.remove t.calls id;
+    Sim.cancel t.machine.Machine.sim timer;
+    None
+  end else begin
+    (* Loopback calls complete synchronously; network wakeups can be
+       spurious, so re-check after every wakeup. *)
+    let rec wait () =
+      match w.outcome with
+      | Pending -> Sched.block_current t.sched; wait ()
+      | Done _ -> () in
+    wait ();
+    Sim.cancel t.machine.Machine.sim timer;
+    match w.outcome with
+    | Done r -> r
+    | Pending -> None
+  end
+
+type stats = { calls : int; served : int; timeouts : int }
+
+let stats t = { calls = t.s_calls; served = t.s_served; timeouts = t.s_timeouts }

@@ -1,0 +1,22 @@
+(** A remote procedure call package whose transport is the Active
+    Messages extension (paper, Figure 5): named procedures exported on
+    the server, blocking calls with request matching and timeout on
+    the client. *)
+
+type t
+
+val create :
+  Spin_machine.Machine.t -> Spin_sched.Sched.t -> Active_msg.t -> t
+
+val export : t -> name:string -> (Bytes.t -> Bytes.t) -> unit
+(** Make a procedure callable from remote hosts. *)
+
+val call :
+  t -> ?timeout_us:float -> dst:Ip.addr -> name:string -> Bytes.t ->
+  Bytes.t option
+(** Blocks the calling strand for the reply; [None] on timeout or an
+    unknown remote procedure. Default timeout: one second. *)
+
+type stats = { calls : int; served : int; timeouts : int }
+
+val stats : t -> stats

@@ -1,0 +1,498 @@
+module Machine = Spin_machine.Machine
+module Clock = Spin_machine.Clock
+module Sim = Spin_machine.Sim
+module Sched = Spin_sched.Sched
+module Dispatcher = Spin_core.Dispatcher
+
+let header_bytes = 16
+
+let flag_syn = 1
+let flag_ack = 2
+let flag_fin = 4
+let flag_rst = 8
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait
+  | Close_wait
+  | Last_ack
+  | Time_wait
+
+let state_to_string = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_received -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait -> "FIN_WAIT"
+  | Close_wait -> "CLOSE_WAIT"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+
+type segment = {
+  sport : int;
+  dport : int;
+  seq : int;
+  ack : int;
+  flags : int;
+  data : Bytes.t;
+}
+
+type unacked = {
+  u_seq : int;
+  u_flags : int;
+  u_data : Bytes.t;
+}
+
+type conn = {
+  engine : engine;
+  l_port : int;
+  r_addr : Ip.addr;
+  r_port : int;
+  mutable st : state;
+  mutable snd_nxt : int;
+  mutable snd_una : int;
+  mutable rcv_nxt : int;
+  mutable inflight : unacked list;       (* oldest first *)
+  mutable pending : Bytes.t list;        (* beyond the window *)
+  mutable rx_cb : (Bytes.t -> unit) option;
+  rx_buf : Buffer.t;
+  mutable reader : Spin_sched.Strand.t option;
+  mutable opener : Spin_sched.Strand.t option;
+  mutable retries : int;
+  mutable rto : Sim.handle option;
+  mutable fin_pending : bool;            (* close requested, FIN not sent *)
+  mutable delayed_ack : Sim.handle option;
+  mutable unacked_rx : int;              (* data segments since last ack *)
+}
+
+and engine = {
+  machine : Machine.t;
+  sched : Sched.t;
+  ip : Ip.t;
+  event : (segment * Ip.addr, unit) Dispatcher.event;
+  mutable demux : (segment * Ip.addr, unit) Dispatcher.handler option;
+  conns : (int * Ip.addr * int, conn) Hashtbl.t;
+  listeners : (int, conn -> unit) Hashtbl.t;
+  mutable next_port : int;
+  mutable s_out : int;
+  mutable s_in : int;
+  mutable s_rexmit : int;
+  mutable s_rst : int;
+  mutable s_accept : int;
+}
+
+type t = engine
+
+let process_cost = 700                    (* per-segment protocol work *)
+let window_segments = 8
+let mss = 1024
+let rto_us = 200_000.
+let delayed_ack_us = 10_000.
+let max_retries = 8
+
+type stats = {
+  segments_sent : int;
+  segments_received : int;
+  retransmits : int;
+  resets : int;
+  accepted : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Wire format                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let encode seg =
+  let b = Bytes.make (header_bytes + Bytes.length seg.data) '\000' in
+  Bytes.set_uint16_le b 0 seg.sport;
+  Bytes.set_uint16_le b 2 seg.dport;
+  Bytes.set_int32_le b 4 (Int32.of_int seg.seq);
+  Bytes.set_int32_le b 8 (Int32.of_int seg.ack);
+  Bytes.set_uint8 b 12 seg.flags;
+  Bytes.set_uint16_le b 14 (Bytes.length seg.data);
+  Bytes.blit seg.data 0 b header_bytes (Bytes.length seg.data);
+  b
+
+let decode b =
+  if Bytes.length b < header_bytes then None
+  else begin
+    let len = Bytes.get_uint16_le b 14 in
+    if Bytes.length b < header_bytes + len then None
+    else
+      Some {
+        sport = Bytes.get_uint16_le b 0;
+        dport = Bytes.get_uint16_le b 2;
+        seq = Int32.to_int (Bytes.get_int32_le b 4);
+        ack = Int32.to_int (Bytes.get_int32_le b 8);
+        flags = Bytes.get_uint8 b 12;
+        data = Bytes.sub b header_bytes len;
+      }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Transmission                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let charge t = Clock.charge t.machine.Machine.clock process_cost
+
+let emit t conn ~seq ~flags data =
+  charge t;
+  (match conn.delayed_ack with
+   | Some h -> Sim.cancel t.machine.Machine.sim h; conn.delayed_ack <- None
+   | None -> ());
+  conn.unacked_rx <- 0;
+  t.s_out <- t.s_out + 1;
+  (* Everything carries an ACK except the very first SYN (nothing has
+     been received yet, so there is nothing to acknowledge). *)
+  let flags =
+    if flags land flag_syn <> 0 && conn.rcv_nxt = 0 then flags
+    else flags lor flag_ack in
+  ignore (Ip.send t.ip ~dst:conn.r_addr ~proto:Ip.proto_tcp
+            (encode { sport = conn.l_port; dport = conn.r_port;
+                      seq; ack = conn.rcv_nxt; flags; data }))
+
+let emit_raw t ~src ~dst seg =
+  charge t;
+  t.s_out <- t.s_out + 1;
+  ignore (Ip.send t.ip ~src ~dst ~proto:Ip.proto_tcp (encode seg))
+
+let seg_len u = Bytes.length u.u_data + (if u.u_flags land (flag_syn lor flag_fin) <> 0 then 1 else 0)
+
+let cancel_rto t conn =
+  match conn.rto with
+  | Some h -> Sim.cancel t.machine.Machine.sim h; conn.rto <- None
+  | None -> ()
+
+let rec arm_rto t conn =
+  cancel_rto t conn;
+  if conn.inflight <> [] then
+    conn.rto <- Some (Sim.after_us t.machine.Machine.sim rto_us (fun () ->
+      conn.rto <- None;
+      on_timeout t conn))
+
+and on_timeout t conn =
+  if conn.inflight <> [] && conn.st <> Closed then begin
+    conn.retries <- conn.retries + 1;
+    if conn.retries > max_retries then begin
+      teardown t conn
+    end else begin
+      (* Go-Back-N: resend everything outstanding. *)
+      List.iter
+        (fun u ->
+          t.s_rexmit <- t.s_rexmit + 1;
+          emit t conn ~seq:u.u_seq ~flags:u.u_flags u.u_data)
+        conn.inflight;
+      arm_rto t conn
+    end
+  end
+
+and teardown t conn =
+  cancel_rto t conn;
+  (match conn.delayed_ack with
+   | Some h -> Sim.cancel t.machine.Machine.sim h; conn.delayed_ack <- None
+   | None -> ());
+  conn.st <- Closed;
+  Hashtbl.remove t.conns (conn.l_port, conn.r_addr, conn.r_port);
+  (* Wake anything blocked on the connection. *)
+  (match conn.reader with
+   | Some s -> conn.reader <- None; Sched.unblock t.sched s
+   | None -> ());
+  (match conn.opener with
+   | Some s -> conn.opener <- None; Sched.unblock t.sched s
+   | None -> ())
+
+let transmit_segment t conn ~flags data =
+  let u = { u_seq = conn.snd_nxt; u_flags = flags; u_data = data } in
+  conn.snd_nxt <- conn.snd_nxt + seg_len u;
+  conn.inflight <- conn.inflight @ [ u ];
+  emit t conn ~seq:u.u_seq ~flags:u.u_flags u.u_data;
+  if conn.rto = None then arm_rto t conn
+
+(* Push queued data into the window. *)
+let rec fill_window t conn =
+  if List.length conn.inflight < window_segments then
+    match conn.pending with
+    | chunk :: rest ->
+      conn.pending <- rest;
+      transmit_segment t conn ~flags:0 chunk;
+      fill_window t conn
+    | [] ->
+      if conn.fin_pending then begin
+        conn.fin_pending <- false;
+        transmit_segment t conn ~flags:flag_fin Bytes.empty;
+        conn.st <- (match conn.st with Close_wait -> Last_ack | _ -> Fin_wait)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Receive path                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let deliver_data t conn data =
+  if Bytes.length data > 0 then
+    match conn.rx_cb with
+    | Some cb -> cb data
+    | None ->
+      Buffer.add_bytes conn.rx_buf data;
+      (match conn.reader with
+       | Some s -> conn.reader <- None; Sched.unblock t.sched s
+       | None -> ())
+
+let handle_ack t conn ack =
+  let advanced = ref false in
+  let rec drop = function
+    | u :: rest when u.u_seq + seg_len u <= ack ->
+      advanced := true;
+      drop rest
+    | l -> l in
+  conn.inflight <- drop conn.inflight;
+  if !advanced then begin
+    conn.snd_una <- max conn.snd_una ack;
+    conn.retries <- 0;
+    arm_rto t conn;
+    fill_window t conn
+  end
+
+let handle_established t conn seg =
+  if seg.flags land flag_rst <> 0 then teardown t conn
+  else begin
+    handle_ack t conn seg.ack;
+    let expected = conn.rcv_nxt in
+    let fin = seg.flags land flag_fin <> 0 in
+    if seg.seq = expected then begin
+      conn.rcv_nxt <- expected + Bytes.length seg.data + (if fin then 1 else 0);
+      let snd_before = conn.snd_nxt in
+      deliver_data t conn seg.data;
+      if fin then begin
+        (match conn.st with
+         | Established -> conn.st <- Close_wait
+         | Fin_wait -> conn.st <- Time_wait
+         | _ -> ());
+        (* Wake a blocked reader: EOF. *)
+        (match conn.reader with
+         | Some s -> conn.reader <- None; Sched.unblock t.sched s
+         | None -> ())
+      end;
+      (* If the receive handler transmitted (an echo, a response), its
+         segment already carried the acknowledgement. Otherwise ack
+         every second data segment immediately and delay single acks,
+         hoping to piggyback them on upcoming data (standard delayed
+         acknowledgements). FINs are acknowledged at once. *)
+      if conn.snd_nxt = snd_before then begin
+        if fin then emit t conn ~seq:conn.snd_nxt ~flags:0 Bytes.empty
+        else if Bytes.length seg.data > 0 then begin
+          conn.unacked_rx <- conn.unacked_rx + 1;
+          if conn.unacked_rx >= 2 then
+            emit t conn ~seq:conn.snd_nxt ~flags:0 Bytes.empty
+          else if conn.delayed_ack = None then
+            conn.delayed_ack <-
+              Some (Sim.after_us t.machine.Machine.sim delayed_ack_us
+                      (fun () ->
+                        conn.delayed_ack <- None;
+                        if conn.st <> Closed then
+                          emit t conn ~seq:conn.snd_nxt ~flags:0 Bytes.empty))
+        end
+      end
+    end else if seg.seq < expected && (Bytes.length seg.data > 0 || fin) then
+      (* Duplicate: re-ack. *)
+      emit t conn ~seq:conn.snd_nxt ~flags:0 Bytes.empty
+    (* Out-of-order beyond rcv_nxt: dropped (Go-Back-N). *);
+    (match conn.st with
+     | Last_ack when conn.inflight = [] -> teardown t conn
+     | Time_wait when conn.inflight = [] -> teardown t conn
+     | _ -> ())
+  end
+
+let handle_segment t (seg, src) =
+  t.s_in <- t.s_in + 1;
+  charge t;
+  match Hashtbl.find_opt t.conns (seg.dport, src, seg.sport) with
+  | Some conn ->
+    (match conn.st with
+     | Syn_sent ->
+       if seg.flags land flag_rst <> 0 then teardown t conn
+       else if seg.flags land flag_syn <> 0 then begin
+         conn.rcv_nxt <- seg.seq + 1;
+         handle_ack t conn seg.ack;
+         conn.st <- Established;
+         emit t conn ~seq:conn.snd_nxt ~flags:0 Bytes.empty;  (* ack *)
+         (match conn.opener with
+          | Some s -> conn.opener <- None; Sched.unblock t.sched s
+          | None -> ())
+       end
+     | Syn_received ->
+       if seg.flags land flag_rst <> 0 then teardown t conn
+       else begin
+         handle_ack t conn seg.ack;
+         if conn.snd_una > 0 then begin
+           conn.st <- Established;
+           t.s_accept <- t.s_accept + 1;
+           match Hashtbl.find_opt t.listeners conn.l_port with
+           | Some on_accept -> on_accept conn
+           | None -> ()
+         end;
+         if Bytes.length seg.data > 0 then handle_established t conn seg
+       end
+     | Established | Fin_wait | Close_wait | Last_ack | Time_wait ->
+       handle_established t conn seg
+     | Listen | Closed -> ())
+  | None ->
+    (* New connection to a listener? *)
+    if seg.flags land flag_syn <> 0 && seg.flags land flag_ack = 0
+       && Hashtbl.mem t.listeners seg.dport then begin
+      let conn = {
+        engine = t;
+        l_port = seg.dport; r_addr = src; r_port = seg.sport;
+        st = Syn_received;
+        snd_nxt = 0; snd_una = 0; rcv_nxt = seg.seq + 1;
+        inflight = []; pending = [];
+        rx_cb = None; rx_buf = Buffer.create 256;
+        reader = None; opener = None;
+        retries = 0; rto = None; fin_pending = false;
+        delayed_ack = None; unacked_rx = 0;
+      } in
+      Hashtbl.replace t.conns (conn.l_port, conn.r_addr, conn.r_port) conn;
+      transmit_segment t conn ~flags:flag_syn Bytes.empty
+    end else if seg.flags land flag_rst = 0 then begin
+      (* No home for it: RST. *)
+      t.s_rst <- t.s_rst + 1;
+      emit_raw t ~src:(Ip.local_addr t.ip) ~dst:src
+        { sport = seg.dport; dport = seg.sport;
+          seq = seg.ack; ack = seg.seq; flags = flag_rst; data = Bytes.empty }
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Public interface                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let create machine sched dispatcher ip =
+  let event =
+    Dispatcher.declare dispatcher ~name:"TCP.PacketArrived" ~owner:"TCP"
+      ~combine:(fun _ -> ()) (fun (_ : segment * Ip.addr) -> ()) in
+  let t = {
+    machine; sched; ip; event; demux = None;
+    conns = Hashtbl.create 64;
+    listeners = Hashtbl.create 16;
+    next_port = 32768;
+    s_out = 0; s_in = 0; s_rexmit = 0; s_rst = 0; s_accept = 0;
+  } in
+  ignore
+    (Ip.attach ip ~protos:[ Ip.proto_tcp ] ~installer:"TCP"
+       (fun pkt ->
+         match decode pkt.Ip.payload with
+         | Some seg ->
+           Dispatcher.raise_default t.event () (seg, pkt.Ip.src)
+         | None -> ()));
+  t.demux <-
+    Some (Dispatcher.install_exn t.event ~installer:"TCP" (handle_segment t));
+  t
+
+(* Another extension (e.g. Forward) claims some segments: stack a
+   guard on the engine's own handler so it never sees them — the
+   paper's "a handler can stack additional guards on an event". *)
+let add_demux_filter t claimed =
+  match t.demux with
+  | Some h ->
+    Dispatcher.add_guard h
+      (fun ((seg : segment), _src) ->
+        not (claimed ~dport:seg.dport ~sport:seg.sport))
+  | None -> ()
+
+let listen t ~port ~on_accept =
+  if Hashtbl.mem t.listeners port then
+    invalid_arg "Tcp.listen: port in use";
+  Hashtbl.replace t.listeners port on_accept
+
+let unlisten t ~port = Hashtbl.remove t.listeners port
+
+let connect t ~dst ~dst_port =
+  let l_port = t.next_port in
+  t.next_port <- t.next_port + 1;
+  let conn = {
+    engine = t;
+    l_port; r_addr = dst; r_port = dst_port;
+    st = Syn_sent;
+    snd_nxt = 0; snd_una = 0; rcv_nxt = 0;
+    inflight = []; pending = [];
+    rx_cb = None; rx_buf = Buffer.create 256;
+    reader = None; opener = None;
+    retries = 0; rto = None; fin_pending = false;
+    delayed_ack = None; unacked_rx = 0;
+  } in
+  Hashtbl.replace t.conns (l_port, dst, dst_port) conn;
+  transmit_segment t conn ~flags:flag_syn Bytes.empty;
+  (* Loopback handshakes complete synchronously inside the transmit;
+     wakeups may be spurious, so wait until the state settles. *)
+  while conn.st = Syn_sent do
+    conn.opener <- Some (Sched.self t.sched);
+    Sched.block_current t.sched;
+    conn.opener <- None
+  done;
+  if conn.st = Established then Some conn else None
+
+let rec chunk data acc =
+  if Bytes.length data <= mss then List.rev (data :: acc)
+  else
+    chunk (Bytes.sub data mss (Bytes.length data - mss))
+      (Bytes.sub data 0 mss :: acc)
+
+let send t conn data =
+  if conn.st = Established || conn.st = Close_wait then begin
+    if Bytes.length data > 0 then begin
+      conn.pending <- conn.pending @ chunk data [];
+      fill_window t conn
+    end
+  end
+
+let on_receive conn cb =
+  (* Drain anything buffered before switching to callback mode. *)
+  if Buffer.length conn.rx_buf > 0 then begin
+    cb (Buffer.to_bytes conn.rx_buf);
+    Buffer.clear conn.rx_buf
+  end;
+  conn.rx_cb <- Some cb
+
+let read t conn =
+  let eof () =
+    conn.st = Closed || conn.st = Close_wait || conn.st = Time_wait in
+  while Buffer.length conn.rx_buf = 0 && not (eof ()) do
+    conn.reader <- Some (Sched.self t.sched);
+    Sched.block_current t.sched;
+    conn.reader <- None
+  done;
+  let data = Buffer.to_bytes conn.rx_buf in
+  Buffer.clear conn.rx_buf;
+  data
+
+let close t conn =
+  match conn.st with
+  | Established | Close_wait | Syn_received ->
+    conn.fin_pending <- true;
+    fill_window t conn
+  | Syn_sent | Listen -> teardown t conn
+  | Fin_wait | Last_ack | Time_wait | Closed -> ()
+
+let abort t conn =
+  if conn.st <> Closed then begin
+    t.s_rst <- t.s_rst + 1;
+    emit t conn ~seq:conn.snd_nxt ~flags:flag_rst Bytes.empty;
+    teardown t conn
+  end
+
+let state conn = conn.st
+
+let peer conn = (conn.r_addr, conn.r_port)
+
+let local_port conn = conn.l_port
+
+let stats t = {
+  segments_sent = t.s_out;
+  segments_received = t.s_in;
+  retransmits = t.s_rexmit;
+  resets = t.s_rst;
+  accepted = t.s_accept;
+}

@@ -1,0 +1,83 @@
+(** TCP, as a SPIN extension.
+
+    A real — though deliberately lean — TCP: three-way handshake,
+    cumulative acknowledgements, Go-Back-N retransmission with a
+    bounded retry count, fixed-size windows, in-order delivery, and
+    FIN/ACK teardown. (The paper borrows the DEC OSF/1 TCP engine and
+    asserts its safety; we build our own, which also plays that
+    "asserted safe" role in the assembled kernel.)
+
+    Like the paper's stack, the module owns [TCP.PacketArrived] and
+    demultiplexes to connections with guards. Blocking operations
+    ([connect], [read]) must run in strand context. *)
+
+type t
+
+type conn
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait
+  | Close_wait
+  | Last_ack
+  | Time_wait
+
+val state_to_string : state -> string
+
+val header_bytes : int
+
+val create :
+  Spin_machine.Machine.t -> Spin_sched.Sched.t -> Spin_core.Dispatcher.t ->
+  Ip.t -> t
+
+val add_demux_filter : t -> (dport:int -> sport:int -> bool) -> unit
+(** Stack a guard on the engine's demultiplexer: segments for which
+    [claimed] is true are invisible to this TCP (no RSTs, no
+    delivery). The Forward extension uses this to take over a port
+    (paper, section 3.2: handlers stack additional guards). *)
+
+val listen : t -> port:int -> on_accept:(conn -> unit) -> unit
+(** Raises [Invalid_argument] if the port already has a listener. *)
+
+val unlisten : t -> port:int -> unit
+
+val connect : t -> dst:Ip.addr -> dst_port:int -> conn option
+(** Active open; blocks the calling strand until established, or
+    [None] after the handshake retries give out. *)
+
+val send : t -> conn -> Bytes.t -> unit
+(** Segments and queues the data; transmission respects the window
+    and retransmits on timeout. No-op on a closed connection. *)
+
+val on_receive : conn -> (Bytes.t -> unit) -> unit
+(** In-order delivery callback (replaces blocking reads when set). *)
+
+val read : t -> conn -> Bytes.t
+(** Blocks the calling strand until data arrives; empty bytes on a
+    connection that closed. *)
+
+val close : t -> conn -> unit
+(** Sends FIN; teardown completes asynchronously. *)
+
+val abort : t -> conn -> unit
+(** RST out, connection dropped. *)
+
+val state : conn -> state
+
+val peer : conn -> Ip.addr * int
+
+val local_port : conn -> int
+
+type stats = {
+  segments_sent : int;
+  segments_received : int;
+  retransmits : int;
+  resets : int;
+  accepted : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,77 @@
+module Machine = Spin_machine.Machine
+module Clock = Spin_machine.Clock
+module Dispatcher = Spin_core.Dispatcher
+
+type datagram = {
+  src : Ip.addr;
+  src_port : int;
+  dst_port : int;
+  payload : Bytes.t;
+}
+
+let header_bytes = 8
+
+type stats = { sent : int; received : int }
+
+type t = {
+  machine : Machine.t;
+  ip : Ip.t;
+  event : (datagram, unit) Dispatcher.event;
+  mutable s_sent : int;
+  mutable s_received : int;
+}
+
+let process_cost = 380
+
+let input t (pkt : Ip.packet) =
+  Clock.charge t.machine.Machine.clock process_cost;
+  if Bytes.length pkt.Ip.payload >= header_bytes then begin
+    let b = pkt.Ip.payload in
+    let src_port = Bytes.get_uint16_le b 0 in
+    let dst_port = Bytes.get_uint16_le b 2 in
+    let len = Bytes.get_uint16_le b 4 in
+    if Bytes.length b >= header_bytes + len then begin
+      t.s_received <- t.s_received + 1;
+      let payload = Bytes.sub b header_bytes len in
+      Dispatcher.raise_default t.event ()
+        { src = pkt.Ip.src; src_port; dst_port; payload }
+    end
+  end
+
+let create machine dispatcher ip =
+  let event =
+    Dispatcher.declare dispatcher ~name:"UDP.PacketArrived" ~owner:"UDP"
+      ~combine:(fun _ -> ()) (fun (_ : datagram) -> ()) in
+  let t = { machine; ip; event; s_sent = 0; s_received = 0 } in
+  ignore (Ip.attach ip ~protos:[ Ip.proto_udp ] ~installer:"UDP" (input t));
+  t
+
+let packet_arrived t = t.event
+
+(* The UDP module supplies the port guard on every installation. *)
+let listen ?bound_cycles ?async t ~port ~installer handler =
+  Dispatcher.install_exn t.event ~installer ?bound_cycles ?async
+    ~guard:(fun d -> d.dst_port = port)
+    handler
+
+let unlisten t h = Dispatcher.uninstall t.event h
+
+let encode_datagram ~src_port ~dst_port payload =
+  let b = Bytes.make (header_bytes + Bytes.length payload) '\000' in
+  Bytes.set_uint16_le b 0 src_port;
+  Bytes.set_uint16_le b 2 dst_port;
+  Bytes.set_uint16_le b 4 (Bytes.length payload);
+  Bytes.blit payload 0 b header_bytes (Bytes.length payload);
+  b
+
+let send t ?(src_port = 0) ~dst ~port payload =
+  Clock.charge t.machine.Machine.clock process_cost;
+  let b = encode_datagram ~src_port ~dst_port:port payload in
+  let ok = Ip.send t.ip ~dst ~proto:Ip.proto_udp b in
+  if ok then t.s_sent <- t.s_sent + 1;
+  ok
+
+let max_payload t ~dst =
+  Ip.mtu_toward t.ip dst |> Option.map (fun m -> m - header_bytes)
+
+let stats t = { sent = t.s_sent; received = t.s_received }

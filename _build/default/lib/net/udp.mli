@@ -1,0 +1,42 @@
+(** UDP, as a SPIN extension.
+
+    The UDP module owns [UDP.PacketArrived]; [listen] installs a
+    handler with the module's port guard, so each endpoint is a
+    per-instance dispatch on the shared event (section 3.2). *)
+
+type t
+
+type datagram = {
+  src : Ip.addr;
+  src_port : int;
+  dst_port : int;
+  payload : Bytes.t;
+}
+
+val header_bytes : int
+
+val create : Spin_machine.Machine.t -> Spin_core.Dispatcher.t -> Ip.t -> t
+
+val packet_arrived : t -> (datagram, unit) Spin_core.Dispatcher.event
+
+val listen :
+  ?bound_cycles:int -> ?async:bool ->
+  t -> port:int -> installer:string -> (datagram -> unit) ->
+  (datagram, unit) Spin_core.Dispatcher.handler
+(** [bound_cycles] imposes the paper's bounded-time constraint: a
+    handler that overruns is aborted by the dispatcher. [async]
+    decouples the endpoint from the protocol thread. *)
+
+val unlisten : t -> (datagram, unit) Spin_core.Dispatcher.handler -> unit
+
+val encode_datagram : src_port:int -> dst_port:int -> Bytes.t -> Bytes.t
+(** Build the UDP wire payload without sending (no charges). *)
+
+val send :
+  t -> ?src_port:int -> dst:Ip.addr -> port:int -> Bytes.t -> bool
+
+val max_payload : t -> dst:Ip.addr -> int option
+
+type stats = { sent : int; received : int }
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/netfs/net_fs.ml: Bytes Host Int32 Ip Result Rpc Spin_dstruct Spin_fs Spin_net String

@@ -1,0 +1,1 @@
+lib/netfs/net_fs.mli: Bytes Spin_fs Spin_net

@@ -1,0 +1,148 @@
+open Spin_net
+module Simple_fs = Spin_fs.Simple_fs
+module Lru = Spin_dstruct.Lru
+
+(* Wire helpers: [len u16][name][payload]. *)
+let encode_name ?(payload = Bytes.empty) name =
+  let nlen = String.length name in
+  let b = Bytes.create (2 + nlen + Bytes.length payload) in
+  Bytes.set_uint16_le b 0 nlen;
+  Bytes.blit_string name 0 b 2 nlen;
+  Bytes.blit payload 0 b (2 + nlen) (Bytes.length payload);
+  b
+
+let decode_name b =
+  let nlen = Bytes.get_uint16_le b 0 in
+  (Bytes.sub_string b 2 nlen, Bytes.sub b (2 + nlen) (Bytes.length b - 2 - nlen))
+
+(* Replies: [ok u8][payload | error string]. *)
+let reply_ok ?(payload = Bytes.empty) () =
+  let b = Bytes.create (1 + Bytes.length payload) in
+  Bytes.set_uint8 b 0 1;
+  Bytes.blit payload 0 b 1 (Bytes.length payload);
+  b
+
+let reply_error msg =
+  let b = Bytes.create (1 + String.length msg) in
+  Bytes.set_uint8 b 0 0;
+  Bytes.blit_string msg 0 b 1 (String.length msg);
+  b
+
+module Server = struct
+  type t = {
+    fs : Simple_fs.t;
+    mutable served : int;
+  }
+
+  let guard t f args =
+    t.served <- t.served + 1;
+    try f args
+    with Simple_fs.Fs_error e -> reply_error (Simple_fs.error_to_string e)
+
+  let export host fs =
+    let t = { fs; served = 0 } in
+    let rpc = host.Host.rpc in
+    Rpc.export rpc ~name:"nfs.create" (guard t (fun args ->
+      let name, _ = decode_name args in
+      Simple_fs.create t.fs ~name;
+      reply_ok ()));
+    Rpc.export rpc ~name:"nfs.write" (guard t (fun args ->
+      let name, data = decode_name args in
+      if not (Simple_fs.exists t.fs ~name) then Simple_fs.create t.fs ~name;
+      Simple_fs.write t.fs ~name data;
+      reply_ok ()));
+    Rpc.export rpc ~name:"nfs.read" (guard t (fun args ->
+      let name, _ = decode_name args in
+      reply_ok ~payload:(Simple_fs.read t.fs ~name) ()));
+    Rpc.export rpc ~name:"nfs.size" (guard t (fun args ->
+      let name, _ = decode_name args in
+      let b = Bytes.create 4 in
+      Bytes.set_int32_le b 0 (Int32.of_int (Simple_fs.size t.fs ~name));
+      reply_ok ~payload:b ()));
+    Rpc.export rpc ~name:"nfs.exists" (guard t (fun args ->
+      let name, _ = decode_name args in
+      let b = Bytes.create 1 in
+      Bytes.set_uint8 b 0 (if Simple_fs.exists t.fs ~name then 1 else 0);
+      reply_ok ~payload:b ()));
+    Rpc.export rpc ~name:"nfs.delete" (guard t (fun args ->
+      let name, _ = decode_name args in
+      Simple_fs.delete t.fs ~name;
+      reply_ok ()));
+    Rpc.export rpc ~name:"nfs.list" (guard t (fun _ ->
+      reply_ok ~payload:(Bytes.of_string
+                           (String.concat "\n" (Simple_fs.list_files t.fs))) ()));
+    t
+
+  let requests_served t = t.served
+end
+
+module Client = struct
+  type error = Remote_failure | Fs_error of string
+
+  type t = {
+    host : Host.t;
+    server : Ip.addr;
+    cache : (string, Bytes.t) Lru.t;
+    mutable hits : int;
+    mutable calls : int;
+  }
+
+  let connect ?(cache_bytes = 256 * 1024) host ~server =
+    ignore cache_bytes;
+    { host; server; cache = Lru.create ~capacity:64 ();
+      hits = 0; calls = 0 }
+
+  let call t ~name args =
+    t.calls <- t.calls + 1;
+    match Rpc.call t.host.Host.rpc ~dst:t.server ~name args with
+    | None -> Error Remote_failure
+    | Some reply ->
+      if Bytes.length reply < 1 then Error Remote_failure
+      else if Bytes.get_uint8 reply 0 = 1 then
+        Ok (Bytes.sub reply 1 (Bytes.length reply - 1))
+      else
+        Error (Fs_error (Bytes.sub_string reply 1 (Bytes.length reply - 1)))
+
+  let unit_result = Result.map (fun (_ : Bytes.t) -> ())
+
+  let create t ~name = unit_result (call t ~name:"nfs.create" (encode_name name))
+
+  let write t ~name data =
+    Lru.remove t.cache name;
+    unit_result (call t ~name:"nfs.write" (encode_name ~payload:data name))
+
+  let read t ~name =
+    match Lru.find t.cache name with
+    | Some data -> t.hits <- t.hits + 1; Ok (Bytes.copy data)
+    | None ->
+      (match call t ~name:"nfs.read" (encode_name name) with
+       | Ok data -> Lru.add t.cache name (Bytes.copy data); Ok data
+       | Error _ as e -> e)
+
+  let size t ~name =
+    Result.map (fun b -> Int32.to_int (Bytes.get_int32_le b 0))
+      (call t ~name:"nfs.size" (encode_name name))
+
+  let exists t ~name =
+    match call t ~name:"nfs.exists" (encode_name name) with
+    | Ok b -> Bytes.length b > 0 && Bytes.get_uint8 b 0 = 1
+    | Error _ -> false
+
+  let delete t ~name =
+    Lru.remove t.cache name;
+    unit_result (call t ~name:"nfs.delete" (encode_name name))
+
+  let list_files t =
+    Result.map
+      (fun b ->
+        match Bytes.to_string b with
+        | "" -> []
+        | s -> String.split_on_char '\n' s)
+      (call t ~name:"nfs.list" Bytes.empty)
+
+  let invalidate t ~name = Lru.remove t.cache name
+
+  let cache_hits t = t.hits
+
+  let rpc_calls t = t.calls
+end

@@ -1,0 +1,48 @@
+(** The network-based file system (the paper's `core` component
+    provides "a disk-based and network-based file system").
+
+    A server host exports its {!Spin_fs.Simple_fs} volume over the RPC
+    extension; clients see the same whole-file interface. Service
+    procedures run on kernel strands, so they block on the server's
+    disk without stalling its protocol input thread. The client keeps
+    a small write-through name cache (invalidated by its own writes;
+    remote writers are visible after {!Client.invalidate}). *)
+
+module Server : sig
+  type t
+
+  val export : Spin_net.Host.t -> Spin_fs.Simple_fs.t -> t
+  (** Registers the nfs.* procedures on the host's RPC service. *)
+
+  val requests_served : t -> int
+end
+
+module Client : sig
+  type t
+
+  type error = Remote_failure | Fs_error of string
+
+  val connect :
+    ?cache_bytes:int -> Spin_net.Host.t -> server:Spin_net.Ip.addr -> t
+
+  val create : t -> name:string -> (unit, error) result
+
+  val write : t -> name:string -> Bytes.t -> (unit, error) result
+
+  val read : t -> name:string -> (Bytes.t, error) result
+  (** Served from the client cache when possible. *)
+
+  val size : t -> name:string -> (int, error) result
+
+  val exists : t -> name:string -> bool
+
+  val delete : t -> name:string -> (unit, error) result
+
+  val list_files : t -> (string list, error) result
+
+  val invalidate : t -> name:string -> unit
+
+  val cache_hits : t -> int
+
+  val rpc_calls : t -> int
+end

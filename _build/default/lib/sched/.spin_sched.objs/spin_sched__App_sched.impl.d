@@ -1,0 +1,1 @@
+lib/sched/app_sched.ml: Coro Queue Sched Spin_core Strand

@@ -1,0 +1,1 @@
+lib/sched/app_sched.mli: Sched

@@ -1,0 +1,1 @@
+lib/sched/cthreads.mli: Sched

@@ -1,0 +1,1 @@
+lib/sched/kthread.ml: Fun Sched Spin_dstruct Spin_machine Strand

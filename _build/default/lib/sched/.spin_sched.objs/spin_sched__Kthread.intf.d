@@ -1,0 +1,1 @@
+lib/sched/kthread.mli: Sched Strand

@@ -1,0 +1,1 @@
+lib/sched/osf_threads.ml: Hashtbl Kthread Sched Spin_dstruct Spin_machine Strand

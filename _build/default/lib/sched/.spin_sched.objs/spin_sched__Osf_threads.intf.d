@@ -1,0 +1,1 @@
+lib/sched/osf_threads.mli: Kthread Sched

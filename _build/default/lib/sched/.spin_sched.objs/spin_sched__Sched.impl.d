@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Coro Hashtbl Lazy Spin_core Spin_dstruct Spin_machine Strand

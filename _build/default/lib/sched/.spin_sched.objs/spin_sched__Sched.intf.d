@@ -1,0 +1,1 @@
+lib/sched/sched.mli: Spin_core Spin_machine Strand

@@ -1,0 +1,1 @@
+lib/sched/strand.ml: Coro Printf Spin_core Spin_dstruct

@@ -1,0 +1,1 @@
+lib/sched/strand.mli: Coro Spin_core Spin_dstruct

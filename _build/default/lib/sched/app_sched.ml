@@ -1,0 +1,68 @@
+module Dispatcher = Spin_core.Dispatcher
+
+type task = {
+  task_name : string;
+  coro : Coro.t;
+}
+
+type t = {
+  sched : Sched.t;
+  name : string;
+  runq : task Queue.t;
+  mutable carrier : Strand.t option;
+  mutable user_switches : int;
+  mutable resumes : int;
+  mutable checkpoints : int;
+}
+
+let create sched ~name =
+  { sched; name; runq = Queue.create (); carrier = None;
+    user_switches = 0; resumes = 0; checkpoints = 0 }
+
+let spawn t ~name body =
+  Queue.add { task_name = name; coro = Coro.create body } t.runq;
+  (* Wake the carrier if it went idle. *)
+  match t.carrier with
+  | Some s when s.Strand.state = Strand.Blocked -> Sched.unblock t.sched s
+  | Some _ | None -> ()
+
+let yield _t = Coro.suspend Coro.Yielded
+
+let carrier_body t () =
+  let rec loop () =
+    match Queue.take_opt t.runq with
+    | None -> ()                          (* all user strands done *)
+    | Some task ->
+      t.user_switches <- t.user_switches + 1;
+      (match Coro.run task.coro with
+       | Coro.Done -> ()
+       | Coro.Failed _ -> ()              (* user strand failure is its own *)
+       | Coro.Suspended _ -> Queue.add task t.runq);
+      (* Cooperate with the global scheduler between user strands. *)
+      Sched.preempt_point t.sched;
+      loop () in
+  loop ()
+
+let run t =
+  let carrier =
+    Sched.spawn t.sched ~owner:t.name ~name:(t.name ^ "-carrier")
+      (carrier_body t) in
+  t.carrier <- Some carrier;
+  let events = Sched.events t.sched in
+  let cap = Strand.capability carrier in
+  ignore (Sched.install_handler_guarded events.Sched.resume
+            ~installer:t.name ~cap (fun _ -> t.resumes <- t.resumes + 1));
+  ignore (Sched.install_handler_guarded events.Sched.checkpoint
+            ~installer:t.name ~cap (fun _ -> t.checkpoints <- t.checkpoints + 1))
+
+type stats = {
+  user_switches : int;
+  resumes : int;
+  checkpoints : int;
+}
+
+let stats (t : t) = {
+  user_switches = t.user_switches;
+  resumes = t.resumes;
+  checkpoints = t.checkpoints;
+}

@@ -1,0 +1,32 @@
+(** An application-specific scheduler stacked on the global one.
+
+    Per the paper (section 4.2), an application-specific scheduler
+    presents itself to the global scheduler as a thread package: it
+    receives the processor when its carrier strand is scheduled
+    (observing the [Resume] event), multiplexes its own user strands
+    cooperatively, and relinquishes on [Checkpoint]. Its handlers are
+    guarded by the carrier strand's capability, so it never observes
+    other packages' strands. *)
+
+type t
+
+val create : Sched.t -> name:string -> t
+
+val spawn : t -> name:string -> (unit -> unit) -> unit
+(** Adds a user-level strand to this scheduler's run queue. *)
+
+val yield : t -> unit
+(** From within a user strand: hand the virtual processor to the next
+    user strand. *)
+
+val run : t -> unit
+(** Runs the carrier kernel strand until all user strands finish.
+    Call before [Sched.run]. *)
+
+type stats = {
+  user_switches : int;   (** switches between user strands *)
+  resumes : int;         (** times the global scheduler gave us the CPU *)
+  checkpoints : int;     (** times it reclaimed the CPU *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,25 @@
+type thread = Kthread.t
+
+let cthread_fork sched body = Kthread.fork sched ~name:"cthread" body
+
+let cthread_join sched t = Kthread.join sched t
+
+let cthread_yield sched = Sched.yield sched
+
+type mutex = Kthread.Mutex.m
+
+let mutex_alloc () = Kthread.Mutex.create ()
+
+let mutex_lock sched m = Kthread.Mutex.lock sched m
+
+let mutex_unlock sched m = Kthread.Mutex.unlock sched m
+
+type condition = Kthread.Condition.c
+
+let condition_alloc () = Kthread.Condition.create ()
+
+let condition_wait sched c m = Kthread.Condition.wait sched m c
+
+let condition_signal sched c = Kthread.Condition.signal sched c
+
+let condition_broadcast sched c = Kthread.Condition.broadcast sched c

@@ -1,0 +1,31 @@
+(** The C-Threads interface (Cooper & Draves), as a SPIN kernel
+    extension — the "integrated" implementation of Table 3, structured
+    directly on strands rather than layered on another thread package.
+
+    The operation names mirror the Mach C-Threads library. *)
+
+type thread
+
+val cthread_fork : Sched.t -> (unit -> unit) -> thread
+
+val cthread_join : Sched.t -> thread -> unit
+
+val cthread_yield : Sched.t -> unit
+
+type mutex
+
+val mutex_alloc : unit -> mutex
+
+val mutex_lock : Sched.t -> mutex -> unit
+
+val mutex_unlock : Sched.t -> mutex -> unit
+
+type condition
+
+val condition_alloc : unit -> condition
+
+val condition_wait : Sched.t -> condition -> mutex -> unit
+
+val condition_signal : Sched.t -> condition -> unit
+
+val condition_broadcast : Sched.t -> condition -> unit

@@ -1,0 +1,133 @@
+module Clock = Spin_machine.Clock
+module Dllist = Spin_dstruct.Dllist
+
+type t = { strand : Strand.t }
+
+let sync_op_cost = 100
+
+let charge sched = Clock.charge (Sched.clock sched) sync_op_cost
+
+let fork sched ?priority ?(name = "kthread") body =
+  { strand = Sched.spawn sched ~owner:"Kthread" ?priority ~name body }
+
+let strand t = t.strand
+
+let alive t = t.strand.Strand.state <> Strand.Dead
+
+let failure t = t.strand.Strand.failure
+
+let join sched t =
+  charge sched;
+  while alive t do
+    let me = Sched.self sched in
+    ignore (Dllist.push_back t.strand.Strand.joiners me);
+    Sched.block_current sched
+  done
+
+module Mutex = struct
+  type m = {
+    mutable holder : Strand.t option;
+    waiters : Strand.t Dllist.t;
+  }
+
+  let create () = { holder = None; waiters = Dllist.create () }
+
+  let rec lock sched m =
+    charge sched;
+    match m.holder with
+    | None -> m.holder <- Some (Sched.self sched)
+    | Some _ ->
+      let me = Sched.self sched in
+      ignore (Dllist.push_back m.waiters me);
+      Sched.block_current sched;
+      (* Woken by unlock: the lock was handed to us, or race with
+         try_lock: retry. *)
+      if not (match m.holder with
+              | Some h -> h.Strand.id = me.Strand.id
+              | None -> false)
+      then lock sched m
+
+  let try_lock sched m =
+    charge sched;
+    match m.holder with
+    | None -> m.holder <- Some (Sched.self sched); true
+    | Some _ -> false
+
+  let unlock sched m =
+    charge sched;
+    let me = Sched.self sched in
+    (match m.holder with
+     | Some h when h.Strand.id = me.Strand.id -> ()
+     | Some _ | None -> invalid_arg "Kthread.Mutex.unlock: not the holder");
+    match Dllist.pop_front m.waiters with
+    | None -> m.holder <- None
+    | Some next ->
+      m.holder <- Some next;              (* direct hand-off *)
+      Sched.unblock sched next
+
+  let with_lock sched m f =
+    lock sched m;
+    Fun.protect ~finally:(fun () -> unlock sched m) f
+
+  let holder m = m.holder
+end
+
+module Condition = struct
+  type c = { waiters : Strand.t Dllist.t }
+
+  let create () = { waiters = Dllist.create () }
+
+  let wait sched m c =
+    charge sched;
+    let me = Sched.self sched in
+    ignore (Dllist.push_back c.waiters me);
+    Mutex.unlock sched m;
+    Sched.block_current sched;
+    Mutex.lock sched m
+
+  let signal sched c =
+    charge sched;
+    match Dllist.pop_front c.waiters with
+    | None -> ()
+    | Some s -> Sched.unblock sched s
+
+  let broadcast sched c =
+    charge sched;
+    let rec wake () =
+      match Dllist.pop_front c.waiters with
+      | None -> ()
+      | Some s -> Sched.unblock sched s; wake () in
+    wake ()
+
+  let waiters c = Dllist.length c.waiters
+end
+
+module Semaphore = struct
+  type s = {
+    mutable count : int;
+    waiters : Strand.t Dllist.t;
+  }
+
+  let create count =
+    if count < 0 then invalid_arg "Kthread.Semaphore.create: negative";
+    { count; waiters = Dllist.create () }
+
+  let rec p sched s =
+    charge sched;
+    if s.count > 0 then s.count <- s.count - 1
+    else begin
+      let me = Sched.self sched in
+      ignore (Dllist.push_back s.waiters me);
+      Sched.block_current sched;
+      p sched s
+    end
+
+  let v sched s =
+    charge sched;
+    s.count <- s.count + 1;
+    match Dllist.pop_front s.waiters with
+    | None -> ()
+    | Some w -> Sched.unblock sched w
+
+  let value s = s.count
+end

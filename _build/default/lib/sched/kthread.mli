@@ -1,0 +1,74 @@
+(** In-kernel threads: the trusted thread package exporting the
+    Modula-3 thread interface (paper, section 4.2).
+
+    Built directly on strands and the global scheduler. Synchronization
+    follows Modula-3: mutexes, condition variables (Mesa semantics:
+    waiters re-acquire and should re-check), and counting semaphores. *)
+
+type t
+(** A kernel thread handle. *)
+
+val fork : Sched.t -> ?priority:int -> ?name:string -> (unit -> unit) -> t
+(** Creates and schedules a kernel thread. *)
+
+val join : Sched.t -> t -> unit
+(** Blocks the calling thread until the target terminates. Immediate
+    if it already has. *)
+
+val strand : t -> Strand.t
+
+val alive : t -> bool
+
+val failure : t -> exn option
+(** The exception that killed the thread, if any — extension failures
+    are isolated, not fatal to the kernel (paper, section 4.3). *)
+
+val sync_op_cost : int
+(** Cycles charged per lock/unlock/signal/wait bookkeeping. *)
+
+module Mutex : sig
+  type m
+
+  val create : unit -> m
+
+  val lock : Sched.t -> m -> unit
+
+  val try_lock : Sched.t -> m -> bool
+
+  val unlock : Sched.t -> m -> unit
+  (** Raises [Invalid_argument] if the caller does not hold it. *)
+
+  val with_lock : Sched.t -> m -> (unit -> 'a) -> 'a
+
+  val holder : m -> Strand.t option
+end
+
+module Condition : sig
+  type c
+
+  val create : unit -> c
+
+  val wait : Sched.t -> Mutex.m -> c -> unit
+  (** Atomically releases the mutex and blocks; re-acquires before
+      returning. *)
+
+  val signal : Sched.t -> c -> unit
+  (** Wakes one waiter (no-op when none). *)
+
+  val broadcast : Sched.t -> c -> unit
+
+  val waiters : c -> int
+end
+
+module Semaphore : sig
+  type s
+
+  val create : int -> s
+
+  val p : Sched.t -> s -> unit
+  (** Decrement, blocking at zero. *)
+
+  val v : Sched.t -> s -> unit
+
+  val value : s -> int
+end

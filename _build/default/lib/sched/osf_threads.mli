@@ -1,0 +1,24 @@
+(** DEC OSF/1 kernel-thread interface, as a SPIN extension.
+
+    This is the interface that lets the vendor's device drivers run in
+    the kernel: [thread_sleep]/[thread_wakeup] synchronize on opaque
+    channel values (addresses, in the original). One instance per
+    kernel. *)
+
+type t
+
+type channel = int
+
+val create : Sched.t -> t
+
+val kernel_thread : t -> (unit -> unit) -> Kthread.t
+
+val thread_sleep : t -> channel -> unit
+(** Blocks the caller on the channel. *)
+
+val thread_wakeup : t -> channel -> int
+(** Wakes every thread sleeping on the channel; returns how many. *)
+
+val thread_wakeup_one : t -> channel -> bool
+
+val sleepers : t -> channel -> int

@@ -1,0 +1,277 @@
+module Dispatcher = Spin_core.Dispatcher
+module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
+module Sim = Spin_machine.Sim
+module Dllist = Spin_dstruct.Dllist
+
+type events = {
+  block : (Strand.t, unit) Dispatcher.event;
+  unblock : (Strand.t, unit) Dispatcher.event;
+  checkpoint : (Strand.t, unit) Dispatcher.event;
+  resume : (Strand.t, unit) Dispatcher.event;
+}
+
+type params = {
+  quantum : int;
+  spawn_cost : int;
+  switch_extra : int;
+}
+
+let default_params = {
+  quantum = 50_000;                       (* ~375 us slices *)
+  spawn_cost = 1460;
+  switch_extra = 130;
+}
+
+type stats = {
+  switches : int;
+  preemptions : int;
+  spawned : int;
+  completed : int;
+  failed : int;
+}
+
+type t = {
+  sim : Sim.t;
+  clock : Clock.t;
+  params : params;
+  events : events;
+  queues : Strand.t Dllist.t array;       (* index = priority *)
+  mutable current : Strand.t option;
+  pending_wakeups : (int, unit) Hashtbl.t;  (* unblocks that raced a block *)
+  mutable slice_start : int;
+  mutable preempt_requested : bool;
+  mutable s_switches : int;
+  mutable s_preempt : int;
+  mutable s_spawned : int;
+  mutable s_completed : int;
+  mutable s_failed : int;
+}
+
+let owner_name = "GlobalSched"
+
+let enqueue t s =
+  s.Strand.state <- Strand.Runnable;
+  s.Strand.qnode <- Some (Dllist.push_back t.queues.(s.Strand.priority) s)
+
+let dequeue t s =
+  match s.Strand.qnode with
+  | Some node ->
+    Dllist.remove t.queues.(s.Strand.priority) node;
+    s.Strand.qnode <- None
+  | None -> ()
+
+(* Default handlers: the global scheduler's own run-state management. *)
+let default_block t s =
+  match s.Strand.state with
+  | Strand.Running | Strand.Runnable | Strand.Created ->
+    (* A queued strand is unlinked; a running one is marked and stops
+       at its next preemption point (usually immediately, because
+       block_current suspends right after raising the event). *)
+    dequeue t s;
+    s.Strand.state <- Strand.Blocked
+  | Strand.Blocked | Strand.Dead -> ()
+
+let default_unblock t s =
+  match s.Strand.state with
+  | Strand.Blocked | Strand.Created ->
+    enqueue t s;
+    (* A wakeup of higher priority preempts the running strand. *)
+    (match t.current with
+     | Some cur when s.Strand.priority > cur.Strand.priority ->
+       t.preempt_requested <- true
+     | Some _ | None -> ())
+  | Strand.Running ->
+    (* The strand is between raising Block and suspending (an
+       interrupt handler woke it early): remember the wakeup so the
+       suspension returns immediately instead of losing it. *)
+    Hashtbl.replace t.pending_wakeups s.Strand.id ()
+  | Strand.Runnable | Strand.Dead -> ()
+
+let create ?(params = default_params) sim dispatcher =
+  let clock = Sim.clock sim in
+  let rec t =
+    lazy
+      (let declare name default =
+         Dispatcher.declare dispatcher ~name ~owner:owner_name
+           ~combine:(fun _ -> ())
+           (fun s -> default (Lazy.force t) s) in
+       let events = {
+         block = declare "Strand.Block" default_block;
+         unblock = declare "Strand.Unblock" default_unblock;
+         checkpoint = declare "Strand.Checkpoint" (fun _ _ -> ());
+         resume = declare "Strand.Resume" (fun _ _ -> ());
+       } in
+       { sim; clock; params; events;
+         queues = Array.init (Strand.max_priority + 1) (fun _ -> Dllist.create ());
+         current = None; pending_wakeups = Hashtbl.create 16;
+         slice_start = 0; preempt_requested = false;
+         s_switches = 0; s_preempt = 0; s_spawned = 0; s_completed = 0;
+         s_failed = 0 }) in
+  let t = Lazy.force t in
+  (* Quantum accounting: request preemption when the slice expires. *)
+  Clock.add_hook clock (fun clock ->
+    match t.current with
+    | Some s when s.Strand.state = Strand.Running
+               && Clock.now clock - t.slice_start >= t.params.quantum ->
+      t.preempt_requested <- true
+    | Some _ | None -> ());
+  (* Asynchronous dispatcher handlers run on fresh kernel strands. *)
+  Dispatcher.set_async_spawn dispatcher (fun thunk ->
+    t.s_spawned <- t.s_spawned + 1;
+    let s = Strand.create ~owner:owner_name ~name:"async-handler" () in
+    s.Strand.coro <- Some (Coro.create thunk);
+    enqueue t s);
+  t
+
+let events t = t.events
+
+let sim t = t.sim
+
+let clock t = t.clock
+
+let spawn t ?(owner = owner_name) ?priority ~name body =
+  Clock.charge t.clock t.params.spawn_cost;
+  t.s_spawned <- t.s_spawned + 1;
+  let s = Strand.create ~owner ?priority ~name () in
+  s.Strand.coro <- Some (Coro.create body);
+  enqueue t s;
+  s
+
+let current t = t.current
+
+let self t =
+  match t.current with
+  | Some s -> s
+  | None -> invalid_arg "Sched.self: not in strand context"
+
+let next_runnable t =
+  let rec scan p =
+    if p < 0 then None
+    else
+      match Dllist.pop_front t.queues.(p) with
+      | Some s ->
+        s.Strand.qnode <- None;
+        if s.Strand.state = Strand.Runnable then Some s else scan p
+      | None -> scan (p - 1) in
+  scan Strand.max_priority
+
+let finish t s outcome =
+  s.Strand.state <- Strand.Dead;
+  (match outcome with
+   | Coro.Failed e ->
+     s.Strand.failure <- Some e;
+     t.s_failed <- t.s_failed + 1
+   | Coro.Done -> t.s_completed <- t.s_completed + 1
+   | Coro.Suspended _ -> assert false);
+  (* Capability dies with the strand. *)
+  Spin_core.Capability.revoke (Strand.capability s);
+  (* Wake joiners. *)
+  let rec wake () =
+    match Dllist.pop_front s.Strand.joiners with
+    | None -> ()
+    | Some j ->
+      Dispatcher.raise_default t.events.unblock () j;
+      wake () in
+  wake ()
+
+let execute t s =
+  let cost = Clock.cost t.clock in
+  Clock.charge t.clock (cost.Cost.context_switch + t.params.switch_extra);
+  t.s_switches <- t.s_switches + 1;
+  Dispatcher.raise_default t.events.resume () s;
+  s.Strand.state <- Strand.Running;
+  t.current <- Some s;
+  t.slice_start <- Clock.now t.clock;
+  t.preempt_requested <- false;
+  let coro =
+    match s.Strand.coro with
+    | Some c -> c
+    | None -> invalid_arg "Sched: strand has no kernel context" in
+  let outcome = Coro.run coro in
+  t.current <- None;
+  Dispatcher.raise_default t.events.checkpoint () s;
+  match outcome with
+  | Coro.Done | Coro.Failed _ -> finish t s outcome
+  | Coro.Suspended Coro.Yielded ->
+    if s.Strand.state = Strand.Running then enqueue t s
+    (* else: someone blocked it while it was being preempted *)
+  | Coro.Suspended Coro.Blocked ->
+    if Hashtbl.mem t.pending_wakeups s.Strand.id then begin
+      (* A wakeup raced the suspension: resume immediately. *)
+      Hashtbl.remove t.pending_wakeups s.Strand.id;
+      enqueue t s
+    end else if s.Strand.state = Strand.Running then
+      s.Strand.state <- Strand.Blocked
+
+let step t =
+  match next_runnable t with
+  | Some s -> execute t s; true
+  | None -> false
+
+let run ?(until = fun () -> false) t =
+  let rec loop () =
+    if not (until ()) then
+      if step t then loop ()
+      else if Sim.idle_step t.sim then loop () in
+  loop ()
+
+let yield t =
+  match t.current with
+  | Some _ -> Coro.suspend Coro.Yielded
+  | None -> invalid_arg "Sched.yield: not in strand context"
+
+let block t s = Dispatcher.raise_default t.events.block () s
+
+let unblock t s = Dispatcher.raise_default t.events.unblock () s
+
+let block_current t =
+  let s = self t in
+  block t s;
+  Coro.suspend Coro.Blocked
+
+let sleep_us t us =
+  let s = self t in
+  let deadline =
+    Clock.now t.clock + Cost.us_to_cycles (Clock.cost t.clock) us in
+  ignore (Sim.after_us t.sim us (fun () -> unblock t s));
+  (* Tolerate spurious wakeups: sleep again until the deadline. *)
+  while Clock.now t.clock < deadline do
+    block_current t
+  done
+
+let preempt_point t =
+  if t.preempt_requested then begin
+    match t.current with
+    | Some _ ->
+      t.s_preempt <- t.s_preempt + 1;
+      t.preempt_requested <- false;
+      Coro.suspend Coro.Yielded
+    | None -> t.preempt_requested <- false
+  end
+
+let set_priority t s priority =
+  if priority < 0 || priority > Strand.max_priority then
+    invalid_arg "Sched.set_priority: out of range";
+  if s.Strand.state = Strand.Runnable then begin
+    dequeue t s;
+    s.Strand.priority <- priority;
+    enqueue t s
+  end else
+    s.Strand.priority <- priority
+
+let install_handler_guarded event ~installer ~cap fn =
+  Dispatcher.install_exn event ~installer
+    ~guard:(fun s -> Strand.holds_capability cap s)
+    fn
+
+let stats t = {
+  switches = t.s_switches;
+  preemptions = t.s_preempt;
+  spawned = t.s_spawned;
+  completed = t.s_completed;
+  failed = t.s_failed;
+}
+
+let runnable_count t =
+  Array.fold_left (fun acc q -> acc + Dllist.length q) 0 t.queues

@@ -1,0 +1,118 @@
+(** The global scheduler: round-robin, preemptive, priority (paper,
+    section 4.2).
+
+    Control flow is expressed as dispatcher events on strands:
+    - [Strand.Block] / [Strand.Unblock] signal run-state changes and
+      may be raised by drivers and interrupt handlers;
+    - [Strand.Checkpoint] / [Strand.Resume] are raised around every
+      context switch so thread packages (and application-specific
+      schedulers stacked on the global one) can save and restore
+      state.
+
+    The global scheduler provides the default handlers. Other packages
+    install additional handlers, but only for strands whose capability
+    they hold: installations are guarded so a handler never sees
+    another package's strands.
+
+    Preemption: a clock hook requests rescheduling once the running
+    strand exhausts its quantum; the strand yields at its next
+    preemption point (every block/yield/synchronization operation is
+    one, and long-running kernel code calls {!preempt_point}). *)
+
+type t
+
+type events = {
+  block : (Strand.t, unit) Spin_core.Dispatcher.event;
+  unblock : (Strand.t, unit) Spin_core.Dispatcher.event;
+  checkpoint : (Strand.t, unit) Spin_core.Dispatcher.event;
+  resume : (Strand.t, unit) Spin_core.Dispatcher.event;
+}
+
+type params = {
+  quantum : int;          (** cycles per time slice *)
+  spawn_cost : int;       (** creating a kernel strand *)
+  switch_extra : int;     (** scheduler bookkeeping beyond the HW switch *)
+}
+
+val default_params : params
+
+val create :
+  ?params:params ->
+  Spin_machine.Sim.t -> Spin_core.Dispatcher.t -> t
+(** Declares the strand events on the dispatcher and installs itself
+    as their default implementation; also installs the dispatcher's
+    asynchronous-handler spawn hook. *)
+
+val events : t -> events
+
+val sim : t -> Spin_machine.Sim.t
+
+val clock : t -> Spin_machine.Clock.t
+
+val spawn :
+  t -> ?owner:string -> ?priority:int -> name:string -> (unit -> unit) ->
+  Strand.t
+(** Creates a kernel strand running the given body and enqueues it. *)
+
+val current : t -> Strand.t option
+
+val self : t -> Strand.t
+(** Raises [Invalid_argument] outside strand context. *)
+
+val step : t -> bool
+(** Execute one runnable strand's slice; [false] when none is
+    runnable (multi-kernel co-simulation interleaves via [step]). *)
+
+val run : ?until:(unit -> bool) -> t -> unit
+(** Executes runnable strands (idling the simulated clock forward when
+    none is runnable but device events are pending) until both the run
+    queue and the event queue drain, or [until] becomes true (checked
+    between slices). *)
+
+val yield : t -> unit
+(** From within a strand: give up the processor, stay runnable. *)
+
+val block_current : t -> unit
+(** From within a strand: raise [Block] on self and suspend until
+    someone raises [Unblock]. *)
+
+val block : t -> Strand.t -> unit
+(** Raise [Block] on any strand (drivers use this). Blocking the
+    running strand from outside marks it; it stops at its next
+    preemption point. *)
+
+val unblock : t -> Strand.t -> unit
+(** Raise [Unblock]: a blocked (or newly created) strand becomes
+    runnable. Safe from interrupt handlers. *)
+
+val sleep_us : t -> float -> unit
+(** Block the current strand for the given virtual duration. *)
+
+val preempt_point : t -> unit
+(** Yield iff preemption was requested (quantum expiry or a
+    higher-priority wakeup). Cheap. *)
+
+val set_priority : t -> Strand.t -> int -> unit
+
+val install_handler_guarded :
+  (Strand.t, unit) Spin_core.Dispatcher.event ->
+  installer:string ->
+  cap:Strand.t Spin_core.Capability.t ->
+  (Strand.t -> unit) ->
+  (Strand.t, unit) Spin_core.Dispatcher.handler
+(** Installs a handler that only fires for the strand designated by
+    [cap] — the trusted package's guard from the paper: extensions do
+    not install handlers on strands for which they hold no
+    capability. *)
+
+type stats = {
+  switches : int;
+  preemptions : int;
+  spawned : int;
+  completed : int;
+  failed : int;
+}
+
+val stats : t -> stats
+
+val runnable_count : t -> int

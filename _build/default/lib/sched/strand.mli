@@ -1,0 +1,38 @@
+(** Strands: the processor contexts multiplexed by schedulers.
+
+    A strand has no requisite kernel state other than a name (paper,
+    section 4.2); kernel threads attach a coroutine to theirs, while
+    user-level thread packages manage bare strands. Each strand is
+    protected by a capability minted at creation — schedulers demand
+    it before letting an extension handle the strand's events. *)
+
+type state = Created | Runnable | Running | Blocked | Dead
+
+type t = {
+  id : int;
+  name : string;
+  owner : string;              (** the thread package managing it *)
+  mutable priority : int;      (** 0..31; higher runs first *)
+  mutable state : state;
+  mutable coro : Coro.t option;
+  joiners : t Spin_dstruct.Dllist.t;  (** strands waiting for death *)
+  mutable failure : exn option;
+  mutable cap : t Spin_core.Capability.t option;  (** set at creation *)
+  mutable qnode : t Spin_dstruct.Dllist.node option;
+  (** run-queue position, owned by the scheduler *)
+}
+
+val create : owner:string -> ?priority:int -> name:string -> unit -> t
+(** Default priority 16. *)
+
+val capability : t -> t Spin_core.Capability.t
+(** The unforgeable reference guarding this strand. *)
+
+val holds_capability : t Spin_core.Capability.t -> t -> bool
+(** Does this capability designate this strand (and remain valid)? *)
+
+val state_to_string : state -> string
+
+val to_string : t -> string
+
+val max_priority : int

@@ -1,0 +1,1 @@
+lib/spin/kernel.ml: Hashtbl List Spin_core Spin_kgc Spin_machine Spin_sched Spin_vm

@@ -1,0 +1,1 @@
+lib/spin/kernel.mli: Hashtbl Spin_core Spin_kgc Spin_machine Spin_sched Spin_vm

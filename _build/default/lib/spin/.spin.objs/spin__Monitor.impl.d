@@ -1,0 +1,1 @@
+lib/spin/monitor.ml: Buffer List Printf Spin_core Spin_machine

@@ -1,0 +1,1 @@
+lib/spin/monitor.mli: Spin_core Spin_machine

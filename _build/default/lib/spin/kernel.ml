@@ -1,0 +1,132 @@
+module Machine = Spin_machine.Machine
+module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
+module Cpu = Spin_machine.Cpu
+module Dispatcher = Spin_core.Dispatcher
+module Nameserver = Spin_core.Nameserver
+module Kdomain = Spin_core.Kdomain
+module Object_file = Spin_core.Object_file
+module Sched = Spin_sched.Sched
+module Vm = Spin_vm.Vm
+module Kheap = Spin_kgc.Kheap
+module Symbol = Spin_core.Symbol
+module Ty = Spin_core.Ty
+module Univ = Spin_core.Univ
+module Translation = Spin_vm.Translation
+
+type t = {
+  machine : Machine.t;
+  dispatcher : Dispatcher.t;
+  nameserver : Nameserver.t;
+  sched : Sched.t;
+  vm : Vm.t;
+  heap : Kheap.t;
+  syscall_event : (int * int array, int) Dispatcher.event;
+  syscalls : (int, int array -> int) Hashtbl.t;
+  mutable public : Kdomain.t;
+  mutable extensions : Kdomain.t list;
+}
+
+(* Decode and raise work in the trap handler, beyond the hardware trap
+   cost (calibrated so a SPIN system call lands at Table 2's 4 us). *)
+let syscall_glue = 105
+
+(* The tags under which core-service events travel through domains:
+   an extension that imports "Translation.PageNotPresent" from
+   SpinPublic unpacks the event with the matching tag. *)
+let strand_event_tag : (Spin_sched.Strand.t, unit) Dispatcher.event Univ.tag =
+  Univ.tag ~name:"Strand.Event" ()
+
+let translation_event_tag
+  : (Translation.fault, unit) Dispatcher.event Univ.tag =
+  Univ.tag ~name:"Translation.Event" ()
+
+let publish t ~name ?authorize domain =
+  Nameserver.register t.nameserver ~name ?authorize domain;
+  t.public <- Kdomain.combine ~name:"SpinPublic" t.public domain
+
+let boot ?(mem_mb = 64) ?(name = "spin") () =
+  let machine = Machine.create ~mem_mb ~name () in
+  let dispatcher = Dispatcher.create machine.Machine.clock in
+  let nameserver = Nameserver.create machine.Machine.clock in
+  let sched = Sched.create machine.Machine.sim dispatcher in
+  let vm = Vm.create machine dispatcher in
+  let heap = Kheap.create machine.Machine.clock () in
+  let syscalls : (int, int array -> int) Hashtbl.t = Hashtbl.create 32 in
+  (* One installed handler: the raise is a fast-path procedure call
+     into the table (Table 2's 4 us system call). *)
+  let syscall_event =
+    Dispatcher.declare dispatcher ~name:"Trap.SystemCall" ~owner:"Trap"
+      (fun (number, args) ->
+        match Hashtbl.find_opt syscalls number with
+        | Some fn -> fn args
+        | None -> -1) in
+  let public = Kdomain.create_from_module ~name:"SpinPublic" ~exports:[] in
+  let t = { machine; dispatcher; nameserver; sched; vm; heap;
+            syscall_event; syscalls; public; extensions = [] } in
+  Cpu.set_trap_handler machine.Machine.cpu (fun trap ->
+    match trap with
+    | Cpu.Syscall { number; args } ->
+      Clock.charge machine.Machine.clock syscall_glue;
+      Dispatcher.raise_default t.syscall_event (-1) (number, args)
+    | Cpu.Mem_fault _ ->
+      if Vm.handle_trap t.vm trap then 0 else -1
+    | Cpu.Illegal _ -> -1);
+  (* Export the core-service events through domains, so extensions
+     import them by name from SpinPublic — event names are protected
+     by the domain machinery (paper, section 3.2). *)
+  let event_ty intf item = Symbol.make ~intf ~name:item
+      (Ty.Proc ([ Ty.Opaque (intf ^ ".T") ], Ty.Unit)) in
+  let strand_events = Sched.events sched in
+  let strand_domain =
+    Kdomain.create_from_module ~name:"Strand"
+      ~exports:[
+        (event_ty "Strand" "Block",
+         Univ.pack strand_event_tag strand_events.Sched.block);
+        (event_ty "Strand" "Unblock",
+         Univ.pack strand_event_tag strand_events.Sched.unblock);
+        (event_ty "Strand" "Checkpoint",
+         Univ.pack strand_event_tag strand_events.Sched.checkpoint);
+        (event_ty "Strand" "Resume",
+         Univ.pack strand_event_tag strand_events.Sched.resume);
+      ] in
+  let translation_domain =
+    Kdomain.create_from_module ~name:"Translation"
+      ~exports:[
+        (event_ty "Translation" "PageNotPresent",
+         Univ.pack translation_event_tag (Translation.page_not_present vm.Vm.trans));
+        (event_ty "Translation" "BadAddress",
+         Univ.pack translation_event_tag (Translation.bad_address vm.Vm.trans));
+        (event_ty "Translation" "ProtectionFault",
+         Univ.pack translation_event_tag (Translation.protection_fault vm.Vm.trans));
+      ] in
+  publish t ~name:"StrandService" strand_domain;
+  publish t ~name:"TranslationService" translation_domain;
+  t
+
+let elapsed_us t = Clock.now_us t.machine.Machine.clock
+
+let stamp_us t f =
+  Cost.cycles_to_us t.machine.Machine.cost
+    (Clock.stamp t.machine.Machine.clock f)
+
+let syscall t ~number ~args = Cpu.syscall t.machine.Machine.cpu ~number ~args
+
+let register_syscall t ~number fn = Hashtbl.replace t.syscalls number fn
+
+let load_extension t obj =
+  match Kdomain.create obj with
+  | Error _ as e -> e
+  | Ok domain ->
+    match Kdomain.resolve ~source:t.public ~target:domain with
+    | Error _ as e -> e
+    | Ok _patched ->
+      Kdomain.initialize domain;
+      t.extensions <- domain :: t.extensions;
+      Ok domain
+
+let extension_count t = List.length t.extensions
+
+let run ?until t = Sched.run ?until t.sched
+
+let spawn t ?priority ~name body = Sched.spawn t.sched ?priority ~name body

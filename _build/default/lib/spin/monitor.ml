@@ -1,0 +1,54 @@
+module Dispatcher = Spin_core.Dispatcher
+module Clock = Spin_machine.Clock
+
+type t = {
+  clock : Clock.t;
+  mutable counters : (string * int ref) list;
+  started_at : int;
+}
+
+let create clock = { clock; counters = []; started_at = Clock.now clock }
+
+let counter t name =
+  match List.assoc_opt name t.counters with
+  | Some c -> c
+  | None ->
+    let c = ref 0 in
+    t.counters <- t.counters @ [ (name, c) ];
+    c
+
+(* Counting happens in a guard that always declines, so the monitor
+   works on events of any result type and never contributes a result
+   to the raiser. *)
+let watch t event =
+  let c = counter t (Dispatcher.event_name event) in
+  ignore
+    (Dispatcher.install_exn event ~installer:"Monitor"
+       ~guard:(fun _ -> incr c; false)
+       (fun _ -> assert false))
+
+let watch_with t event ~interest =
+  let c = counter t (Dispatcher.event_name event) in
+  ignore
+    (Dispatcher.install_exn event ~installer:"Monitor"
+       ~guard:(fun arg -> if interest arg then incr c; false)
+       (fun _ -> assert false))
+
+let counts t = List.map (fun (name, c) -> (name, !c)) t.counters
+
+let report t =
+  let elapsed_us =
+    Spin_machine.Cost.cycles_to_us (Clock.cost t.clock)
+      (Clock.now t.clock - t.started_at) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "event activity over %.0f us:\n" elapsed_us);
+  List.iter
+    (fun (name, c) ->
+      let rate =
+        if elapsed_us > 0. then float_of_int !c /. (elapsed_us /. 1e6)
+        else 0. in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-28s %8d  (%.0f/s)\n" name !c rate))
+    t.counters;
+  Buffer.contents buf

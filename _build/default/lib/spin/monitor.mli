@@ -1,0 +1,26 @@
+(** A passive monitoring extension (paper, section 3.2: "the model
+    allows extensions to passively monitor system activity, and
+    provide up-to-date performance information to applications").
+
+    The monitor installs counting handlers on events of interest —
+    optionally guarded, so it can watch a single instance — and
+    reports per-event rates over virtual time. It never perturbs
+    results: its handlers cost one dispatch each and return nothing. *)
+
+type t
+
+val create : Spin_machine.Clock.t -> t
+
+val watch : t -> ('a, 'r) Spin_core.Dispatcher.event -> unit
+(** Count every raise of the event. *)
+
+val watch_with :
+  t -> ('a, 'r) Spin_core.Dispatcher.event -> interest:('a -> bool) -> unit
+(** Count only raises whose argument satisfies [interest] (a guard —
+    per-instance monitoring). *)
+
+val counts : t -> (string * int) list
+(** Events in watch order with their observed raise counts. *)
+
+val report : t -> string
+(** Human-readable counts and rates per virtual second. *)

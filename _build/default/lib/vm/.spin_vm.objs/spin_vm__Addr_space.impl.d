@@ -1,0 +1,1 @@
+lib/vm/addr_space.ml: Array Hashtbl List Option Phys_addr Spin_core Spin_machine Translation Virt_addr Vm

@@ -1,0 +1,1 @@
+lib/vm/mach_task.ml: Addr_space Spin_machine Translation Vm

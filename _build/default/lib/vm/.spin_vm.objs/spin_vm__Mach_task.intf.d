@@ -1,0 +1,1 @@
+lib/vm/mach_task.mli: Addr_space Spin_machine Translation

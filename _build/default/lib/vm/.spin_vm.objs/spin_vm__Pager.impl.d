@@ -1,0 +1,1 @@
+lib/vm/pager.ml: Array Bytes Hashtbl List Option Phys_addr Spin_core Spin_machine Spin_sched Translation Virt_addr Vm

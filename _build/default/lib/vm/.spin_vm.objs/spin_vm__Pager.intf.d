@@ -1,0 +1,1 @@
+lib/vm/pager.mli: Spin_machine Spin_sched Translation Virt_addr Vm

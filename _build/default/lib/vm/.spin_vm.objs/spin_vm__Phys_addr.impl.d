@@ -1,0 +1,1 @@
+lib/vm/phys_addr.ml: List Option Spin_core Spin_dstruct Spin_machine

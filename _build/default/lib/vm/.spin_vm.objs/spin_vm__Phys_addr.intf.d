@@ -1,0 +1,1 @@
+lib/vm/phys_addr.mli: Spin_core Spin_machine

@@ -1,0 +1,1 @@
+lib/vm/translation.ml: Hashtbl List Option Phys_addr Spin_core Spin_machine Virt_addr

@@ -1,0 +1,1 @@
+lib/vm/virt_addr.ml: Hashtbl List Spin_core Spin_machine

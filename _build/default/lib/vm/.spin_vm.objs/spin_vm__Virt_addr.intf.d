@@ -1,0 +1,1 @@
+lib/vm/virt_addr.mli: Spin_core Spin_machine

@@ -1,0 +1,1 @@
+lib/vm/vm.mli: Phys_addr Spin_core Spin_machine Translation Virt_addr

@@ -1,0 +1,1 @@
+lib/vm/vm_ext.ml: Phys_addr Spin_core Spin_machine Translation Virt_addr Vm

@@ -1,0 +1,1 @@
+lib/vm/vm_ext.mli: Spin_machine Translation Vm

@@ -1,0 +1,1 @@
+lib/vm/write_barrier.ml: List Spin_machine Vm Vm_ext

@@ -1,0 +1,1 @@
+lib/vm/write_barrier.mli: Vm Vm_ext

@@ -1,0 +1,49 @@
+(** UNIX address-space semantics as a kernel extension (paper,
+    section 4.1): an interface for copying an existing address space
+    and allocating additional memory within one, built by composing
+    the three memory services.
+
+    [copy] implements fork with copy-on-write: parent and child share
+    frames read-only; the manager's guarded [ProtectionFault] handler
+    copies a page on first write. *)
+
+type mgr
+(** The extension instance; install one per kernel. *)
+
+type t
+(** One address space. *)
+
+val create_manager : Vm.t -> mgr
+(** Installs the copy-on-write fault handler. *)
+
+val vm : mgr -> Vm.t
+
+val create : mgr -> name:string -> t
+
+val copy : mgr -> t -> name:string -> t
+(** Fork: a new space sharing every resident page copy-on-write. *)
+
+val allocate : t -> bytes:int -> int
+(** Allocate zeroed, mapped read-write memory; returns the virtual
+    address. *)
+
+val allocate_at : t -> va:int -> bytes:int -> int option
+
+val free : t -> va:int -> unit
+(** Frees the allocation starting at [va] (no-op if unknown). *)
+
+val destroy : t -> unit
+(** Unmaps everything, releases frames (shared frames survive until
+    the last space drops them) and destroys the context. *)
+
+val context : t -> Translation.context
+
+val name : t -> string
+
+val resident_pages : t -> int
+
+val cow_copies : mgr -> int
+(** Pages copied by write faults since boot. *)
+
+val activate : t -> unit
+(** Make this the CPU's current user context. *)

@@ -1,0 +1,26 @@
+module Addr = Spin_machine.Addr
+
+type t = {
+  mgr : Addr_space.mgr;
+  space : Addr_space.t;
+}
+
+let create mgr ~name = { mgr; space = Addr_space.create mgr ~name }
+
+let task_self t = Addr_space.context t.space
+
+let vm_allocate t ~size = Addr_space.allocate t.space ~bytes:size
+
+let vm_deallocate t ~address = Addr_space.free t.space ~va:address
+
+let vm_protect t ~address ~size prot =
+  let trans = (Addr_space.vm t.mgr).Vm.trans in
+  Translation.protect trans (Addr_space.context t.space)
+    ~va:address ~npages:(Addr.round_up_pages size) prot
+
+let fork_task t ~name =
+  { mgr = t.mgr; space = Addr_space.copy t.mgr t.space ~name }
+
+let destroy t = Addr_space.destroy t.space
+
+let space t = t.space

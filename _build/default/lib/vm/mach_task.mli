@@ -1,0 +1,24 @@
+(** A kernel extension exporting Mach's task memory abstraction
+    (paper, section 4.1) — [vm_allocate]/[vm_deallocate]/[vm_protect]
+    over a SPIN address space, demonstrating that different address
+    space models coexist above the same three services. *)
+
+type t
+
+val create : Addr_space.mgr -> name:string -> t
+
+val task_self : t -> Translation.context
+
+val vm_allocate : t -> size:int -> int
+(** Returns the base address of fresh zero-filled memory. *)
+
+val vm_deallocate : t -> address:int -> unit
+
+val vm_protect : t -> address:int -> size:int -> Spin_machine.Addr.prot -> int
+(** Returns the number of pages changed. *)
+
+val fork_task : t -> name:string -> t
+
+val destroy : t -> unit
+
+val space : t -> Addr_space.t

@@ -1,0 +1,30 @@
+(** Demand paging as an extension (paper, section 4.1): a handler on
+    [Translation.PageNotPresent] that allocates a frame, reads the
+    page from backing store, and maps it — exactly the composition the
+    paper advertises for building services like paging and distributed
+    shared memory above the translation events.
+
+    Faults must occur in strand context: the handler blocks the
+    faulting strand on the disk read. *)
+
+type t
+
+val create :
+  Vm.t -> Spin_sched.Sched.t -> disk:Spin_machine.Disk_dev.t -> t
+(** Claims the whole disk as backing store and registers its
+    completion interrupt handler. *)
+
+val make_pageable :
+  t -> Translation.context -> Virt_addr.vaddr -> unit
+(** Back the region with disk; pages fault in on first touch (zero
+    filled the first time) and can be evicted. *)
+
+val evict : t -> Translation.context -> va:int -> bool
+(** Write the page out (if dirty) and drop its frame; [false] when the
+    page is not resident or not managed here. *)
+
+val resident : t -> Translation.context -> va:int -> bool
+
+val faults_served : t -> int
+
+val pageouts : t -> int

@@ -1,0 +1,129 @@
+module Machine = Spin_machine.Machine
+module Phys_mem = Spin_machine.Phys_mem
+module Clock = Spin_machine.Clock
+module Addr = Spin_machine.Addr
+module Bitset = Spin_dstruct.Bitset
+module Capability = Spin_core.Capability
+module Dispatcher = Spin_core.Dispatcher
+
+type run = {
+  first_pfn : int;
+  npages : int;
+  owner : string;
+}
+
+type attrib = {
+  color : int option;
+  contiguous : bool;
+}
+
+let default_attrib = { color = None; contiguous = false }
+
+type page = run Capability.t
+
+exception Out_of_memory
+
+type t = {
+  machine : Machine.t;
+  colors : int;
+  used : Bitset.t;
+  mutable live : page list;              (* candidates for reclamation *)
+  reclaim : (page, page) Dispatcher.event;
+  mutable invalidate : (page -> unit) option;
+  alloc_cost : int;
+}
+
+let create ?(colors = 8) machine dispatcher =
+  let frames = Phys_mem.frames machine.Machine.mem in
+  let t =
+    { machine; colors;
+      used = Bitset.create frames;
+      live = [];
+      reclaim =
+        Dispatcher.declare dispatcher ~name:"PhysAddr.Reclaim" ~owner:"PhysAddr"
+          (fun candidate -> candidate);
+      invalidate = None;
+      alloc_cost = 120 } in
+  t
+
+let total_pages t = Bitset.length t.used
+
+let free_pages t = Bitset.length t.used - Bitset.count t.used
+
+let reclaim_event t = t.reclaim
+
+let set_invalidate t f = t.invalidate <- Some f
+
+let page_run = Capability.deref
+
+(* Find [n] frames honouring the attributes, or None. *)
+let find_frames t ~attrib ~n =
+  if attrib.contiguous || n > 1 then
+    Bitset.find_clear_run t.used n
+    |> Option.map (fun start -> List.init n (fun i -> start + i))
+  else
+    match attrib.color with
+    | None -> Bitset.find_first_clear t.used |> Option.map (fun f -> [ f ])
+    | Some c ->
+      let frames = Bitset.length t.used in
+      let rec scan pfn =
+        if pfn >= frames then None
+        else if not (Bitset.mem t.used pfn) && pfn mod t.colors = c mod t.colors
+        then Some [ pfn ]
+        else scan (pfn + 1) in
+      scan 0
+
+let release_frames t run =
+  for i = run.first_pfn to run.first_pfn + run.npages - 1 do
+    Bitset.clear t.used i
+  done
+
+let do_reclaim t =
+  (* Pick the oldest live allocation as the candidate; handlers may
+     substitute a less important page. *)
+  match List.rev t.live with
+  | [] -> None
+  | candidate :: _ ->
+    let victim = Dispatcher.raise_event t.reclaim candidate in
+    (match t.invalidate with Some f -> f victim | None -> ());
+    let run = Capability.deref victim in
+    release_frames t run;
+    Capability.revoke victim;
+    t.live <- List.filter (fun p -> not (Capability.equal p victim)) t.live;
+    Some victim
+
+let force_reclaim t = do_reclaim t
+
+let rec alloc_loop t ~attrib ~owner ~bytes =
+  let n = Addr.round_up_pages bytes in
+  Clock.charge t.machine.Machine.clock t.alloc_cost;
+  match find_frames t ~attrib ~n with
+  | Some frames ->
+    List.iter (Bitset.set t.used) frames;
+    let run = { first_pfn = List.hd frames; npages = n; owner } in
+    let cap = Capability.mint ~owner:"PhysAddr" run in
+    t.live <- cap :: t.live;
+    cap
+  | None ->
+    (* Memory pressure: reclaim a victim and retry once per victim. *)
+    match do_reclaim t with
+    | Some _ -> alloc_loop t ~attrib ~owner ~bytes
+    | None -> raise Out_of_memory
+
+let allocate ?(attrib = default_attrib) t ~owner ~bytes =
+  if bytes <= 0 then invalid_arg "PhysAddr.allocate: no bytes";
+  alloc_loop t ~attrib ~owner ~bytes
+
+let deallocate t page =
+  match Capability.deref_opt page with
+  | None -> ()
+  | Some run ->
+    release_frames t run;
+    Capability.revoke page;
+    t.live <- List.filter (fun p -> not (Capability.equal p page)) t.live
+
+let zero t page =
+  let run = Capability.deref page in
+  for i = run.first_pfn to run.first_pfn + run.npages - 1 do
+    Phys_mem.zero_frame t.machine.Machine.mem i
+  done

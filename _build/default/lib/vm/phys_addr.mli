@@ -1,0 +1,64 @@
+(** The physical address service (paper, Figure 3).
+
+    Controls use and allocation of physical pages. Clients receive a
+    capability for the memory, never a frame number — a physical page
+    "is not a nameable entity" outside the service. Allocation takes
+    attributes expressing machine-specific preferences (page color for
+    cache placement, contiguity). When memory runs low the service
+    raises the [PhysAddr.Reclaim] event; a handler may volunteer an
+    alternative page of lesser importance. *)
+
+type t
+
+type run = {
+  first_pfn : int;              (** visible only to sibling services *)
+  npages : int;
+  owner : string;
+}
+(** A run of one or more physically contiguous frames. *)
+
+type attrib = {
+  color : int option;           (** pfn mod colors, for cache placement *)
+  contiguous : bool;            (** require physically adjacent frames *)
+}
+
+val default_attrib : attrib
+
+type page = run Spin_core.Capability.t
+
+exception Out_of_memory
+
+val create :
+  ?colors:int -> Spin_machine.Machine.t -> Spin_core.Dispatcher.t -> t
+(** [colors] is the cache-color modulus (default 8). *)
+
+val allocate : ?attrib:attrib -> t -> owner:string -> bytes:int -> page
+(** Allocates enough frames to cover [bytes]. When the free pool is
+    exhausted, raises the Reclaim event to find a victim before
+    giving up with {!Out_of_memory}. *)
+
+val deallocate : t -> page -> unit
+(** Returns the frames and revokes the capability. Idempotent. *)
+
+val reclaim_event : t -> (page, page) Spin_core.Dispatcher.event
+(** [Reclaim] carries the candidate page; handlers may return an
+    alternative. *)
+
+val set_invalidate : t -> (page -> unit) -> unit
+(** Installed by the translation service: invalidate any mappings to
+    a page being reclaimed. *)
+
+val force_reclaim : t -> page option
+(** Reclaims one victim page now (for tests and memory pressure).
+    The returned page has been invalidated and freed. *)
+
+val total_pages : t -> int
+
+val free_pages : t -> int
+
+val page_run : page -> run
+(** Sibling-service access to the frame numbers. Raises
+    [Capability.Revoked] on a dead capability. *)
+
+val zero : t -> page -> unit
+(** Zero-fill the pages (charging the copy cost). *)

@@ -1,0 +1,34 @@
+(** The virtual address service (paper, Figure 3).
+
+    Allocates capabilities for virtual address regions; a region is a
+    virtual address, a length, and the address-space identifier that
+    makes the address unique. *)
+
+type t
+
+type region = {
+  va : int;
+  bytes : int;
+  asid : int;
+  owner : string;
+}
+
+type vaddr = region Spin_core.Capability.t
+
+val create : Spin_machine.Machine.t -> t
+
+val allocate : t -> asid:int -> owner:string -> bytes:int -> vaddr
+(** Page-aligned, sized up to whole pages. Addresses are unique within
+    the address space. *)
+
+val allocate_at : t -> asid:int -> owner:string -> va:int -> bytes:int -> vaddr option
+(** Fixed-address allocation (for UNIX-style exec layouts); [None] if
+    the range overlaps an existing allocation. *)
+
+val deallocate : t -> vaddr -> unit
+
+val region : vaddr -> region
+
+val npages : region -> int
+
+val allocated_bytes : t -> asid:int -> int

@@ -1,0 +1,22 @@
+module Cpu = Spin_machine.Cpu
+module Machine = Spin_machine.Machine
+
+type t = {
+  machine : Machine.t;
+  dispatcher : Spin_core.Dispatcher.t;
+  phys : Phys_addr.t;
+  virt : Virt_addr.t;
+  trans : Translation.t;
+}
+
+let create ?trans_costs machine dispatcher =
+  let phys = Phys_addr.create machine dispatcher in
+  let virt = Virt_addr.create machine in
+  let trans = Translation.create ?costs:trans_costs machine dispatcher phys in
+  { machine; dispatcher; phys; virt; trans }
+
+let handle_trap t trap = Translation.handle_trap t.trans trap
+
+let install_trap_handler t =
+  Cpu.set_trap_handler t.machine.Machine.cpu
+    (fun trap -> if handle_trap t trap then 0 else -1)

@@ -1,0 +1,36 @@
+module Addr = Spin_machine.Addr
+
+type t = {
+  vm : Vm.t;
+  ext : Vm_ext.t;
+  mutable dirty : int list;                (* newest first *)
+  mutable armed : int list;
+  mutable faults : int;
+}
+
+let create vm ext =
+  let t = { vm; ext; dirty = []; armed = []; faults = 0 } in
+  Vm_ext.on_protection_fault ext (fun page ->
+    t.faults <- t.faults + 1;
+    if not (List.mem page t.dirty) then t.dirty <- page :: t.dirty;
+    (* Log, then open the page: subsequent stores are free. *)
+    Vm_ext.protect ext ~first:page ~count:1 Addr.prot_read_write);
+  t
+
+let protect_pages t pages =
+  List.iter
+    (fun page -> Vm_ext.protect t.ext ~first:page ~count:1 Addr.prot_read)
+    pages
+
+let arm t ~pages =
+  t.armed <- pages;
+  t.dirty <- [];
+  protect_pages t pages
+
+let rearm t =
+  protect_pages t (List.rev t.dirty);
+  t.dirty <- []
+
+let dirty_pages t = List.rev t.dirty
+
+let faults_taken t = t.faults

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Bl_kernel Os_costs Printf Spin_baseline

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Capability Dispatcher Extern_ref Kdomain List Nameserver Object_file Option Spin_core Spin_machine String Symbol Ty Univ

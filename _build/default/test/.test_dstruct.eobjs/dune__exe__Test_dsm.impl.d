@@ -1,0 +1,1 @@
+test/test_dsm.ml: Alcotest Host Ip Printf Spin_core Spin_dsm Spin_machine Spin_net Spin_sched Spin_vm

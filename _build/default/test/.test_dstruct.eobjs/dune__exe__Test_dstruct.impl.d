@@ -1,0 +1,1 @@
+test/test_dstruct.ml: Alcotest Bitset Dllist Idtable List Lru Option Pqueue QCheck2 QCheck_alcotest Ring Spin_dstruct

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Host Ip List Netdbg Spin Spin_core Spin_machine Spin_net Spin_sched String

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Buffer Bytes Char Host Ip Netif Spin_core Spin_machine Spin_net Spin_sched Tcp Udp

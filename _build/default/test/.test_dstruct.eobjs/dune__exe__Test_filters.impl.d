@@ -1,0 +1,1 @@
+test/test_filters.ml: Alcotest Bytes Ip List Pkt_filter Printf Spin Spin_core Spin_machine Spin_net Spin_vm Udp

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Block_cache Bytes Char File_cache List Printf Simple_fs Spin_core Spin_fs Spin_machine Spin_sched String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Buffer Bytes Forward Host Http Ip List Netdbg Option Printf Spin Spin_core Spin_fs Spin_machine Spin_net Spin_sched String Tcp Udp Video

@@ -1,0 +1,1 @@
+test/test_kgc.ml: Alcotest Array Kheap List Printf QCheck2 QCheck_alcotest Spin_kgc Spin_machine

@@ -1,0 +1,1 @@
+test/test_machine.ml: Addr Alcotest Buffer Bytes Char Clock Console_dev Cost Cpu Disk_dev Intr Link List Machine Mmu Nic Option Phys_mem Sim Spin_machine

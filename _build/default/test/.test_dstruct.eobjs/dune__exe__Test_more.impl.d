@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Bytes Forward Host Http Ip List Option Spin Spin_core Spin_fs Spin_machine Spin_net Spin_sched Spin_vm String Tcp Udp Video

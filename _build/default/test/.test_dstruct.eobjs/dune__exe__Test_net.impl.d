@@ -1,0 +1,1 @@
+test/test_net.ml: Active_msg Alcotest Buffer Bytes Char Forward Host Http Icmp Ip List Option Pkt Printf Proto_graph Rpc Spin_core Spin_fs Spin_machine Spin_net Spin_sched String Tcp Udp

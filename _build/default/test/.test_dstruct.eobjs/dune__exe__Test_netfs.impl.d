@@ -1,0 +1,1 @@
+test/test_netfs.ml: Alcotest Bytes Host Ip List Option Spin_fs Spin_machine Spin_net Spin_netfs Spin_sched

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Buffer Bytes Hashtbl Host Ip List Pkt Printf QCheck2 QCheck_alcotest Spin_core Spin_fs Spin_machine Spin_net Spin_sched Spin_vm String Tcp

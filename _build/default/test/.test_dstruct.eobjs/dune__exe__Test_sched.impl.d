@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest App_sched Coro Cthreads Kthread List Option Osf_threads Printf Sched Spin_core Spin_machine Spin_sched Strand

@@ -1,0 +1,1 @@
+test/test_spin.ml: Alcotest Array Kernel Printf Spin Spin_core

@@ -1,0 +1,1 @@
+test/test_vm.ml: Addr_space Alcotest Mach_task Pager Phys_addr Spin_core Spin_machine Spin_sched Spin_vm Translation Virt_addr Vm Vm_ext

@@ -1,0 +1,559 @@
+(* Tests for the SPIN extension infrastructure: universal values,
+   capabilities, externalized references, safe object files, protection
+   domains / dynamic linking, the nameserver, and the event
+   dispatcher. *)
+
+open Alcotest
+open Spin_core
+module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
+
+let clock () = Clock.create Cost.alpha_133
+
+(* ------------------------------------------------------------------ *)
+(* Univ                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_univ_roundtrip () =
+  let ti : int Univ.tag = Univ.tag ~name:"int" () in
+  let ts : string Univ.tag = Univ.tag ~name:"string" () in
+  let u = Univ.pack ti 42 in
+  check (option int) "same tag" (Some 42) (Univ.unpack ti u);
+  check (option string) "wrong tag" None (Univ.unpack ts (Univ.pack ti 1));
+  check string "carries name" "int" (Univ.name u)
+
+let test_univ_branding () =
+  (* Two tags at the same type do not alias: branding. *)
+  let t1 : int Univ.tag = Univ.tag ~name:"Console.T" () in
+  let t2 : int Univ.tag = Univ.tag ~name:"Console.T" () in
+  let u = Univ.pack t1 7 in
+  check (option int) "own tag" (Some 7) (Univ.unpack t1 u);
+  check (option int) "identically-named stranger" None (Univ.unpack t2 u)
+
+(* ------------------------------------------------------------------ *)
+(* Capability                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_capability_lifecycle () =
+  let c = Capability.mint ~owner:"Console" "the-console" in
+  check string "deref" "the-console" (Capability.deref c);
+  check bool "valid" true (Capability.is_valid c);
+  check string "owner" "Console" (Capability.owner c);
+  Capability.revoke c;
+  check bool "revoked" false (Capability.is_valid c);
+  check (option string) "deref_opt" None (Capability.deref_opt c);
+  (try
+     ignore (Capability.deref c);
+     fail "expected Revoked"
+   with Capability.Revoked _ -> ());
+  Capability.revoke c (* idempotent *)
+
+let test_capability_ids_unique () =
+  let a = Capability.mint ~owner:"x" 1 and b = Capability.mint ~owner:"x" 1 in
+  check bool "distinct ids" true (Capability.id a <> Capability.id b);
+  check bool "not equal" false (Capability.equal a b);
+  check bool "self equal" true (Capability.equal a a)
+
+(* ------------------------------------------------------------------ *)
+(* Extern_ref                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_extern_ref_roundtrip () =
+  let tag : string Univ.tag = Univ.tag ~name:"PhysAddr.T" () in
+  let tbl = Extern_ref.create ~app:"dbase" in
+  let i = Extern_ref.externalize tbl tag "page-7" in
+  check (option string) "recover" (Some "page-7") (Extern_ref.recover tbl tag i);
+  check int "live" 1 (Extern_ref.live tbl)
+
+let test_extern_ref_forgery () =
+  let tag : string Univ.tag = Univ.tag ~name:"PhysAddr.T" () in
+  let other : string Univ.tag = Univ.tag ~name:"VirtAddr.T" () in
+  let tbl = Extern_ref.create ~app:"dbase" in
+  let i = Extern_ref.externalize tbl tag "page-7" in
+  check (option string) "forged index" None (Extern_ref.recover tbl tag (i + 1000));
+  check (option string) "wrong resource type" None (Extern_ref.recover tbl other i);
+  Extern_ref.release tbl i;
+  check (option string) "stale index" None (Extern_ref.recover tbl tag i);
+  check int "live after release" 0 (Extern_ref.live tbl)
+
+let test_extern_ref_per_app_isolation () =
+  let tag : int Univ.tag = Univ.tag ~name:"Strand.T" () in
+  let a = Extern_ref.create ~app:"a" and b = Extern_ref.create ~app:"b" in
+  let i = Extern_ref.externalize a tag 5 in
+  check (option int) "other app's table" None (Extern_ref.recover b tag i)
+
+(* ------------------------------------------------------------------ *)
+(* Object files and domains                                           *)
+(* ------------------------------------------------------------------ *)
+
+let proc_ty = Ty.Proc ([ Ty.Text ], Ty.Unit)
+
+let write_tag : (string -> unit) Univ.tag = Univ.tag ~name:"proc" ()
+
+(* Build a "Console" module object file exporting Write. *)
+let console_obj ?(safety = Object_file.Compiler_signed) out () =
+  let b = Object_file.Builder.create ~name:"console.o" ~safety () in
+  let sym = Symbol.make ~intf:"Console" ~name:"Write" proc_ty in
+  Object_file.Builder.export b sym
+    (Univ.pack write_tag (fun msg -> out := !out @ [ msg ]));
+  Object_file.Builder.build b
+
+(* Build a "Gatekeeper" client importing Console.Write. *)
+let gatekeeper_obj ?(ty = proc_ty) ?init_log () =
+  let b = Object_file.Builder.create ~name:"gatekeeper.o"
+      ~safety:Object_file.Compiler_signed () in
+  let cell = Object_file.Builder.import b
+      (Symbol.make ~intf:"Console" ~name:"Write" ty) in
+  (match init_log with
+   | Some log ->
+     Object_file.Builder.set_init b (fun () -> log := "init" :: !log)
+   | None -> ());
+  (Object_file.Builder.build b, cell)
+
+let test_domain_rejects_unsigned () =
+  let out = ref [] in
+  match Kdomain.create (console_obj ~safety:Object_file.Unsigned out ()) with
+  | Error (Kdomain.Unsafe_object "console.o") -> ()
+  | Ok _ | Error _ -> fail "unsigned object must be rejected"
+
+let test_domain_accepts_asserted () =
+  (* The DEC OSF/1 C drivers path: safe by kernel assertion. *)
+  let out = ref [] in
+  match Kdomain.create (console_obj ~safety:(Object_file.Asserted_safe "kernel") out ()) with
+  | Ok _ -> ()
+  | Error e -> fail (Kdomain.error_to_string e)
+
+let test_domain_resolve_links_and_runs () =
+  let out = ref [] in
+  let source = Kdomain.create_exn (console_obj out ()) in
+  let obj, cell = gatekeeper_obj () in
+  let target = Kdomain.create_exn obj in
+  check bool "unresolved before" false (Kdomain.fully_resolved target);
+  let patched = Kdomain.resolve_exn ~source ~target in
+  check int "one symbol patched" 1 patched;
+  check bool "resolved after" true (Kdomain.fully_resolved target);
+  (* The client calls through its import cell at memory speed. *)
+  (match !cell with
+   | Some u ->
+     (match Univ.unpack write_tag u with
+      | Some write -> write "Intruder Alert"
+      | None -> fail "export had wrong representation")
+   | None -> fail "cell not patched");
+  check (list string) "call went through" [ "Intruder Alert" ] !out
+
+let test_domain_type_conflict () =
+  (* Gatekeeper declares Console.Write with a conflicting signature. *)
+  let out = ref [] in
+  let source = Kdomain.create_exn (console_obj out ()) in
+  let obj, cell = gatekeeper_obj ~ty:(Ty.Proc ([ Ty.Int ], Ty.Unit)) () in
+  let target = Kdomain.create_exn obj in
+  (match Kdomain.resolve ~source ~target with
+   | Error (Kdomain.Type_mismatch { symbol = "Console.Write"; _ }) -> ()
+   | Ok _ -> fail "type conflict must fail"
+   | Error e -> fail (Kdomain.error_to_string e));
+  check bool "cell untouched" true (Option.is_none !cell)
+
+let test_domain_resolve_atomic () =
+  (* One good import, one conflicting: nothing is patched. *)
+  let b = Object_file.Builder.create ~name:"client.o"
+      ~safety:Object_file.Compiler_signed () in
+  let good = Object_file.Builder.import b
+      (Symbol.make ~intf:"Console" ~name:"Write" proc_ty) in
+  let _bad = Object_file.Builder.import b
+      (Symbol.make ~intf:"Console" ~name:"Read" Ty.Int) in
+  let target = Kdomain.create_exn (Object_file.Builder.build b) in
+  let sb = Object_file.Builder.create ~name:"console.o"
+      ~safety:Object_file.Compiler_signed () in
+  Object_file.Builder.export sb
+    (Symbol.make ~intf:"Console" ~name:"Write" proc_ty)
+    (Univ.pack write_tag ignore);
+  Object_file.Builder.export sb
+    (Symbol.make ~intf:"Console" ~name:"Read" Ty.Text)
+    (Univ.pack write_tag ignore);
+  let source = Kdomain.create_exn (Object_file.Builder.build sb) in
+  (match Kdomain.resolve ~source ~target with
+   | Error _ -> ()
+   | Ok _ -> fail "expected type conflict");
+  check bool "good import also left unpatched" true (Option.is_none !good)
+
+let test_domain_resolve_is_directional () =
+  (* Resolve only patches the target; cross-linking needs two calls. *)
+  let out = ref [] in
+  let a = Kdomain.create_exn (console_obj out ()) in
+  let obj, _ = gatekeeper_obj () in
+  let b = Kdomain.create_exn obj in
+  ignore (Kdomain.resolve_exn ~source:b ~target:a);  (* nothing to patch *)
+  check bool "b still unresolved" false (Kdomain.fully_resolved b);
+  ignore (Kdomain.resolve_exn ~source:a ~target:b);
+  check bool "b resolved" true (Kdomain.fully_resolved b)
+
+let test_domain_combine () =
+  let out = ref [] in
+  let console = Kdomain.create_exn (console_obj out ()) in
+  let extra = Kdomain.create_from_module ~name:"Extra"
+      ~exports:[ (Symbol.make ~intf:"Extra" ~name:"Noop" Ty.Unit,
+                  Univ.pack write_tag ignore) ] in
+  let public = Kdomain.combine ~name:"SpinPublic" console extra in
+  check int "union of exports" 2 (List.length (Kdomain.exports public));
+  check bool "lookup via aggregate" true
+    (Option.is_some (Kdomain.lookup public "Console.Write"));
+  let obj, _ = gatekeeper_obj () in
+  let client = Kdomain.create_exn obj in
+  ignore (Kdomain.resolve_exn ~source:public ~target:client);
+  check bool "client resolved from aggregate" true (Kdomain.fully_resolved client)
+
+let test_domain_init_once () =
+  let log = ref [] in
+  let obj, _ = gatekeeper_obj ~init_log:log () in
+  let d = Kdomain.create_exn obj in
+  Kdomain.initialize d;
+  Kdomain.initialize d;
+  check (list string) "initializer ran once" [ "init" ] !log
+
+(* ------------------------------------------------------------------ *)
+(* Nameserver                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_nameserver_lookup () =
+  let ns = Nameserver.create (clock ()) in
+  let d = Kdomain.create_from_module ~name:"ConsoleService" ~exports:[] in
+  Nameserver.register ns ~name:"ConsoleService" d;
+  (match Nameserver.lookup ns ~name:"ConsoleService" { Nameserver.who = "anyone" } with
+   | Ok d' -> check string "same domain" "ConsoleService" (Kdomain.name d')
+   | Error _ -> fail "lookup failed");
+  (match Nameserver.lookup ns ~name:"NoSuch" { Nameserver.who = "anyone" } with
+   | Error Nameserver.Unknown_name -> ()
+   | _ -> fail "expected unknown name")
+
+let test_nameserver_authorization () =
+  let ns = Nameserver.create (clock ()) in
+  let d = Kdomain.create_from_module ~name:"Disk" ~exports:[] in
+  Nameserver.register ns ~name:"DiskService"
+    ~authorize:(fun { Nameserver.who } -> String.equal who "fileserver") d;
+  (match Nameserver.lookup ns ~name:"DiskService" { Nameserver.who = "fileserver" } with
+   | Ok _ -> ()
+   | Error _ -> fail "authorized importer denied");
+  (match Nameserver.lookup ns ~name:"DiskService" { Nameserver.who = "game" } with
+   | Error Nameserver.Denied -> ()
+   | _ -> fail "unauthorized importer admitted");
+  check int "denial recorded" 1 (Nameserver.denials ns)
+
+let test_nameserver_reregister () =
+  let ns = Nameserver.create (clock ()) in
+  let v1 = Kdomain.create_from_module ~name:"v1" ~exports:[] in
+  let v2 = Kdomain.create_from_module ~name:"v2" ~exports:[] in
+  Nameserver.register ns ~name:"Svc" v1;
+  Nameserver.register ns ~name:"Svc" v2;
+  (match Nameserver.lookup ns ~name:"Svc" { Nameserver.who = "x" } with
+   | Ok d -> check string "new version wins" "v2" (Kdomain.name d)
+   | Error _ -> fail "lookup failed");
+  check (list string) "names list deduplicated" [ "Svc" ] (Nameserver.names ns);
+  Nameserver.unregister ns ~name:"Svc";
+  check (list string) "unregistered" [] (Nameserver.names ns)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk_dispatcher () =
+  let c = clock () in
+  (c, Dispatcher.create c)
+
+let test_dispatch_fast_path_is_a_call () =
+  let c, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Console.Write" ~owner:"Console"
+      (fun x -> x * 2) in
+  let before = Clock.now c in
+  check int "default runs" 14 (Dispatcher.raise_event e 7);
+  check int "costs one cross-module call"
+    Cost.alpha_133.Cost.cross_module_call
+    (Clock.now c - before);
+  let s = Dispatcher.stats e in
+  check int "fast path taken" 1 s.Dispatcher.fast_path
+
+let test_dispatch_multiple_handlers_last_wins () =
+  let _, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Ev" ~owner:"M" (fun () -> "primary") in
+  let _ = Dispatcher.install_exn e ~installer:"ext1" (fun () -> "ext1") in
+  let _ = Dispatcher.install_exn e ~installer:"ext2" (fun () -> "ext2") in
+  check string "result of final handler" "ext2" (Dispatcher.raise_event e ());
+  check int "three handlers" 3 (Dispatcher.handler_count e)
+
+let test_dispatch_guards () =
+  (* The IP-style per-instance dispatch: guards select by packet type. *)
+  let _, d = mk_dispatcher () in
+  let log = ref [] in
+  let e = Dispatcher.declare d ~name:"IP.PacketArrived" ~owner:"IP"
+      ~combine:(fun _ -> ()) (fun _ -> ()) in
+  let _ = Dispatcher.install_exn e ~installer:"UDP"
+      ~guard:(fun proto -> proto = 17) (fun _ -> log := "udp" :: !log) in
+  let _ = Dispatcher.install_exn e ~installer:"TCP"
+      ~guard:(fun proto -> proto = 6) (fun _ -> log := "tcp" :: !log) in
+  Dispatcher.raise_event e 17;
+  Dispatcher.raise_event e 6;
+  Dispatcher.raise_event e 1;              (* ICMP: nobody but primary *)
+  check (list string) "routed by guard" [ "udp"; "tcp" ] (List.rev !log);
+  let s = Dispatcher.stats e in
+  (* raise(17): tcp guard rejects; raise(6): udp rejects; raise(1): both. *)
+  check int "guard rejections" 4 s.Dispatcher.guard_rejections
+
+let test_dispatch_guard_costs_linear () =
+  (* Section 5.5: cost grows linearly in the number of false guards. *)
+  let c, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"UDP.PacketArrived" ~owner:"UDP"
+      ~combine:(fun _ -> ()) (fun _ -> ()) in
+  for _ = 1 to 50 do
+    ignore (Dispatcher.install_exn e ~installer:"watcher"
+              ~guard:(fun _ -> false) (fun _ -> ()))
+  done;
+  let spent = Clock.stamp c (fun () -> Dispatcher.raise_event e ()) in
+  let costs = Dispatcher.default_costs in
+  let expected =
+    costs.Dispatcher.dispatch_fixed
+    + (50 * costs.Dispatcher.guard_eval)
+    + costs.Dispatcher.handler_invoke (* the primary still runs *) in
+  check int "50 false guards" expected spent
+
+let test_dispatch_stacked_guards_conjoin () =
+  let _, d = mk_dispatcher () in
+  let hits = ref 0 in
+  let e = Dispatcher.declare d ~name:"Ev" ~owner:"M"
+      ~combine:(fun _ -> ()) (fun _ -> ()) in
+  let h = Dispatcher.install_exn e ~installer:"ext"
+      ~guard:(fun x -> x > 0) (fun _ -> incr hits) in
+  Dispatcher.add_guard h (fun x -> x < 10);
+  Dispatcher.raise_event e 5;              (* passes both *)
+  Dispatcher.raise_event e 50;             (* fails second *)
+  Dispatcher.raise_event e (-1);           (* fails first *)
+  check int "conjunction" 1 !hits
+
+let test_dispatch_auth_deny () =
+  let _, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Sched.Block" ~owner:"Sched"
+      ~auth:(fun ~installer ->
+        if String.equal installer "trusted" then Dispatcher.allow
+        else Dispatcher.Deny)
+      (fun () -> ()) in
+  (match Dispatcher.install e ~installer:"rogue" (fun () -> ()) with
+   | Error `Denied -> ()
+   | Ok _ -> fail "rogue install admitted");
+  (match Dispatcher.install e ~installer:"trusted" (fun () -> ()) with
+   | Ok _ -> ()
+   | Error `Denied -> fail "trusted install denied")
+
+let test_dispatch_auth_imposed_guard () =
+  (* The primary attaches its own guard to every installation, as the
+     IP module does with protocol types. *)
+  let _, d = mk_dispatcher () in
+  let seen = ref [] in
+  let e = Dispatcher.declare d ~name:"IP.PacketArrived" ~owner:"IP"
+      ~combine:(fun _ -> ())
+      ~auth:(fun ~installer:_ ->
+        Dispatcher.Allow {
+          guard = Some (fun proto -> proto = 17);
+          bound_cycles = None; force_async = false })
+      (fun _ -> ()) in
+  let _ = Dispatcher.install_exn e ~installer:"udp"
+      (fun p -> seen := p :: !seen) in
+  Dispatcher.raise_event e 17;
+  Dispatcher.raise_event e 6;
+  check (list int) "primary's guard filters" [ 17 ] (List.rev !seen)
+
+let test_dispatch_remove_primary () =
+  let _, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Ev" ~owner:"M"
+      ~allow_remove_primary:(fun ~requester -> String.equal requester "new-impl")
+      (fun () -> "old") in
+  (match Dispatcher.remove_primary e ~requester:"rogue" with
+   | Error `Denied -> ()
+   | Ok () -> fail "rogue removal admitted");
+  let _ = Dispatcher.install_exn e ~installer:"new-impl" (fun () -> "new") in
+  (match Dispatcher.remove_primary e ~requester:"new-impl" with
+   | Ok () -> ()
+   | Error `Denied -> fail "authorized removal denied");
+  check string "replacement serves" "new" (Dispatcher.raise_event e ());
+  check int "one handler left" 1 (Dispatcher.handler_count e);
+  Dispatcher.reinstate_primary e;
+  check int "primary back" 2 (Dispatcher.handler_count e)
+
+let test_dispatch_no_handler () =
+  let _, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Ev" ~owner:"M" (fun () -> 1) in
+  (match Dispatcher.remove_primary e ~requester:"M" with
+   | Error `Denied -> () | Ok () -> fail "default must deny removal");
+  let e2 = Dispatcher.declare d ~name:"Ev2" ~owner:"M"
+      ~allow_remove_primary:(fun ~requester:_ -> true) (fun () -> 1) in
+  (match Dispatcher.remove_primary e2 ~requester:"x" with
+   | Ok () -> () | Error `Denied -> fail "removal should pass");
+  (try
+     ignore (Dispatcher.raise_event e2 ());
+     fail "expected No_handler"
+   with Dispatcher.No_handler "Ev2" -> ());
+  check int "raise_default falls back" 9 (Dispatcher.raise_default e2 9 ())
+
+let test_dispatch_combiner () =
+  let _, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Sum" ~owner:"M"
+      ~combine:(List.fold_left ( + ) 0) (fun x -> x) in
+  let _ = Dispatcher.install_exn e ~installer:"a" (fun x -> x * 10) in
+  let _ = Dispatcher.install_exn e ~installer:"b" (fun x -> x * 100) in
+  check int "combined result" 333 (Dispatcher.raise_event e 3)
+
+let test_dispatch_async_deferred () =
+  let _, d = mk_dispatcher () in
+  let ran = ref false in
+  let e = Dispatcher.declare d ~name:"Ev" ~owner:"M"
+      ~combine:(fun _ -> ()) (fun _ -> ()) in
+  let _ = Dispatcher.install_exn e ~installer:"bg" ~async:true
+      (fun _ -> ran := true) in
+  Dispatcher.raise_event e ();
+  check bool "raiser not blocked on handler" false !ran;
+  check int "one deferred" 1 (Dispatcher.flush_deferred d);
+  check bool "ran at flush" true !ran
+
+let test_dispatch_async_spawn_hook () =
+  let _, d = mk_dispatcher () in
+  let spawned = ref 0 in
+  Dispatcher.set_async_spawn d (fun thunk -> incr spawned; thunk ());
+  let e = Dispatcher.declare d ~name:"Ev" ~owner:"M"
+      ~combine:(fun _ -> ()) (fun _ -> ()) in
+  let _ = Dispatcher.install_exn e ~installer:"bg" ~async:true (fun _ -> ()) in
+  Dispatcher.raise_event e ();
+  check int "spawned through hook" 1 !spawned
+
+let test_dispatch_bounded_abort () =
+  let c, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Ev" ~owner:"M" (fun () -> "primary") in
+  let _ = Dispatcher.install_exn e ~installer:"slow" ~bound_cycles:100
+      (fun () -> Clock.charge c 10_000; "slow") in
+  (* The slow handler overruns its bound: aborted, result discarded,
+     so the primary's result is the final one. *)
+  check string "aborted handler's result dropped" "primary"
+    (Dispatcher.raise_event e ());
+  let s = Dispatcher.stats e in
+  check int "abort recorded" 1 s.Dispatcher.aborted
+
+let test_dispatch_bounded_within () =
+  let c, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Ev" ~owner:"M" (fun () -> "primary") in
+  let _ = Dispatcher.install_exn e ~installer:"quick" ~bound_cycles:1000
+      (fun () -> Clock.charge c 10; "quick") in
+  check string "bounded handler in budget" "quick" (Dispatcher.raise_event e ());
+  check int "no abort" 0 (Dispatcher.stats e).Dispatcher.aborted
+
+let test_dispatch_uninstall () =
+  let _, d = mk_dispatcher () in
+  let hits = ref 0 in
+  let e = Dispatcher.declare d ~name:"Ev" ~owner:"M"
+      ~combine:(fun _ -> ()) (fun _ -> ()) in
+  let h = Dispatcher.install_exn e ~installer:"x" (fun _ -> incr hits) in
+  Dispatcher.raise_event e ();
+  Dispatcher.uninstall e h;
+  Dispatcher.raise_event e ();
+  check int "no hits after uninstall" 1 !hits
+
+let test_dispatch_indexed () =
+  (* Section 5.5's future-work optimization: equality guards become a
+     hash lookup. *)
+  let c, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Pkt.Demux" ~owner:"Filter"
+      ~combine:(fun _ -> ())
+      ~index:(fun proto -> proto)
+      (fun _ -> ()) in
+  let log = ref [] in
+  for p = 0 to 49 do
+    (match Dispatcher.install_indexed e ~installer:"svc" ~key:p
+             (fun _ -> log := p :: !log) with
+     | Ok _ -> ()
+     | Error _ -> fail "indexed install failed")
+  done;
+  Dispatcher.raise_event e 17;
+  Dispatcher.raise_event e 3;
+  check (list int) "exactly the keyed handlers ran" [ 17; 3 ] (List.rev !log);
+  (* Cost: one index evaluation, not 50 guard evaluations. *)
+  let spent = Clock.stamp c (fun () -> Dispatcher.raise_event e 17) in
+  let costs = Dispatcher.default_costs in
+  check bool "dispatch is O(1) in keys" true
+    (spent < costs.Dispatcher.dispatch_fixed
+             + (3 * costs.Dispatcher.guard_eval)
+             + (2 * costs.Dispatcher.handler_invoke)
+             + Spin_machine.Cost.alpha_133.Spin_machine.Cost.cross_module_call + 200)
+
+let test_dispatch_indexed_requires_index () =
+  let _, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Plain" ~owner:"M" (fun () -> ()) in
+  (match Dispatcher.install_indexed e ~installer:"x" ~key:1 (fun () -> ()) with
+   | Error `No_index -> ()
+   | Ok _ | Error `Denied -> fail "index required")
+
+let test_dispatch_topology () =
+  let _, d = mk_dispatcher () in
+  let e1 = Dispatcher.declare d ~name:"Ether.PktArrived" ~owner:"Ether"
+      ~combine:(fun _ -> ()) (fun _ -> ()) in
+  let _e2 = Dispatcher.declare d ~name:"IP.PacketArrived" ~owner:"IP"
+      ~combine:(fun _ -> ()) (fun _ -> ()) in
+  let _ = Dispatcher.install_exn e1 ~installer:"IP" (fun _ -> ()) in
+  (match Dispatcher.topology d with
+   | [ ("Ether.PktArrived", "Ether", handlers); ("IP.PacketArrived", "IP", _) ] ->
+     check (list string) "handlers listed" [ "Ether"; "IP" ] handlers
+   | _ -> fail "unexpected topology")
+
+let () =
+  Alcotest.run "spin_core"
+    [
+      ( "univ",
+        [
+          test_case "roundtrip" `Quick test_univ_roundtrip;
+          test_case "branding" `Quick test_univ_branding;
+        ] );
+      ( "capability",
+        [
+          test_case "lifecycle" `Quick test_capability_lifecycle;
+          test_case "unique ids" `Quick test_capability_ids_unique;
+        ] );
+      ( "extern_ref",
+        [
+          test_case "roundtrip" `Quick test_extern_ref_roundtrip;
+          test_case "forgery resists" `Quick test_extern_ref_forgery;
+          test_case "per-app isolation" `Quick test_extern_ref_per_app_isolation;
+        ] );
+      ( "domains",
+        [
+          test_case "unsigned rejected" `Quick test_domain_rejects_unsigned;
+          test_case "asserted-safe accepted" `Quick test_domain_accepts_asserted;
+          test_case "resolve links and calls" `Quick test_domain_resolve_links_and_runs;
+          test_case "type conflict is a link error" `Quick test_domain_type_conflict;
+          test_case "resolve is atomic" `Quick test_domain_resolve_atomic;
+          test_case "resolve is directional" `Quick test_domain_resolve_is_directional;
+          test_case "combine aggregates" `Quick test_domain_combine;
+          test_case "init runs once" `Quick test_domain_init_once;
+        ] );
+      ( "nameserver",
+        [
+          test_case "register and lookup" `Quick test_nameserver_lookup;
+          test_case "authorization" `Quick test_nameserver_authorization;
+          test_case "re-register replaces" `Quick test_nameserver_reregister;
+        ] );
+      ( "dispatcher",
+        [
+          test_case "fast path is a procedure call" `Quick test_dispatch_fast_path_is_a_call;
+          test_case "last handler's result" `Quick test_dispatch_multiple_handlers_last_wins;
+          test_case "guards route by instance" `Quick test_dispatch_guards;
+          test_case "guard cost is linear" `Quick test_dispatch_guard_costs_linear;
+          test_case "stacked guards conjoin" `Quick test_dispatch_stacked_guards_conjoin;
+          test_case "primary authorizes installs" `Quick test_dispatch_auth_deny;
+          test_case "primary imposes guards" `Quick test_dispatch_auth_imposed_guard;
+          test_case "primary removal" `Quick test_dispatch_remove_primary;
+          test_case "no handler" `Quick test_dispatch_no_handler;
+          test_case "result combination" `Quick test_dispatch_combiner;
+          test_case "async defers" `Quick test_dispatch_async_deferred;
+          test_case "async spawn hook" `Quick test_dispatch_async_spawn_hook;
+          test_case "bounded handler aborts" `Quick test_dispatch_bounded_abort;
+          test_case "bounded handler within budget" `Quick test_dispatch_bounded_within;
+          test_case "uninstall" `Quick test_dispatch_uninstall;
+          test_case "indexed dispatch (5.5 future work)" `Quick test_dispatch_indexed;
+          test_case "indexed requires an index" `Quick
+            test_dispatch_indexed_requires_index;
+          test_case "topology introspection" `Quick test_dispatch_topology;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+(* Tests for the distributed shared memory extension: page fetching,
+   ownership migration, and invalidation across simulated hosts. *)
+
+open Alcotest
+open Spin_net
+module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
+module Sim = Spin_machine.Sim
+module Nic = Spin_machine.Nic
+module Machine = Spin_machine.Machine
+module Sched = Spin_sched.Sched
+module Dispatcher = Spin_core.Dispatcher
+module Translation = Spin_vm.Translation
+module Vm = Spin_vm.Vm
+module Dsm = Spin_dsm.Dsm
+
+let addr_m = Ip.addr_of_quad 10 0 0 1
+let addr_a = Ip.addr_of_quad 10 0 0 2
+let addr_b = Ip.addr_of_quad 10 0 0 3
+
+type node = {
+  host : Host.t;
+  vm : Vm.t;
+  dsm : Dsm.t;
+  region : Dsm.region;
+}
+
+(* Three hosts in a star around the manager, over ATM (pages fit the
+   AAL5 MTU). Each node gets a VM, its trap wiring, a DSM node, and an
+   attached 4-page shared region. *)
+let cluster () =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let mk name addr =
+    let host = Host.create sim ~name ~addr in
+    let vm = Vm.create host.Host.machine host.Host.dispatcher in
+    Spin_machine.Cpu.set_trap_handler host.Host.machine.Machine.cpu
+      (fun trap -> if Vm.handle_trap vm trap then 0 else -1);
+    (host, vm) in
+  let mh, mv = mk "manager" addr_m in
+  let ah, av = mk "node-a" addr_a in
+  let bh, bv = mk "node-b" addr_b in
+  ignore (Host.wire mh ah ~kind:Nic.Fore_atm);
+  ignore (Host.wire mh bh ~kind:Nic.Fore_atm);
+  let node host vm =
+    let dsm = Dsm.create vm host ~manager:addr_m in
+    let ctx = Translation.create_context vm.Vm.trans ~owner:"app" in
+    let region = Dsm.attach dsm ctx ~region_id:1 ~pages:4 in
+    { host; vm; dsm; region } in
+  let m = node mh mv and a = node ah av and b = node bh bv in
+  (m, a, b)
+
+let hosts (m, a, b) = [ m.host; a.host; b.host ]
+
+(* Run a sequence of steps, each on a given node's scheduler, in
+   order. *)
+let run_steps cluster steps =
+  let failure = ref None in
+  let rec chain = function
+    | [] -> ()
+    | (node, body) :: rest ->
+      ignore (Sched.spawn node.host.Host.sched ~name:"dsm-step" (fun () ->
+        (try body () with e -> failure := Some e);
+        chain rest)) in
+  chain steps;
+  Host.run_all (hosts cluster);
+  match !failure with Some e -> raise e | None -> ()
+
+let test_read_sees_remote_write () =
+  let (m, a, b) = cluster () in
+  run_steps (m, a, b)
+    [
+      (a, fun () -> Dsm.write_word a.dsm a.region ~page:0 42L);
+      (b, fun () ->
+        check int64 "b reads a's write" 42L
+          (Dsm.read_word b.dsm b.region ~page:0));
+    ];
+  let sa = Dsm.stats a.dsm and sb = Dsm.stats b.dsm in
+  check int "a took a write fault" 1 sa.Dsm.write_faults;
+  check int "b took a read fault" 1 sb.Dsm.read_faults
+
+let test_initial_pages_zero () =
+  let (m, a, b) = cluster () in
+  run_steps (m, a, b)
+    [ (b, fun () ->
+        check int64 "unwritten page reads zero" 0L
+          (Dsm.read_word b.dsm b.region ~page:3)) ]
+
+let test_write_invalidates_readers () =
+  let (m, a, b) = cluster () in
+  run_steps (m, a, b)
+    [
+      (a, fun () -> Dsm.write_word a.dsm a.region ~page:1 7L);
+      (b, fun () -> ignore (Dsm.read_word b.dsm b.region ~page:1));
+      (m, fun () -> ignore (Dsm.read_word m.dsm m.region ~page:1));
+      (* a updates: every read copy must be shot down. *)
+      (a, fun () -> Dsm.write_word a.dsm a.region ~page:1 8L);
+      (b, fun () ->
+        check int64 "b refetches the new value" 8L
+          (Dsm.read_word b.dsm b.region ~page:1));
+    ];
+  check bool "b was invalidated" true
+    ((Dsm.stats b.dsm).Dsm.invalidations >= 1);
+  check int "b faulted twice for reads" 2 (Dsm.stats b.dsm).Dsm.read_faults
+
+let test_ownership_migrates () =
+  let (m, a, b) = cluster () in
+  run_steps (m, a, b)
+    [
+      (a, fun () -> Dsm.write_word a.dsm a.region ~page:2 1L);
+      (b, fun () -> Dsm.write_word b.dsm b.region ~page:2 2L);
+      (a, fun () ->
+        check int64 "a sees b's ownership write" 2L
+          (Dsm.read_word a.dsm a.region ~page:2));
+      (b, fun () ->
+        (* b still owns: no further fault for its own read. *)
+        check int64 "owner reads locally" 2L
+          (Dsm.read_word b.dsm b.region ~page:2));
+    ];
+  let sb = Dsm.stats b.dsm in
+  check int "b acquired ownership once" 1 sb.Dsm.write_faults
+
+let test_read_then_upgrade_locally () =
+  let (m, a, b) = cluster () in
+  run_steps (m, a, b)
+    [
+      (a, fun () -> Dsm.write_word a.dsm a.region ~page:0 5L);
+      (b, fun () ->
+        check int64 "read copy" 5L (Dsm.read_word b.dsm b.region ~page:0);
+        (* Upgrading a read copy to write is a protection fault. *)
+        Dsm.write_word b.dsm b.region ~page:0 6L;
+        check int64 "write landed" 6L (Dsm.read_word b.dsm b.region ~page:0));
+      (a, fun () ->
+        check int64 "a sees the upgrade" 6L
+          (Dsm.read_word a.dsm a.region ~page:0));
+    ]
+
+let test_pages_are_independent () =
+  let (m, a, b) = cluster () in
+  run_steps (m, a, b)
+    [
+      (a, fun () -> Dsm.write_word a.dsm a.region ~page:0 10L);
+      (b, fun () -> Dsm.write_word b.dsm b.region ~page:1 11L);
+      (m, fun () ->
+        check int64 "page 0" 10L (Dsm.read_word m.dsm m.region ~page:0);
+        check int64 "page 1" 11L (Dsm.read_word m.dsm m.region ~page:1));
+    ]
+
+let test_manager_participates () =
+  let (m, a, b) = cluster () in
+  run_steps (m, a, b)
+    [
+      (m, fun () -> Dsm.write_word m.dsm m.region ~page:3 99L);
+      (a, fun () ->
+        check int64 "node reads manager's page" 99L
+          (Dsm.read_word a.dsm a.region ~page:3));
+      (b, fun () ->
+        Dsm.write_word b.dsm b.region ~page:3 100L);
+      (m, fun () ->
+        check int64 "manager refetches from b" 100L
+          (Dsm.read_word m.dsm m.region ~page:3));
+    ]
+
+let test_faults_cost_network_time () =
+  let (m, a, b) = cluster () in
+  let clock = m.host.Host.machine.Machine.clock in
+  let before = ref 0. and after = ref 0. in
+  run_steps (m, a, b)
+    [
+      (a, fun () -> Dsm.write_word a.dsm a.region ~page:0 1L);
+      (b, fun () ->
+        before := Clock.now_us clock;
+        ignore (Dsm.read_word b.dsm b.region ~page:0);
+        after := Clock.now_us clock);
+    ];
+  let us = !after -. !before in
+  (* Two RPC legs moving an 8 KB page over ATM: roughly a few
+     milliseconds of virtual time with PIO. *)
+  check bool (Printf.sprintf "remote fault costs network time (%.0f us)" us)
+    true (us > 500. && us < 20_000.)
+
+let () =
+  Alcotest.run "spin_dsm"
+    [
+      ( "dsm",
+        [
+          test_case "read sees remote write" `Quick test_read_sees_remote_write;
+          test_case "initial pages zero" `Quick test_initial_pages_zero;
+          test_case "write invalidates readers" `Quick test_write_invalidates_readers;
+          test_case "ownership migrates" `Quick test_ownership_migrates;
+          test_case "read then local upgrade" `Quick test_read_then_upgrade_locally;
+          test_case "pages independent" `Quick test_pages_are_independent;
+          test_case "manager participates" `Quick test_manager_participates;
+          test_case "faults pay network time" `Quick test_faults_cost_network_time;
+        ] );
+    ]

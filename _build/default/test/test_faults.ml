@@ -1,0 +1,217 @@
+(* Failure injection: lossy wires, receive-ring overflow, faulting
+   extension handlers, and rogue extensions generally. The theme is
+   the paper's section 4.3: failures stay isolated to the extension
+   (and peer) that caused them. *)
+
+open Alcotest
+open Spin_net
+module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
+module Sim = Spin_machine.Sim
+module Nic = Spin_machine.Nic
+module Link = Spin_machine.Link
+module Machine = Spin_machine.Machine
+module Sched = Spin_sched.Sched
+module Dispatcher = Spin_core.Dispatcher
+
+let addr_a = Ip.addr_of_quad 10 0 0 1
+let addr_b = Ip.addr_of_quad 10 0 0 2
+
+(* Host.wire hides the link, so build the lossy topology by hand. *)
+let lossy_hosts ~every =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let a = Host.create sim ~name:"a" ~addr:addr_a in
+  let b = Host.create sim ~name:"b" ~addr:addr_b in
+  let nic_a = Machine.add_nic a.Host.machine ~kind:Nic.Lance in
+  let nic_b = Machine.add_nic b.Host.machine ~kind:Nic.Lance in
+  let link = Link.create sim ~mbps:(Nic.link_mbps Nic.Lance) () in
+  Nic.attach nic_a link Link.A;
+  Nic.attach nic_b link Link.B;
+  Link.set_loss link ~every;
+  let na = Netif.create a.Host.machine a.Host.sched a.Host.dispatcher nic_a
+      ~name:"Ether" in
+  let nb = Netif.create b.Host.machine b.Host.sched b.Host.dispatcher nic_b
+      ~name:"Ether" in
+  Ip.add_interface a.Host.ip na ~addr:addr_a;
+  Ip.add_interface b.Host.ip nb ~addr:addr_b;
+  Ip.add_route a.Host.ip ~dst:addr_b na;
+  Ip.add_route b.Host.ip ~dst:addr_a nb;
+  Netif.start na;
+  Netif.start nb;
+  (clock, a, b, link)
+
+let test_udp_lossy_wire_drops_silently () =
+  let _, a, b, link = lossy_hosts ~every:3 in
+  let received = ref 0 in
+  ignore (Udp.listen b.Host.udp ~port:9 ~installer:"sink"
+            (fun _ -> incr received));
+  ignore (Sched.spawn a.Host.sched ~name:"send" (fun () ->
+    for _ = 1 to 9 do
+      ignore (Udp.send a.Host.udp ~dst:addr_b ~port:9 (Bytes.create 32))
+    done));
+  Host.run_all [ a; b ];
+  check int "a third of the datagrams vanished" 6 !received;
+  check int "wire counted the drops" 3 (Link.frames_dropped link)
+
+let test_tcp_retransmits_through_loss () =
+  (* Every 5th frame disappears; TCP must still deliver the exact
+     stream, paying retransmission timeouts. *)
+  let clock, a, b, link = lossy_hosts ~every:5 in
+  let received = Buffer.create 4096 in
+  Tcp.listen b.Host.tcp ~port:80 ~on_accept:(fun conn ->
+    Tcp.on_receive conn (fun data -> Buffer.add_bytes received data));
+  let payload = Bytes.init 6_000 (fun i -> Char.chr (i land 0xff)) in
+  let connected = ref false in
+  ignore (Sched.spawn a.Host.sched ~name:"send" (fun () ->
+    match Tcp.connect a.Host.tcp ~dst:addr_b ~dst_port:80 with
+    | None -> ()
+    | Some conn ->
+      connected := true;
+      Tcp.send a.Host.tcp conn payload;
+      (* Give retransmission time to finish the job. *)
+      Sched.sleep_us a.Host.sched 3_000_000.));
+  Host.run_all [ a; b ];
+  check bool "handshake survived loss" true !connected;
+  check bytes "stream intact despite drops" payload (Buffer.to_bytes received);
+  check bool "retransmissions happened" true
+    ((Tcp.stats a.Host.tcp).Tcp.retransmits > 0);
+  check bool "frames really were lost" true (Link.frames_dropped link > 0);
+  check bool "loss cost real time" true (Clock.now_us clock > 200_000.)
+
+let test_tcp_gives_up_on_dead_wire () =
+  (* Total blackout: the handshake retries, then fails cleanly. *)
+  let _, a, b, link = lossy_hosts ~every:1 in
+  ignore b;
+  Tcp.listen b.Host.tcp ~port:80 ~on_accept:(fun _ -> ());
+  let result = ref (Some "unset") in
+  ignore (Sched.spawn a.Host.sched ~name:"connect" (fun () ->
+    match Tcp.connect a.Host.tcp ~dst:addr_b ~dst_port:80 with
+    | None -> result := None
+    | Some _ -> result := Some "connected"));
+  Host.run_all [ a; b ];
+  check bool "connect returned None" true (!result = None);
+  check bool "everything was dropped" true (Link.frames_dropped link >= 8)
+
+let test_rx_ring_overflow_drops () =
+  (* A burst larger than the 64-frame receive ring, delivered while
+     the receiving host cannot drain (its scheduler never runs until
+     the burst is over): the extras are dropped at the device, and the
+     counter says so. *)
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let a = Machine.create_on sim ~name:"a" () in
+  let b = Machine.create_on sim ~name:"b" () in
+  let nic_a, nic_b = Machine.connect a b ~kind:Nic.Lance () in
+  for _ = 1 to 80 do
+    ignore (Nic.transmit nic_a (Bytes.create 64))
+  done;
+  Sim.run sim;
+  check int "ring holds its capacity" 64 (Nic.rx_pending nic_b);
+  check int "the rest were dropped" 16 (Nic.rx_dropped nic_b)
+
+(* ------------------------------------------------------------------ *)
+(* Faulting extension handlers                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_handler_exception_isolated () =
+  let clock = Clock.create Cost.alpha_133 in
+  let d = Dispatcher.create clock in
+  let e = Dispatcher.declare d ~name:"Svc.Op" ~owner:"Svc"
+      ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  let healthy = ref 0 in
+  ignore (Dispatcher.install_exn e ~installer:"rogue"
+            (fun _ -> failwith "rogue extension bug"));
+  ignore (Dispatcher.install_exn e ~installer:"healthy"
+            (fun _ -> incr healthy));
+  (* The raise survives and the healthy handler still runs. *)
+  Dispatcher.raise_event e 1;
+  check int "healthy handler ran" 1 !healthy;
+  check int "failure recorded" 1 (Dispatcher.stats e).Dispatcher.handler_failures;
+  (* The rogue handler was uninstalled: no more failures. *)
+  Dispatcher.raise_event e 2;
+  check int "rogue evicted after first fault" 1
+    (Dispatcher.stats e).Dispatcher.handler_failures;
+  check int "healthy keeps running" 2 !healthy
+
+let test_primary_exception_propagates () =
+  (* The default implementation is trusted; its failure is the
+     caller's problem, as with any procedure call. *)
+  let clock = Clock.create Cost.alpha_133 in
+  let d = Dispatcher.create clock in
+  let e = Dispatcher.declare d ~name:"Svc.Bad" ~owner:"Svc"
+      (fun () -> failwith "trusted service bug") in
+  check_raises "propagates" (Failure "trusted service bug")
+    (fun () -> Dispatcher.raise_event e ())
+
+let test_rogue_packet_handler_does_not_kill_network () =
+  (* A buggy monitoring extension on the UDP event must not take the
+     stack down: later packets still reach their ports. *)
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let a = Host.create sim ~name:"a" ~addr:addr_a in
+  let b = Host.create sim ~name:"b" ~addr:addr_b in
+  ignore (Host.wire a b ~kind:Nic.Lance);
+  ignore (Dispatcher.install_exn (Udp.packet_arrived b.Host.udp)
+            ~installer:"rogue" (fun _ -> failwith "boom"));
+  let got = ref 0 in
+  ignore (Udp.listen b.Host.udp ~port:9 ~installer:"svc" (fun _ -> incr got));
+  ignore (Sched.spawn a.Host.sched ~name:"send" (fun () ->
+    for _ = 1 to 3 do
+      ignore (Udp.send a.Host.udp ~dst:addr_b ~port:9 (Bytes.create 16))
+    done));
+  Host.run_all [ a; b ];
+  check int "all datagrams delivered" 3 !got;
+  check int "one failure, then evicted" 1
+    (Dispatcher.stats (Udp.packet_arrived b.Host.udp)).Dispatcher.handler_failures
+
+let test_bounded_udp_handler_aborted () =
+  (* The default implementation module may constrain a handler to run
+     in bounded time (paper, section 3.2): a runaway endpoint is
+     aborted by the dispatcher; the stack and other endpoints are
+     unharmed. *)
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let a = Host.create sim ~name:"a" ~addr:addr_a in
+  let b = Host.create sim ~name:"b" ~addr:addr_b in
+  ignore (Host.wire a b ~kind:Nic.Lance);
+  let runaway_progress = ref 0 and healthy = ref 0 in
+  ignore (Udp.listen ~bound_cycles:1_000 b.Host.udp ~port:9 ~installer:"runaway"
+            (fun _ ->
+              Clock.charge b.Host.machine.Machine.clock 50_000;
+              incr runaway_progress));
+  ignore (Udp.listen b.Host.udp ~port:10 ~installer:"healthy"
+            (fun _ -> incr healthy));
+  ignore (Sched.spawn a.Host.sched ~name:"send" (fun () ->
+    ignore (Udp.send a.Host.udp ~dst:addr_b ~port:9 (Bytes.create 8));
+    ignore (Udp.send a.Host.udp ~dst:addr_b ~port:10 (Bytes.create 8))));
+  Host.run_all [ a; b ];
+  check int "runaway body did execute" 1 !runaway_progress;
+  check int "but was recorded as aborted" 1
+    (Dispatcher.stats (Udp.packet_arrived b.Host.udp)).Dispatcher.aborted;
+  check int "other endpoints fine" 1 !healthy
+
+let () =
+  Alcotest.run "spin_faults"
+    [
+      ( "wire",
+        [
+          test_case "udp loss is silent" `Quick test_udp_lossy_wire_drops_silently;
+          test_case "tcp retransmits through loss" `Quick
+            test_tcp_retransmits_through_loss;
+          test_case "tcp gives up on a dead wire" `Quick
+            test_tcp_gives_up_on_dead_wire;
+          test_case "rx ring overflow" `Quick test_rx_ring_overflow_drops;
+        ] );
+      ( "extensions",
+        [
+          test_case "handler exception isolated" `Quick
+            test_handler_exception_isolated;
+          test_case "primary exception propagates" `Quick
+            test_primary_exception_propagates;
+          test_case "rogue handler spares the stack" `Quick
+            test_rogue_packet_handler_does_not_kill_network;
+          test_case "bounded handler aborted" `Quick
+            test_bounded_udp_handler_aborted;
+        ] );
+    ]

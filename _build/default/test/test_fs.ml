@@ -1,0 +1,277 @@
+(* Tests for the buffer cache, the on-disk file system, and the web
+   server's hybrid file cache. *)
+
+open Alcotest
+open Spin_fs
+module Machine = Spin_machine.Machine
+module Disk = Spin_machine.Disk_dev
+module Clock = Spin_machine.Clock
+module Dispatcher = Spin_core.Dispatcher
+module Sched = Spin_sched.Sched
+
+(* Everything runs in strand context; this helper boots a machine and
+   runs the body as a kernel thread. *)
+let with_fs_machine body =
+  let m = Machine.create ~name:"fstest" ~mem_mb:4 () in
+  let d = Dispatcher.create m.Machine.clock in
+  let sched = Sched.create m.Machine.sim d in
+  let disk = Machine.add_disk ~blocks:8192 m in
+  let cache = Block_cache.create m sched disk in
+  let failure = ref None in
+  ignore (Sched.spawn sched ~name:"fs-test" (fun () ->
+    try body m sched disk cache with e -> failure := Some e));
+  Sched.run sched;
+  match !failure with Some e -> raise e | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Block cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_block_cache_roundtrip () =
+  with_fs_machine (fun _ _ _ cache ->
+    let data = Bytes.make Disk.block_size 'z' in
+    Block_cache.write cache ~block:7 data;
+    check bytes "read back" data (Block_cache.read cache ~block:7))
+
+let test_block_cache_hits () =
+  with_fs_machine (fun _ _ _ cache ->
+    ignore (Block_cache.read cache ~block:3);      (* miss *)
+    ignore (Block_cache.read cache ~block:3);      (* hit *)
+    ignore (Block_cache.read cache ~block:3);      (* hit *)
+    check int "one miss" 1 (Block_cache.misses cache);
+    check int "two hits" 2 (Block_cache.hits cache))
+
+let test_block_cache_uncached_bypasses () =
+  with_fs_machine (fun _ _ _ cache ->
+    ignore (Block_cache.read_uncached cache ~block:9);
+    ignore (Block_cache.read_uncached cache ~block:9);
+    check int "no hits" 0 (Block_cache.hits cache))
+
+let test_block_cache_hit_is_fast () =
+  with_fs_machine (fun m _ _ cache ->
+    ignore (Block_cache.read cache ~block:5);
+    let hit = Clock.stamp m.Machine.clock (fun () ->
+      ignore (Block_cache.read cache ~block:5)) in
+    (* A hit is a memory copy (~microseconds); a miss is a disk access
+       (~milliseconds). *)
+    check bool "hit under 10us" true
+      (Spin_machine.Cost.cycles_to_us m.Machine.cost hit < 10.))
+
+(* ------------------------------------------------------------------ *)
+(* Simple_fs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fs_create_write_read () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"hello.txt";
+    Simple_fs.write fs ~name:"hello.txt" (Bytes.of_string "hello, disk");
+    check string "contents" "hello, disk"
+      (Bytes.to_string (Simple_fs.read fs ~name:"hello.txt"));
+    check int "size" 11 (Simple_fs.size fs ~name:"hello.txt"))
+
+let test_fs_large_file_indirect () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"big";
+    (* Past the direct blocks (12 * 512 = 6144 bytes). *)
+    let data = Bytes.init 40_000 (fun i -> Char.chr (i land 0xff)) in
+    Simple_fs.write fs ~name:"big" data;
+    check bytes "indirect blocks round-trip" data (Simple_fs.read fs ~name:"big"))
+
+let test_fs_max_file_size_enforced () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"huge";
+    check bool "max is 70KB" true (Simple_fs.max_file_bytes = 71680);
+    (try
+       Simple_fs.write fs ~name:"huge"
+         (Bytes.create (Simple_fs.max_file_bytes + 1));
+       fail "expected File_too_large"
+     with Simple_fs.Fs_error Simple_fs.File_too_large -> ()))
+
+let test_fs_append () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"log";
+    Simple_fs.append fs ~name:"log" (Bytes.of_string "one ");
+    Simple_fs.append fs ~name:"log" (Bytes.of_string "two");
+    check string "appended" "one two"
+      (Bytes.to_string (Simple_fs.read fs ~name:"log")))
+
+let test_fs_read_range () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"f";
+    Simple_fs.write fs ~name:"f" (Bytes.of_string "0123456789");
+    check string "middle" "345"
+      (Bytes.to_string (Simple_fs.read_range fs ~name:"f" ~off:3 ~len:3));
+    check string "over the end clips" "89"
+      (Bytes.to_string (Simple_fs.read_range fs ~name:"f" ~off:8 ~len:10)))
+
+let test_fs_errors () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    (try ignore (Simple_fs.read fs ~name:"ghost"); fail "expected error"
+     with Simple_fs.Fs_error Simple_fs.No_such_file -> ());
+    Simple_fs.create fs ~name:"dup";
+    (try Simple_fs.create fs ~name:"dup"; fail "expected File_exists"
+     with Simple_fs.Fs_error Simple_fs.File_exists -> ());
+    (try Simple_fs.create fs ~name:(String.make 40 'x'); fail "expected Name_too_long"
+     with Simple_fs.Fs_error Simple_fs.Name_too_long -> ()))
+
+let test_fs_delete_frees_space () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"tmp";
+    (* The root directory grew by a block on create; measure from
+       here so delete accounting is exact. *)
+    let free0 = Simple_fs.free_blocks fs in
+    Simple_fs.write fs ~name:"tmp" (Bytes.create 20_000);
+    check bool "space consumed" true (Simple_fs.free_blocks fs < free0);
+    Simple_fs.delete fs ~name:"tmp";
+    check int "space restored" free0 (Simple_fs.free_blocks fs);
+    check bool "gone" false (Simple_fs.exists fs ~name:"tmp");
+    check (list string) "directory empty" [] (Simple_fs.list_files fs))
+
+let test_fs_many_files_listed () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    let names = List.init 20 (Printf.sprintf "file%02d") in
+    List.iter (fun name ->
+      Simple_fs.create fs ~name;
+      Simple_fs.write fs ~name (Bytes.of_string name)) names;
+    check (list string) "all listed" names
+      (List.sort compare (Simple_fs.list_files fs));
+    List.iter (fun name ->
+      check string "each content" name
+        (Bytes.to_string (Simple_fs.read fs ~name))) names)
+
+let test_fs_persists_across_mount () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"stable";
+    Simple_fs.write fs ~name:"stable" (Bytes.of_string "persisted");
+    (* Drop all in-memory state and remount from disk blocks. *)
+    Block_cache.flush cache;
+    let fs2 = Simple_fs.mount cache in
+    check string "survives remount" "persisted"
+      (Bytes.to_string (Simple_fs.read fs2 ~name:"stable"));
+    check int "free space agrees"
+      (Simple_fs.free_blocks fs) (Simple_fs.free_blocks fs2))
+
+let test_fs_mount_rejects_garbage () =
+  with_fs_machine (fun _ _ _ cache ->
+    (try ignore (Simple_fs.mount cache); fail "expected mount failure"
+     with Simple_fs.Fs_error Simple_fs.No_such_file -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* File cache                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_file_cache_small_files_cached () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"small";
+    Simple_fs.write fs ~name:"small" (Bytes.of_string "tiny object");
+    let fc = File_cache.create fs in
+    (match File_cache.fetch fc ~name:"small" with
+     | Some data -> check string "first fetch" "tiny object" (Bytes.to_string data)
+     | None -> fail "missing");
+    ignore (File_cache.fetch fc ~name:"small");
+    let st = File_cache.stats fc in
+    check int "one miss then one hit" 1 st.File_cache.hits;
+    check int "misses" 1 st.File_cache.misses)
+
+let test_file_cache_large_files_bypass () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"large";
+    Simple_fs.write fs ~name:"large" (Bytes.create 70_000);
+    let fc = File_cache.create fs in
+    ignore (File_cache.fetch fc ~name:"large");
+    ignore (File_cache.fetch fc ~name:"large");
+    let st = File_cache.stats fc in
+    check int "no cache traffic" 0 (st.File_cache.hits + st.File_cache.misses);
+    check int "both bypassed" 2 st.File_cache.large_bypasses;
+    check int "nothing held" 0 st.File_cache.cached_bytes)
+
+let test_file_cache_hit_avoids_disk () =
+  with_fs_machine (fun m _ disk cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"obj";
+    Simple_fs.write fs ~name:"obj" (Bytes.create 4_000);
+    let fc = File_cache.create fs in
+    ignore (File_cache.fetch fc ~name:"obj");
+    let reads_before = Disk.reads disk in
+    let spent = Clock.stamp m.Machine.clock (fun () ->
+      ignore (File_cache.fetch fc ~name:"obj")) in
+    check int "no disk reads on hit" reads_before (Disk.reads disk);
+    check bool "hit is microseconds" true
+      (Spin_machine.Cost.cycles_to_us m.Machine.cost spent < 200.))
+
+let test_file_cache_byte_budget () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    let names = List.init 6 (Printf.sprintf "f%d") in
+    List.iter (fun name ->
+      Simple_fs.create fs ~name;
+      Simple_fs.write fs ~name (Bytes.create 10_000)) names;
+    let fc = File_cache.create ~capacity_bytes:30_000 fs in
+    List.iter (fun name -> ignore (File_cache.fetch fc ~name)) names;
+    let st = File_cache.stats fc in
+    check bool "budget respected" true (st.File_cache.cached_bytes <= 30_000);
+    check bool "something cached" true (st.File_cache.cached_bytes > 0))
+
+let test_file_cache_invalidate () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"f";
+    Simple_fs.write fs ~name:"f" (Bytes.of_string "v1");
+    let fc = File_cache.create fs in
+    ignore (File_cache.fetch fc ~name:"f");
+    Simple_fs.write fs ~name:"f" (Bytes.of_string "v2");
+    File_cache.invalidate fc ~name:"f";
+    (match File_cache.fetch fc ~name:"f" with
+     | Some data -> check string "fresh after invalidate" "v2" (Bytes.to_string data)
+     | None -> fail "missing"))
+
+let test_file_cache_missing_file () =
+  with_fs_machine (fun _ _ _ cache ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    let fc = File_cache.create fs in
+    check bool "none for ghosts" true (File_cache.fetch fc ~name:"ghost" = None))
+
+let () =
+  Alcotest.run "spin_fs"
+    [
+      ( "block_cache",
+        [
+          test_case "roundtrip" `Quick test_block_cache_roundtrip;
+          test_case "hit accounting" `Quick test_block_cache_hits;
+          test_case "uncached bypass" `Quick test_block_cache_uncached_bypasses;
+          test_case "hits are fast" `Quick test_block_cache_hit_is_fast;
+        ] );
+      ( "simple_fs",
+        [
+          test_case "create/write/read" `Quick test_fs_create_write_read;
+          test_case "indirect blocks" `Quick test_fs_large_file_indirect;
+          test_case "max size enforced" `Quick test_fs_max_file_size_enforced;
+          test_case "append" `Quick test_fs_append;
+          test_case "ranged reads" `Quick test_fs_read_range;
+          test_case "error cases" `Quick test_fs_errors;
+          test_case "delete frees space" `Quick test_fs_delete_frees_space;
+          test_case "many files" `Quick test_fs_many_files_listed;
+          test_case "persists across mount" `Quick test_fs_persists_across_mount;
+          test_case "mount rejects garbage" `Quick test_fs_mount_rejects_garbage;
+        ] );
+      ( "file_cache",
+        [
+          test_case "small files cached" `Quick test_file_cache_small_files_cached;
+          test_case "large files bypass" `Quick test_file_cache_large_files_bypass;
+          test_case "hits avoid the disk" `Quick test_file_cache_hit_avoids_disk;
+          test_case "byte budget" `Quick test_file_cache_byte_budget;
+          test_case "invalidate" `Quick test_file_cache_invalidate;
+          test_case "missing file" `Quick test_file_cache_missing_file;
+        ] );
+    ]

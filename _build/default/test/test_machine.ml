@@ -1,0 +1,544 @@
+(* Tests for the simulated workstation: clock, event queue, memory,
+   MMU, CPU traps, interrupts and devices. *)
+
+open Spin_machine
+
+open Alcotest
+
+let fresh () = Machine.create ~name:"test" ~mem_mb:4 ()
+
+(* ------------------------------------------------------------------ *)
+(* Clock and Sim                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_charges () =
+  let clock = Clock.create Cost.alpha_133 in
+  check int "starts at zero" 0 (Clock.now clock);
+  Clock.charge clock 100;
+  check int "advances" 100 (Clock.now clock);
+  Clock.charge clock 0;
+  check int "zero is free" 100 (Clock.now clock);
+  Clock.charge_us clock 1.0;
+  check int "one us is 133 cycles" 233 (Clock.now clock);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Clock.charge: negative cycles")
+    (fun () -> Clock.charge clock (-1))
+
+let test_clock_stamp_and_hooks () =
+  let clock = Clock.create Cost.alpha_133 in
+  let calls = ref 0 in
+  Clock.add_hook clock (fun _ -> incr calls);
+  let spent = Clock.stamp clock (fun () -> Clock.charge clock 50) in
+  check int "stamp measures" 50 spent;
+  check int "hook ran" 1 !calls;
+  Clock.skip_to clock 40;                 (* in the past: no-op *)
+  check int "skip_to past ignored" 50 (Clock.now clock);
+  Clock.skip_to clock 200;
+  check int "skip_to future" 200 (Clock.now clock);
+  check int "hook ran again" 2 !calls
+
+let test_sim_fires_in_order () =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let log = ref [] in
+  ignore (Sim.at sim 300 (fun () -> log := 3 :: !log));
+  ignore (Sim.at sim 100 (fun () -> log := 1 :: !log));
+  ignore (Sim.at sim 200 (fun () -> log := 2 :: !log));
+  Sim.run sim;
+  check (list int) "deadline order" [ 1; 2; 3 ] (List.rev !log);
+  check int "clock at last deadline" 300 (Clock.now clock)
+
+let test_sim_fire_on_charge () =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let fired = ref false in
+  ignore (Sim.after sim 100 (fun () -> fired := true));
+  Clock.charge clock 50;
+  check bool "not yet due" false !fired;
+  Clock.charge clock 60;                  (* passes the deadline *)
+  check bool "fired from charge hook" true !fired
+
+let test_sim_cancel () =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let fired = ref false in
+  let h = Sim.after sim 100 (fun () -> fired := true) in
+  Sim.cancel sim h;
+  Sim.run sim;
+  check bool "cancelled" false !fired;
+  check int "pending empty" 0 (Sim.pending sim)
+
+let test_sim_nested_schedule () =
+  (* An event that schedules another event; both run in one [run]. *)
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let log = ref [] in
+  ignore (Sim.after sim 10 (fun () ->
+    log := "first" :: !log;
+    ignore (Sim.after sim 10 (fun () -> log := "second" :: !log))));
+  Sim.run sim;
+  check (list string) "chained" [ "first"; "second" ] (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
+(* Physical memory                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_phys_mem_rw () =
+  let m = fresh () in
+  let data = Bytes.of_string "hello, physical world" in
+  Phys_mem.write_bytes m.Machine.mem ~pa:100 data;
+  let back = Phys_mem.read_bytes m.Machine.mem ~pa:100 ~len:(Bytes.length data) in
+  check string "roundtrip" "hello, physical world" (Bytes.to_string back)
+
+let test_phys_mem_cross_frame () =
+  let m = fresh () in
+  let pa = Addr.page_size - 4 in          (* straddles frames 0 and 1 *)
+  Phys_mem.write_word m.Machine.mem ~pa 0x1122334455667788L;
+  check int64 "word across frames" 0x1122334455667788L
+    (Phys_mem.read_word m.Machine.mem ~pa)
+
+let test_phys_mem_copy_charges () =
+  let m = fresh () in
+  let clock = m.Machine.clock in
+  let before = Clock.now clock in
+  Phys_mem.write_bytes m.Machine.mem ~pa:0 (Bytes.create 8000);
+  let spent = Clock.now clock - before in
+  check int "copy cost" ((8000 / 8) * Cost.alpha_133.Cost.copy_per_word) spent
+
+let test_phys_mem_bounds () =
+  let m = fresh () in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Phys_mem: physical range out of bounds")
+    (fun () ->
+      ignore (Phys_mem.read_bytes m.Machine.mem
+                ~pa:(Phys_mem.bytes_total m.Machine.mem - 2) ~len:8))
+
+(* ------------------------------------------------------------------ *)
+(* MMU                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_mmu_translate () =
+  let m = fresh () in
+  let mmu = m.Machine.mmu in
+  let ctx = Mmu.create_context mmu in
+  Mmu.map mmu ctx ~vpn:10 ~pfn:3 ~prot:Addr.prot_read_write;
+  (match Mmu.translate mmu ctx ~va:(Addr.va_of_vpn 10 + 24) Mmu.Read with
+   | Ok pa -> check int "pa" (Addr.pa_of_page 3 + 24) pa
+   | Error _ -> Alcotest.fail "unexpected fault");
+  (match Mmu.translate mmu ctx ~va:(Addr.va_of_vpn 11) Mmu.Read with
+   | Error Mmu.Page_not_present -> ()
+   | _ -> Alcotest.fail "expected page-not-present")
+
+let test_mmu_protection () =
+  let m = fresh () in
+  let mmu = m.Machine.mmu in
+  let ctx = Mmu.create_context mmu in
+  Mmu.map mmu ctx ~vpn:1 ~pfn:1 ~prot:Addr.prot_read;
+  (match Mmu.translate mmu ctx ~va:(Addr.va_of_vpn 1) Mmu.Write with
+   | Error Mmu.Protection_violation -> ()
+   | _ -> Alcotest.fail "expected protection violation");
+  check bool "protect upgrades" true
+    (Mmu.protect mmu ctx ~vpn:1 ~prot:Addr.prot_read_write);
+  (match Mmu.translate mmu ctx ~va:(Addr.va_of_vpn 1) Mmu.Write with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "write should succeed after protect");
+  check bool "protect of unmapped fails" false
+    (Mmu.protect mmu ctx ~vpn:77 ~prot:Addr.prot_read)
+
+let test_mmu_ref_mod_bits () =
+  let m = fresh () in
+  let mmu = m.Machine.mmu in
+  let ctx = Mmu.create_context mmu in
+  Mmu.map mmu ctx ~vpn:2 ~pfn:2 ~prot:Addr.prot_read_write;
+  let pte = Option.get (Mmu.lookup ctx ~vpn:2) in
+  check bool "fresh not referenced" false pte.Mmu.referenced;
+  ignore (Mmu.translate mmu ctx ~va:(Addr.va_of_vpn 2) Mmu.Read);
+  check bool "referenced after read" true pte.Mmu.referenced;
+  check bool "not modified after read" false pte.Mmu.modified;
+  ignore (Mmu.translate mmu ctx ~va:(Addr.va_of_vpn 2) Mmu.Write);
+  check bool "modified after write" true pte.Mmu.modified
+
+let test_mmu_tlb_counts () =
+  let m = fresh () in
+  let mmu = m.Machine.mmu in
+  let ctx = Mmu.create_context mmu in
+  Mmu.map mmu ctx ~vpn:5 ~pfn:5 ~prot:Addr.prot_read;
+  let va = Addr.va_of_vpn 5 in
+  let h0, m0 = Mmu.tlb_stats mmu in
+  ignore (Mmu.translate mmu ctx ~va Mmu.Read);     (* miss, fill *)
+  ignore (Mmu.translate mmu ctx ~va Mmu.Read);     (* hit *)
+  let h1, m1 = Mmu.tlb_stats mmu in
+  check int "one miss" 1 (m1 - m0);
+  check int "one hit" 1 (h1 - h0);
+  Mmu.tlb_flush_all mmu;
+  ignore (Mmu.translate mmu ctx ~va Mmu.Read);
+  let _, m2 = Mmu.tlb_stats mmu in
+  check int "miss after flush" 2 (m2 - m0)
+
+let test_mmu_context_isolation () =
+  let m = fresh () in
+  let mmu = m.Machine.mmu in
+  let c1 = Mmu.create_context mmu and c2 = Mmu.create_context mmu in
+  Mmu.map mmu c1 ~vpn:9 ~pfn:1 ~prot:Addr.prot_read;
+  (match Mmu.translate mmu c2 ~va:(Addr.va_of_vpn 9) Mmu.Read with
+   | Error Mmu.Page_not_present -> ()
+   | _ -> Alcotest.fail "contexts must be isolated");
+  Mmu.destroy_context mmu c1;
+  check int "context count" 1 (Mmu.contexts mmu)
+
+(* ------------------------------------------------------------------ *)
+(* CPU                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpu_syscall_costs () =
+  let m = fresh () in
+  let cpu = m.Machine.cpu in
+  Cpu.set_trap_handler cpu (function
+    | Cpu.Syscall { number; _ } -> number * 2
+    | _ -> -1);
+  let before = Clock.now m.Machine.clock in
+  let r = Cpu.syscall cpu ~number:21 ~args:[||] in
+  check int "handler result" 42 r;
+  let spent = Clock.now m.Machine.clock - before in
+  check int "trap entry+exit charged"
+    (Cost.alpha_133.Cost.trap_entry + Cost.alpha_133.Cost.trap_exit) spent
+
+let test_cpu_unhandled_trap () =
+  let m = fresh () in
+  (try
+     ignore (Cpu.syscall m.Machine.cpu ~number:1 ~args:[||]);
+     Alcotest.fail "expected Unhandled_trap"
+   with Cpu.Unhandled_trap (Cpu.Syscall { number = 1; _ }) -> ()
+      | _ -> Alcotest.fail "wrong exception")
+
+let test_cpu_fault_resume () =
+  (* A store to an unmapped page traps; the handler maps the page; the
+     access is retried and succeeds. *)
+  let m = fresh () in
+  let cpu = m.Machine.cpu and mmu = m.Machine.mmu in
+  let ctx = Mmu.create_context mmu in
+  Cpu.set_context cpu (Some ctx);
+  let faults = ref 0 in
+  Cpu.set_trap_handler cpu (function
+    | Cpu.Mem_fault { va; fault = Mmu.Page_not_present; _ } ->
+      incr faults;
+      Mmu.map mmu ctx ~vpn:(Addr.vpn_of_va va) ~pfn:7 ~prot:Addr.prot_read_write;
+      0
+    | _ -> -1);
+  Cpu.store_word cpu ~va:0x4000 99L;
+  check int "one fault" 1 !faults;
+  check int64 "store landed" 99L (Cpu.load_word cpu ~va:0x4000);
+  check int "no more faults" 1 !faults
+
+let test_cpu_unresolved_fault_raises () =
+  let m = fresh () in
+  let cpu = m.Machine.cpu in
+  let ctx = Mmu.create_context m.Machine.mmu in
+  Cpu.set_context cpu (Some ctx);
+  Cpu.set_trap_handler cpu (fun _ -> 0);  (* never fixes the fault *)
+  (try
+     ignore (Cpu.load_word cpu ~va:0x9000);
+     Alcotest.fail "expected Unhandled_trap"
+   with Cpu.Unhandled_trap _ -> ())
+
+let test_cpu_copy_user () =
+  let m = fresh () in
+  let cpu = m.Machine.cpu and mmu = m.Machine.mmu in
+  let ctx = Mmu.create_context mmu in
+  Cpu.set_context cpu (Some ctx);
+  Cpu.set_trap_handler cpu (function
+    | Cpu.Mem_fault { va; fault = Mmu.Page_not_present; _ } ->
+      let vpn = Addr.vpn_of_va va in
+      Mmu.map mmu ctx ~vpn ~pfn:vpn ~prot:Addr.prot_read_write;
+      0
+    | _ -> -1);
+  (* Spanning a page boundary forces two independent faults. *)
+  let va = Addr.page_size - 16 in
+  let payload = Bytes.init 64 (fun i -> Char.chr (i land 0xff)) in
+  Cpu.copy_to_user cpu ~va payload;
+  let back = Cpu.copy_from_user cpu ~va ~len:64 in
+  check bytes "copy roundtrip" payload back
+
+let test_cpu_context_switch_cost () =
+  let m = fresh () in
+  let cpu = m.Machine.cpu and mmu = m.Machine.mmu in
+  let c1 = Mmu.create_context mmu and c2 = Mmu.create_context mmu in
+  Cpu.set_context cpu (Some c1);
+  let before = Clock.now m.Machine.clock in
+  Cpu.set_context cpu (Some c1);          (* same context: free *)
+  check int "same context free" before (Clock.now m.Machine.clock);
+  Cpu.set_context cpu (Some c2);
+  check int "switch charged"
+    (before + Cost.alpha_133.Cost.addr_space_switch)
+    (Clock.now m.Machine.clock)
+
+(* ------------------------------------------------------------------ *)
+(* Interrupts                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_intr_delivery () =
+  let m = fresh () in
+  let intr = m.Machine.intr in
+  let hits = ref 0 in
+  Intr.register intr ~line:5 (fun () -> incr hits);
+  Intr.post intr ~line:5;
+  check int "delivered" 1 !hits;
+  check int "counted" 1 (Intr.delivered intr);
+  Intr.post intr ~line:9;                 (* nobody listens *)
+  check int "spurious" 1 (Intr.spurious intr)
+
+let test_intr_masking () =
+  let m = fresh () in
+  let intr = m.Machine.intr in
+  let log = ref [] in
+  Intr.register intr ~line:1 (fun () -> log := `Intr :: !log);
+  Intr.with_masked intr (fun () ->
+    Intr.post intr ~line:1;
+    log := `Critical :: !log);
+  check bool "critical ran before interrupt"
+    true (!log = [ `Intr; `Critical ]);
+  check int "eventually delivered" 1 (Intr.delivered intr)
+
+let test_intr_handler_not_reentered () =
+  let m = fresh () in
+  let intr = m.Machine.intr in
+  let depth = ref 0 and max_depth = ref 0 and reposted = ref false in
+  Intr.register intr ~line:2 (fun () ->
+    incr depth;
+    max_depth := max !max_depth !depth;
+    if not !reposted then begin
+      reposted := true;
+      Intr.post intr ~line:2                     (* re-post from handler *)
+    end;
+    decr depth);
+  Intr.post intr ~line:2;
+  check int "no nesting" 1 !max_depth;
+  check int "both delivered" 2 (Intr.delivered intr)
+
+(* ------------------------------------------------------------------ *)
+(* Devices                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_console_io () =
+  let m = fresh () in
+  let console = m.Machine.console in
+  let seen = ref "" in
+  Intr.register m.Machine.intr ~line:(Console_dev.line console) (fun () ->
+    let buf = Buffer.create 8 in
+    let rec drain () =
+      match Console_dev.getc console with
+      | Some c -> Buffer.add_char buf c; drain ()
+      | None -> () in
+    drain ();
+    seen := !seen ^ Buffer.contents buf);
+  Console_dev.puts console "Intruder Alert";
+  check string "output" "Intruder Alert" (Console_dev.output console);
+  Console_dev.inject_input console "ok";
+  check string "input via interrupt" "ok" !seen
+
+let test_disk_roundtrip () =
+  let m = fresh () in
+  let disk = Machine.add_disk m in
+  let got = ref None in
+  Intr.register m.Machine.intr ~line:(Disk_dev.line disk) (fun () ->
+    match Disk_dev.take_completion disk with
+    | Some (Disk_dev.Read_done { data; _ }) -> got := Some data
+    | Some (Disk_dev.Write_done _) | None -> ());
+  let payload = Bytes.make Disk_dev.block_size 'd' in
+  Disk_dev.submit_write disk ~block:10 payload;
+  Sim.run m.Machine.sim;
+  Disk_dev.submit_read disk ~block:10 ~count:1;
+  Sim.run m.Machine.sim;
+  (match !got with
+   | Some data -> check bytes "disk data" payload data
+   | None -> Alcotest.fail "read never completed");
+  check int "one read" 1 (Disk_dev.reads disk);
+  check int "one write" 1 (Disk_dev.writes disk)
+
+let test_disk_latency_model () =
+  let m = fresh () in
+  let disk = Machine.add_disk m in
+  Disk_dev.submit_read disk ~block:100 ~count:1;
+  Sim.run m.Machine.sim;
+  let first = Clock.now_us m.Machine.clock in
+  check bool "random access costs ms" true (first > 10_000.);
+  (* Sequential follow-up skips the seek. *)
+  Disk_dev.submit_read disk ~block:101 ~count:1;
+  Sim.run m.Machine.sim;
+  let second = Clock.now_us m.Machine.clock -. first in
+  check bool "sequential is cheap" true (second < 1_000.)
+
+let test_disk_fifo_queue () =
+  let m = fresh () in
+  let disk = Machine.add_disk m in
+  let order = ref [] in
+  Intr.register m.Machine.intr ~line:(Disk_dev.line disk) (fun () ->
+    match Disk_dev.take_completion disk with
+    | Some (Disk_dev.Read_done { block; _ }) -> order := block :: !order
+    | _ -> ());
+  Disk_dev.submit_read disk ~block:5 ~count:1;
+  Disk_dev.submit_read disk ~block:500 ~count:1;
+  Disk_dev.submit_read disk ~block:50 ~count:1;
+  check int "queued" 3 (Disk_dev.in_flight disk);
+  Sim.run m.Machine.sim;
+  check (list int) "fifo completion" [ 5; 500; 50 ] (List.rev !order)
+
+let two_hosts kind =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let a = Machine.create_on sim ~mem_mb:4 ~name:"a" ()
+  and b = Machine.create_on sim ~mem_mb:4 ~name:"b" () in
+  let nic_a, nic_b = Machine.connect a b ~kind () in
+  (sim, a, b, nic_a, nic_b)
+
+let test_nic_delivery () =
+  let sim, a, b, nic_a, nic_b = two_hosts Nic.Lance in
+  ignore a;
+  let got = ref None in
+  Intr.register b.Machine.intr ~line:(Nic.line nic_b) (fun () ->
+    got := Nic.receive nic_b);
+  let frame = Bytes.of_string "ping" in
+  check bool "tx ok" true (Nic.transmit nic_a frame);
+  Sim.run sim;
+  (match !got with
+   | Some f -> check string "payload" "ping" (Bytes.to_string f)
+   | None -> Alcotest.fail "frame not delivered");
+  check int "tx count" 1 (Nic.frames_tx nic_a);
+  check int "rx count" 1 (Nic.frames_rx nic_b)
+
+let test_nic_mtu () =
+  let _, _, _, nic_a, _ = two_hosts Nic.Lance in
+  check bool "oversize rejected" false
+    (Nic.transmit nic_a (Bytes.create 4000))
+
+let test_nic_pio_charges_cpu () =
+  (* FORE ATM moves data with the CPU; Lance does not. *)
+  let sim_p, a_p, _, nic_p, _ = two_hosts Nic.Fore_atm in
+  ignore sim_p;
+  let frame = Bytes.create 8000 in
+  let before = Clock.now a_p.Machine.clock in
+  ignore (Nic.transmit nic_p frame);
+  let pio_cost = Clock.now a_p.Machine.clock - before in
+  check bool "PIO is expensive" true (pio_cost > 100_000);
+  let sim_d, a_d, _, nic_d, _ = two_hosts Nic.T3 in
+  ignore sim_d;
+  let before = Clock.now a_d.Machine.clock in
+  ignore (Nic.transmit nic_d frame);
+  let dma_cost = Clock.now a_d.Machine.clock - before in
+  check bool "DMA is cheap" true (dma_cost < 1_000)
+
+let test_link_serialization () =
+  (* 1500 bytes at 10 Mb/s is over a millisecond of wire time. *)
+  let sim, _, b, nic_a, nic_b = two_hosts Nic.Lance in
+  let arrival = ref 0. in
+  Intr.register b.Machine.intr ~line:(Nic.line nic_b) (fun () ->
+    ignore (Nic.receive nic_b);
+    arrival := Clock.now_us b.Machine.clock);
+  ignore (Nic.transmit nic_a (Bytes.create 1500));
+  Sim.run sim;
+  check bool "wire time over 1 ms" true (!arrival > 1_200.);
+  check bool "wire time under 2 ms" true (!arrival < 2_000.)
+
+let test_cost_conversions () =
+  let c = Cost.alpha_133 in
+  check int "1 us" 133 (Cost.us_to_cycles c 1.0);
+  check int "rounds" 67 (Cost.us_to_cycles c 0.5);
+  check (float 0.0001) "inverse" 1.0 (Cost.cycles_to_us c 133);
+  check string "prot strings" "rw-" (Addr.prot_to_string Addr.prot_read_write);
+  check string "prot none" "---" (Addr.prot_to_string Addr.prot_none);
+  check int "page rounding" 2 (Addr.round_up_pages (Addr.page_size + 1));
+  check int "zero bytes" 0 (Addr.round_up_pages 0)
+
+let test_machine_connect_requires_shared_sim () =
+  let m1 = Machine.create ~name:"one" ~mem_mb:4 () in
+  let m2 = Machine.create ~name:"two" ~mem_mb:4 () in
+  check_raises "different sims rejected"
+    (Invalid_argument "Machine.connect: machines must share a simulation")
+    (fun () -> ignore (Machine.connect m1 m2 ~kind:Nic.Lance ()))
+
+let test_link_loss_validation () =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let link = Link.create sim ~mbps:10. () in
+  check_raises "negative rejected" (Invalid_argument "Link.set_loss")
+    (fun () -> Link.set_loss link ~every:(-1));
+  Link.set_loss link ~every:0             (* lossless is fine *)
+
+let test_idle_accounting () =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  Clock.charge clock 100;                 (* busy *)
+  ignore (Sim.after sim 500 (fun () -> ()));
+  Sim.run sim;                            (* idles to the deadline *)
+  check int "idle counted" 500 (Clock.idle_cycles clock);
+  check int "busy = now - idle" 100 (Clock.now clock - Clock.idle_cycles clock)
+
+let test_machine_isolated_clocks () =
+  let m1 = Machine.create ~name:"one" ~mem_mb:4 () in
+  let m2 = Machine.create ~name:"two" ~mem_mb:4 () in
+  Clock.charge m1.Machine.clock 500;
+  check int "m2 unaffected" 0 (Clock.now m2.Machine.clock)
+
+let () =
+  Alcotest.run "spin_machine"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "charging" `Quick test_clock_charges;
+          Alcotest.test_case "stamp and hooks" `Quick test_clock_stamp_and_hooks;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "fires in deadline order" `Quick test_sim_fires_in_order;
+          Alcotest.test_case "fires when clock passes deadline" `Quick test_sim_fire_on_charge;
+          Alcotest.test_case "cancellation" `Quick test_sim_cancel;
+          Alcotest.test_case "nested scheduling" `Quick test_sim_nested_schedule;
+        ] );
+      ( "phys_mem",
+        [
+          Alcotest.test_case "byte roundtrip" `Quick test_phys_mem_rw;
+          Alcotest.test_case "word across frames" `Quick test_phys_mem_cross_frame;
+          Alcotest.test_case "copies charge cycles" `Quick test_phys_mem_copy_charges;
+          Alcotest.test_case "bounds checked" `Quick test_phys_mem_bounds;
+        ] );
+      ( "mmu",
+        [
+          Alcotest.test_case "translate" `Quick test_mmu_translate;
+          Alcotest.test_case "protection" `Quick test_mmu_protection;
+          Alcotest.test_case "ref/mod bits" `Quick test_mmu_ref_mod_bits;
+          Alcotest.test_case "tlb hit/miss" `Quick test_mmu_tlb_counts;
+          Alcotest.test_case "context isolation" `Quick test_mmu_context_isolation;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "syscall trap costs" `Quick test_cpu_syscall_costs;
+          Alcotest.test_case "unhandled trap raises" `Quick test_cpu_unhandled_trap;
+          Alcotest.test_case "fault and resume" `Quick test_cpu_fault_resume;
+          Alcotest.test_case "unresolved fault raises" `Quick test_cpu_unresolved_fault_raises;
+          Alcotest.test_case "user copies fault per page" `Quick test_cpu_copy_user;
+          Alcotest.test_case "context switch cost" `Quick test_cpu_context_switch_cost;
+        ] );
+      ( "intr",
+        [
+          Alcotest.test_case "delivery and spurious" `Quick test_intr_delivery;
+          Alcotest.test_case "masking defers" `Quick test_intr_masking;
+          Alcotest.test_case "no reentrancy" `Quick test_intr_handler_not_reentered;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "console io" `Quick test_console_io;
+          Alcotest.test_case "disk roundtrip" `Quick test_disk_roundtrip;
+          Alcotest.test_case "disk latency model" `Quick test_disk_latency_model;
+          Alcotest.test_case "disk fifo" `Quick test_disk_fifo_queue;
+          Alcotest.test_case "nic delivery" `Quick test_nic_delivery;
+          Alcotest.test_case "nic mtu" `Quick test_nic_mtu;
+          Alcotest.test_case "pio vs dma cpu cost" `Quick test_nic_pio_charges_cpu;
+          Alcotest.test_case "link serialization" `Quick test_link_serialization;
+          Alcotest.test_case "machines have isolated clocks" `Quick test_machine_isolated_clocks;
+          Alcotest.test_case "cost conversions" `Quick test_cost_conversions;
+          Alcotest.test_case "connect requires shared sim" `Quick
+            test_machine_connect_requires_shared_sim;
+          Alcotest.test_case "loss validation" `Quick test_link_loss_validation;
+          Alcotest.test_case "idle accounting" `Quick test_idle_accounting;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* Tests for the network file system: remote whole-file operations,
+   the client cache, and error propagation. *)
+
+open Alcotest
+open Spin_net
+module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
+module Sim = Spin_machine.Sim
+module Nic = Spin_machine.Nic
+module Machine = Spin_machine.Machine
+module Sched = Spin_sched.Sched
+module Net_fs = Spin_netfs.Net_fs
+
+let addr_server = Ip.addr_of_quad 10 0 0 1
+let addr_client = Ip.addr_of_quad 10 0 0 2
+
+let fixture () =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let server = Host.create sim ~name:"nfs-server" ~addr:addr_server in
+  let client = Host.create sim ~name:"nfs-client" ~addr:addr_client in
+  ignore (Host.wire server client ~kind:Nic.Fore_atm);
+  let disk = Machine.add_disk ~blocks:16384 server.Host.machine in
+  let bc = Spin_fs.Block_cache.create server.Host.machine server.Host.sched disk in
+  let srv = ref None in
+  ignore (Sched.spawn server.Host.sched ~name:"setup" (fun () ->
+    let fs = Spin_fs.Simple_fs.format bc ~blocks:16384 () in
+    srv := Some (Net_fs.Server.export server fs)));
+  Host.run_all [ server; client ];
+  let nfs = Net_fs.Client.connect client ~server:addr_server in
+  (clock, server, client, Option.get !srv, nfs)
+
+let run_client hosts client body =
+  let failure = ref None in
+  ignore (Sched.spawn client.Host.sched ~name:"nfs-test" (fun () ->
+    try body () with e -> failure := Some e));
+  Host.run_all hosts;
+  match !failure with Some e -> raise e | None -> ()
+
+let ok = function
+  | Ok v -> v
+  | Error Net_fs.Client.Remote_failure -> fail "remote failure"
+  | Error (Net_fs.Client.Fs_error msg) -> fail ("fs error: " ^ msg)
+
+let test_create_write_read () =
+  let _, server, client, srv, nfs = fixture () in
+  run_client [ server; client ] client (fun () ->
+    ok (Net_fs.Client.create nfs ~name:"remote.txt");
+    ok (Net_fs.Client.write nfs ~name:"remote.txt"
+          (Bytes.of_string "over the wire"));
+    check string "read back" "over the wire"
+      (Bytes.to_string (ok (Net_fs.Client.read nfs ~name:"remote.txt")));
+    check int "size" 13 (ok (Net_fs.Client.size nfs ~name:"remote.txt"));
+    check bool "exists" true (Net_fs.Client.exists nfs ~name:"remote.txt"));
+  check bool "server served requests" true (Net_fs.Server.requests_served srv >= 5)
+
+let test_client_cache () =
+  let _, server, client, _, nfs = fixture () in
+  run_client [ server; client ] client (fun () ->
+    ok (Net_fs.Client.write nfs ~name:"f" (Bytes.of_string "v1"));
+    ignore (ok (Net_fs.Client.read nfs ~name:"f")));
+  let calls = Net_fs.Client.rpc_calls nfs in
+  run_client [ server; client ] client (fun () ->
+    check string "cached read" "v1"
+      (Bytes.to_string (ok (Net_fs.Client.read nfs ~name:"f"))));
+  check int "no rpc for a cache hit" calls (Net_fs.Client.rpc_calls nfs);
+  check int "hit counted" 1 (Net_fs.Client.cache_hits nfs)
+
+let test_write_invalidates_own_cache () =
+  let _, server, client, _, nfs = fixture () in
+  run_client [ server; client ] client (fun () ->
+    ok (Net_fs.Client.write nfs ~name:"f" (Bytes.of_string "v1"));
+    ignore (ok (Net_fs.Client.read nfs ~name:"f"));
+    ok (Net_fs.Client.write nfs ~name:"f" (Bytes.of_string "v2"));
+    check string "fresh after own write" "v2"
+      (Bytes.to_string (ok (Net_fs.Client.read nfs ~name:"f"))))
+
+let test_errors_propagate () =
+  let _, server, client, _, nfs = fixture () in
+  run_client [ server; client ] client (fun () ->
+    (match Net_fs.Client.read nfs ~name:"ghost" with
+     | Error (Net_fs.Client.Fs_error msg) ->
+       check string "remote error text" "no such file" msg
+     | Ok _ -> fail "ghost file read"
+     | Error Net_fs.Client.Remote_failure -> fail "wrong error");
+    check bool "exists is false" false (Net_fs.Client.exists nfs ~name:"ghost"))
+
+let test_delete_and_list () =
+  let _, server, client, _, nfs = fixture () in
+  run_client [ server; client ] client (fun () ->
+    ok (Net_fs.Client.write nfs ~name:"a" (Bytes.of_string "1"));
+    ok (Net_fs.Client.write nfs ~name:"b" (Bytes.of_string "2"));
+    check (list string) "list" [ "a"; "b" ]
+      (List.sort compare (ok (Net_fs.Client.list_files nfs)));
+    ok (Net_fs.Client.delete nfs ~name:"a");
+    check (list string) "after delete" [ "b" ]
+      (ok (Net_fs.Client.list_files nfs));
+    check bool "stale cache dropped with delete" false
+      (Net_fs.Client.exists nfs ~name:"a"))
+
+let test_remote_write_visible_after_invalidate () =
+  let _, server, client, _, nfs = fixture () in
+  (* A second client on the server host mutates the file. *)
+  let local = Net_fs.Client.connect server ~server:addr_server in
+  run_client [ server; client ] client (fun () ->
+    ok (Net_fs.Client.write nfs ~name:"shared" (Bytes.of_string "old"));
+    ignore (ok (Net_fs.Client.read nfs ~name:"shared")));
+  run_client [ server; client ] server (fun () ->
+    ok (Net_fs.Client.write local ~name:"shared" (Bytes.of_string "new")));
+  run_client [ server; client ] client (fun () ->
+    check string "stale until invalidated" "old"
+      (Bytes.to_string (ok (Net_fs.Client.read nfs ~name:"shared")));
+    Net_fs.Client.invalidate nfs ~name:"shared";
+    check string "fresh after invalidate" "new"
+      (Bytes.to_string (ok (Net_fs.Client.read nfs ~name:"shared"))))
+
+let test_remote_read_pays_disk_and_wire () =
+  let clock, server, client, _, nfs = fixture () in
+  run_client [ server; client ] client (fun () ->
+    ok (Net_fs.Client.write nfs ~name:"big" (Bytes.create 8_000)));
+  let t0 = ref 0. and t1 = ref 0. in
+  run_client [ server; client ] client (fun () ->
+    Net_fs.Client.invalidate nfs ~name:"big";
+    t0 := Clock.now_us clock;
+    ignore (ok (Net_fs.Client.read nfs ~name:"big"));
+    t1 := Clock.now_us clock);
+  check bool "remote read costs real time" true (!t1 -. !t0 > 300.)
+
+let () =
+  Alcotest.run "spin_netfs"
+    [
+      ( "net_fs",
+        [
+          test_case "create/write/read" `Quick test_create_write_read;
+          test_case "client cache" `Quick test_client_cache;
+          test_case "own writes invalidate" `Quick test_write_invalidates_own_cache;
+          test_case "errors propagate" `Quick test_errors_propagate;
+          test_case "delete and list" `Quick test_delete_and_list;
+          test_case "remote write + invalidate" `Quick
+            test_remote_write_visible_after_invalidate;
+          test_case "remote read pays disk and wire" `Quick
+            test_remote_read_pays_disk_and_wire;
+        ] );
+    ]

@@ -1,0 +1,261 @@
+(* Property-based tests over the system's cross-module invariants:
+   TCP delivers exactly what was sent; the file system agrees with a
+   map model under random operation sequences; the dispatcher invokes
+   exactly the guard-passing handlers; virtual regions never overlap. *)
+
+open Spin_net
+module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
+module Sim = Spin_machine.Sim
+module Nic = Spin_machine.Nic
+module Machine = Spin_machine.Machine
+module Sched = Spin_sched.Sched
+module Dispatcher = Spin_core.Dispatcher
+module Virt_addr = Spin_vm.Virt_addr
+module Simple_fs = Spin_fs.Simple_fs
+
+let addr_a = Ip.addr_of_quad 10 0 0 1
+let addr_b = Ip.addr_of_quad 10 0 0 2
+
+(* ------------------------------------------------------------------ *)
+(* TCP: a random series of sends arrives intact, in order             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_tcp_stream_integrity =
+  QCheck2.Test.make ~name:"tcp delivers the exact byte stream" ~count:15
+    QCheck2.Gen.(list_size (int_range 1 8) (string_size (int_range 1 3000)))
+    (fun chunks ->
+      let clock = Clock.create Cost.alpha_133 in
+      let sim = Sim.create clock in
+      let a = Host.create sim ~name:"a" ~addr:addr_a in
+      let b = Host.create sim ~name:"b" ~addr:addr_b in
+      ignore (Host.wire a b ~kind:Nic.Lance);
+      let received = Buffer.create 1024 in
+      Tcp.listen b.Host.tcp ~port:80 ~on_accept:(fun conn ->
+        Tcp.on_receive conn (fun data -> Buffer.add_bytes received data));
+      let sent_ok = ref false in
+      ignore (Sched.spawn a.Host.sched ~name:"send" (fun () ->
+        match Tcp.connect a.Host.tcp ~dst:addr_b ~dst_port:80 with
+        | None -> ()
+        | Some conn ->
+          List.iter
+            (fun chunk -> Tcp.send a.Host.tcp conn (Bytes.of_string chunk))
+            chunks;
+          sent_ok := true));
+      Host.run_all [ a; b ];
+      !sent_ok
+      && Buffer.contents received = String.concat "" chunks)
+
+(* ------------------------------------------------------------------ *)
+(* Simple_fs agrees with a map model                                  *)
+(* ------------------------------------------------------------------ *)
+
+type fs_op =
+  | Op_write of int * string
+  | Op_append of int * string
+  | Op_delete of int
+  | Op_read of int
+
+let fs_op_gen =
+  QCheck2.Gen.(
+    oneof [
+      map2 (fun k s -> Op_write (k, s)) (int_range 0 5)
+        (string_size (int_range 0 600));
+      map2 (fun k s -> Op_append (k, s)) (int_range 0 5)
+        (string_size (int_range 0 200));
+      map (fun k -> Op_delete k) (int_range 0 5);
+      map (fun k -> Op_read k) (int_range 0 5);
+    ])
+
+let prop_fs_matches_model =
+  QCheck2.Test.make ~name:"file system agrees with a map model" ~count:25
+    QCheck2.Gen.(list_size (int_range 1 25) fs_op_gen)
+    (fun ops ->
+      let m = Machine.create ~name:"p" ~mem_mb:4 () in
+      let d = Dispatcher.create m.Machine.clock in
+      let sched = Sched.create m.Machine.sim d in
+      let disk = Machine.add_disk ~blocks:8192 m in
+      let cache = Spin_fs.Block_cache.create m sched disk in
+      let good = ref true in
+      ignore (Sched.spawn sched ~name:"fs" (fun () ->
+        let fs = Simple_fs.format cache ~blocks:8192 () in
+        let model : (string, string) Hashtbl.t = Hashtbl.create 8 in
+        let name k = Printf.sprintf "f%d" k in
+        let ensure k =
+          if not (Hashtbl.mem model (name k)) then begin
+            Simple_fs.create fs ~name:(name k);
+            Hashtbl.replace model (name k) ""
+          end in
+        List.iter
+          (fun op ->
+            match op with
+            | Op_write (k, s) ->
+              ensure k;
+              Simple_fs.write fs ~name:(name k) (Bytes.of_string s);
+              Hashtbl.replace model (name k) s
+            | Op_append (k, s) ->
+              ensure k;
+              Simple_fs.append fs ~name:(name k) (Bytes.of_string s);
+              Hashtbl.replace model (name k) (Hashtbl.find model (name k) ^ s)
+            | Op_delete k ->
+              if Hashtbl.mem model (name k) then begin
+                Simple_fs.delete fs ~name:(name k);
+                Hashtbl.remove model (name k)
+              end
+            | Op_read k ->
+              let fs_view =
+                if Simple_fs.exists fs ~name:(name k) then
+                  Some (Bytes.to_string (Simple_fs.read fs ~name:(name k)))
+                else None in
+              if fs_view <> Hashtbl.find_opt model (name k) then good := false)
+          ops;
+        (* Final audit: every model file matches, listing agrees. *)
+        Hashtbl.iter
+          (fun name contents ->
+            if Bytes.to_string (Simple_fs.read fs ~name) <> contents then
+              good := false)
+          model;
+        if List.sort compare (Simple_fs.list_files fs)
+           <> List.sort compare
+                (Hashtbl.fold (fun k _ acc -> k :: acc) model [])
+        then good := false));
+      Sched.run sched;
+      !good)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher: exactly the guard-passing handlers run                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_dispatcher_guard_semantics =
+  (* Each handler i has a modulus guard; raising v must invoke exactly
+     those with v mod m = r. *)
+  QCheck2.Test.make ~name:"dispatcher invokes exactly guard-passing handlers"
+    ~count:100
+    QCheck2.Gen.(pair
+                   (list_size (int_range 0 12)
+                      (pair (int_range 1 5) (int_range 0 4)))
+                   (int_range 0 30))
+    (fun (handler_specs, v) ->
+      let clock = Clock.create Cost.alpha_133 in
+      let d = Dispatcher.create clock in
+      let e = Dispatcher.declare d ~name:"P.E" ~owner:"P"
+          ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+      let fired = ref [] in
+      List.iteri
+        (fun i (m, r) ->
+          ignore (Dispatcher.install_exn e ~installer:"p"
+                    ~guard:(fun x -> x mod m = r mod m)
+                    (fun _ -> fired := i :: !fired)))
+        handler_specs;
+      Dispatcher.raise_event e v;
+      let expected =
+        List.filteri (fun _ _ -> true) handler_specs
+        |> List.mapi (fun i (m, r) -> (i, v mod m = r mod m))
+        |> List.filter_map (fun (i, p) -> if p then Some i else None) in
+      List.sort compare !fired = List.sort compare expected)
+
+let prop_dispatcher_uninstall_complete =
+  QCheck2.Test.make ~name:"uninstalled handlers never fire" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 10) bool)
+    (fun keep_mask ->
+      let clock = Clock.create Cost.alpha_133 in
+      let d = Dispatcher.create clock in
+      let e = Dispatcher.declare d ~name:"P.U" ~owner:"P"
+          ~combine:(fun _ -> ()) (fun () -> ()) in
+      let fired = ref [] in
+      let handlers =
+        List.mapi
+          (fun i _ ->
+            Dispatcher.install_exn e ~installer:"p"
+              (fun () -> fired := i :: !fired))
+          keep_mask in
+      List.iteri
+        (fun i h -> if not (List.nth keep_mask i) then Dispatcher.uninstall e h)
+        handlers;
+      Dispatcher.raise_event e ();
+      let expected =
+        List.mapi (fun i keep -> (i, keep)) keep_mask
+        |> List.filter_map (fun (i, keep) -> if keep then Some i else None) in
+      List.sort compare !fired = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Virtual regions never overlap within an address space              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_virt_regions_disjoint =
+  QCheck2.Test.make ~name:"virtual allocations are pairwise disjoint" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 20)
+                   (pair (int_range 1 40_000) bool))
+    (fun requests ->
+      let m = Machine.create ~name:"p" ~mem_mb:4 () in
+      let d = Dispatcher.create m.Machine.clock in
+      ignore d;
+      let va = Virt_addr.create m in
+      let live = ref [] in
+      List.iter
+        (fun (bytes, free_one) ->
+          let cap = Virt_addr.allocate va ~asid:1 ~owner:"p" ~bytes in
+          live := cap :: !live;
+          if free_one then
+            match !live with
+            | c :: rest when List.length rest > 0 ->
+              Virt_addr.deallocate va c;
+              live := rest
+            | _ -> ())
+        requests;
+      let regions = List.map Virt_addr.region !live in
+      let disjoint a b =
+        a.Virt_addr.va + a.Virt_addr.bytes <= b.Virt_addr.va
+        || b.Virt_addr.va + b.Virt_addr.bytes <= a.Virt_addr.va in
+      let rec pairwise = function
+        | [] -> true
+        | r :: rest -> List.for_all (disjoint r) rest && pairwise rest in
+      pairwise regions
+      && List.for_all
+           (fun r -> r.Virt_addr.va land (Spin_machine.Addr.page_size - 1) = 0)
+           regions)
+
+(* ------------------------------------------------------------------ *)
+(* Pkt: header push/pull is an identity                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_pkt_push_pull_identity =
+  QCheck2.Test.make ~name:"packet header push/pull roundtrips" ~count:200
+    QCheck2.Gen.(pair (list_size (int_range 0 5) (string_size (int_range 1 32)))
+                   (string_size (int_range 0 256)))
+    (fun (headers, payload) ->
+      let p = Pkt.of_string payload in
+      List.iter (fun h -> Pkt.push p (Bytes.of_string h)) headers;
+      let pulled =
+        List.rev_map
+          (fun h -> Bytes.to_string (Pkt.pull p (String.length h)))
+          (List.rev headers) in
+      pulled = headers && Pkt.to_string p = payload)
+
+(* ------------------------------------------------------------------ *)
+(* IP addresses roundtrip                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_ip_addr_roundtrip =
+  QCheck2.Test.make ~name:"ip address quad/string roundtrip" ~count:200
+    QCheck2.Gen.(quad (int_range 0 255) (int_range 0 255) (int_range 0 255)
+                   (int_range 0 255))
+    (fun (a, b, c, d) ->
+      let addr = Ip.addr_of_quad a b c d in
+      Ip.addr_to_string addr = Printf.sprintf "%d.%d.%d.%d" a b c d)
+
+let () =
+  Alcotest.run "spin_properties"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_tcp_stream_integrity;
+            prop_fs_matches_model;
+            prop_dispatcher_guard_semantics;
+            prop_dispatcher_uninstall_complete;
+            prop_virt_regions_disjoint;
+            prop_pkt_push_pull_identity;
+            prop_ip_addr_roundtrip;
+          ] );
+    ]
