@@ -13,27 +13,53 @@ let default_costs = {
   handler_invoke = 138;
 }
 
+type failure_policy =
+  | Uninstall
+  | Restart of { delay_us : float; backoff : float; max_restarts : int }
+  | Quarantine of { window_us : float; max_faults : int }
+
+type fault_kind =
+  | Handler_exception of exn
+  | Handler_overrun of { bound : int; spent : int }
+
+type fault = {
+  fault_event : string;
+  fault_owner : string;
+  fault_installer : string;
+  fault_policy : failure_policy;
+  fault_kind : fault_kind;
+  fault_handler_id : int;
+  fault_removed : bool;
+  fault_reinstall : unit -> unit;
+}
+
 type t = {
   clock : Spin_machine.Clock.t;
   costs : costs;
   mutable spawn : ((unit -> unit) -> unit) option;
   deferred : (unit -> unit) Queue.t;
   mutable registry : registration list;   (* reverse declaration order *)
+  mutable on_fault : (fault -> unit) option;
+  mutable next_handler_id : int;
 }
 
 and registration = {
   reg_name : string;
   reg_owner : string;
   reg_installers : unit -> string list;
+  reg_remove : string -> int;
 }
 
 type ('a, 'r) handler = {
+  h_id : int;
   installer : string;
   fn : 'a -> 'r;
   mutable guards : ('a -> bool) list;
   bound : int option;
   async : bool;
+  policy : failure_policy;
   mutable active : bool;
+  mutable revive : unit -> unit;
 }
 
 type stats = {
@@ -79,9 +105,17 @@ type ('a, 'r) event = {
 exception No_handler of string
 
 let create ?(costs = default_costs) clock =
-  { clock; costs; spawn = None; deferred = Queue.create (); registry = [] }
+  { clock; costs; spawn = None; deferred = Queue.create (); registry = [];
+    on_fault = None; next_handler_id = 0 }
 
 let set_async_spawn t f = t.spawn <- Some f
+
+let set_fault_handler t f = t.on_fault <- Some f
+
+let fresh_handler_id t =
+  let id = t.next_handler_id in
+  t.next_handler_id <- id + 1;
+  id
 
 let flush_deferred t =
   let n = Queue.length t.deferred in
@@ -101,8 +135,9 @@ let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary defau
     | Some f -> f
     | None -> fun ~requester:_ -> false in
   let default_handler =
-    { installer = owner; fn = default; guards = []; bound = None;
-      async = false; active = true } in
+    { h_id = fresh_handler_id t; installer = owner; fn = default; guards = [];
+      bound = None; async = false; policy = Uninstall; active = true;
+      revive = (fun () -> ()) } in
   let e =
     { e_name = name; e_owner = owner; e_ty = ty; disp = t; combine; auth;
       index; indexed = Hashtbl.create 8;
@@ -113,15 +148,38 @@ let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary defau
     let primary = if e.primary_active then [ owner ] else [] in
     primary @ List.filter_map
       (fun h -> if h.active then Some h.installer else None) e.extra in
+  (* Per-installer eviction, type-erased: the supervisor quarantines a
+     whole domain by sweeping every event through the registry. *)
+  let reg_remove installer =
+    let removed = ref 0 in
+    List.iter
+      (fun h ->
+        if h.active && String.equal h.installer installer then begin
+          h.active <- false; incr removed
+        end)
+      e.extra;
+    e.extra <- List.filter (fun h -> h.active) e.extra;
+    Hashtbl.iter
+      (fun _ b ->
+        List.iter
+          (fun h ->
+            if h.active && String.equal h.installer installer then begin
+              h.active <- false; incr removed
+            end)
+          !b)
+      e.indexed;
+    !removed in
   t.registry <-
-    { reg_name = name; reg_owner = owner; reg_installers } :: t.registry;
+    { reg_name = name; reg_owner = owner; reg_installers; reg_remove }
+    :: t.registry;
   e
 
 let event_name e = e.e_name
 
 let event_owner e = e.e_owner
 
-let install e ~installer ?guard ?bound_cycles ?(async = false) fn =
+let install e ~installer ?guard ?bound_cycles ?(async = false)
+    ?(on_failure = Uninstall) fn =
   match e.auth ~installer with
   | Deny -> Error `Denied
   | Allow { guard = auth_guard; bound_cycles = auth_bound; force_async } ->
@@ -131,12 +189,19 @@ let install e ~installer ?guard ?bound_cycles ?(async = false) fn =
       | None, b | b, None -> b
       | Some a, Some b -> Some (min a b) in
     let h =
-      { installer; fn; guards; bound; async = async || force_async;
-        active = true } in
+      { h_id = fresh_handler_id e.disp; installer; fn; guards; bound;
+        async = async || force_async; policy = on_failure; active = true;
+        revive = (fun () -> ()) } in
+    h.revive <- (fun () ->
+      if not h.active then begin
+        h.active <- true;
+        e.extra <- e.extra @ [ h ]
+      end);
     e.extra <- e.extra @ [ h ];
     Ok h
 
-let install_indexed e ~installer ~key ?bound_cycles ?(async = false) fn =
+let install_indexed e ~installer ~key ?bound_cycles ?(async = false)
+    ?(on_failure = Uninstall) fn =
   if e.index = None then Error `No_index
   else
     match e.auth ~installer with
@@ -147,8 +212,12 @@ let install_indexed e ~installer ~key ?bound_cycles ?(async = false) fn =
         match auth_bound, bound_cycles with
         | None, b | b, None -> b
         | Some a, Some b -> Some (min a b) in
-      let h = { installer; fn; guards; bound; async = async || force_async;
-                active = true } in
+      let h = { h_id = fresh_handler_id e.disp; installer; fn; guards; bound;
+                async = async || force_async; policy = on_failure;
+                active = true; revive = (fun () -> ()) } in
+      (* The bucket keeps inactive handlers (dispatch filters on
+         [active]), so reviving is just a flag flip. *)
+      h.revive <- (fun () -> h.active <- true);
       let bucket =
         match Hashtbl.find_opt e.indexed key with
         | Some b -> b
@@ -156,12 +225,13 @@ let install_indexed e ~installer ~key ?bound_cycles ?(async = false) fn =
       bucket := !bucket @ [ h ];
       Ok h
 
-let install_with_closure e ~installer ~closure ?guard ?bound_cycles ?async fn =
+let install_with_closure e ~installer ~closure ?guard ?bound_cycles ?async
+    ?on_failure fn =
   let guard = Option.map (fun g -> g closure) guard in
-  install e ~installer ?guard ?bound_cycles ?async (fn closure)
+  install e ~installer ?guard ?bound_cycles ?async ?on_failure (fn closure)
 
-let install_exn e ~installer ?guard ?bound_cycles ?async fn =
-  match install e ~installer ?guard ?bound_cycles ?async fn with
+let install_exn e ~installer ?guard ?bound_cycles ?async ?on_failure fn =
+  match install e ~installer ?guard ?bound_cycles ?async ?on_failure fn with
   | Ok h -> h
   | Error `Denied ->
     invalid_arg
@@ -204,12 +274,25 @@ let run_async e h arg =
   | Some spawn -> spawn thunk
   | None -> Queue.add thunk e.disp.deferred
 
+let report_fault e h kind ~removed =
+  match e.disp.on_fault with
+  | None -> ()
+  | Some f ->
+    f { fault_event = e.e_name; fault_owner = e.e_owner;
+        fault_installer = h.installer; fault_policy = h.policy;
+        fault_kind = kind; fault_handler_id = h.h_id;
+        fault_removed = removed; fault_reinstall = h.revive }
+
 (* A failing extension handler is isolated: the exception is caught,
-   counted, and the handler uninstalled — "the failure of an extension
-   is no more catastrophic than the failure of code executing in the
-   runtime libraries" (paper, section 4.3). The primary implementation
-   is trusted: its exceptions propagate to the raiser, as a direct
-   procedure call's would. *)
+   counted, and reported — "the failure of an extension is no more
+   catastrophic than the failure of code executing in the runtime
+   libraries" (paper, section 4.3). With no supervisor attached the
+   faulting handler is uninstalled on the spot; with one attached, the
+   handler's [on_failure] policy decides whether it stays installed
+   (Quarantine counts faults against the domain's budget), comes back
+   after a delay (Restart), or goes away (Uninstall). The primary
+   implementation is trusted: its exceptions propagate to the raiser,
+   as a direct procedure call's would. *)
 let run_sync e h arg acc =
   let clock = e.disp.clock in
   e.s_invocations <- e.s_invocations + 1;
@@ -217,10 +300,16 @@ let run_sync e h arg acc =
     if h == e.default_handler then Some (h.fn arg)
     else
       try Some (h.fn arg)
-      with _ ->
+      with exn ->
         e.s_failed <- e.s_failed + 1;
-        h.active <- false;
-        e.extra <- List.filter (fun x -> x != h) e.extra;
+        let keep_installed =
+          e.disp.on_fault <> None
+          && (match h.policy with Quarantine _ -> true | _ -> false) in
+        if not keep_installed then begin
+          h.active <- false;
+          e.extra <- List.filter (fun x -> x != h) e.extra
+        end;
+        report_fault e h (Handler_exception exn) ~removed:(not keep_installed);
         None in
   match h.bound with
   | None ->
@@ -230,8 +319,12 @@ let run_sync e h arg acc =
     let spent = Spin_machine.Clock.stamp clock (fun () -> result := invoke ()) in
     if spent > bound then begin
       (* Overran its quantum: the dispatcher aborts the handler and
-         discards its result. *)
+         discards its result. The overrun is reported but the handler
+         stays installed — repeat offenders are the supervisor's call. *)
       e.s_aborted <- e.s_aborted + 1;
+      (* [invoke] already reported if the handler threw. *)
+      if h != e.default_handler && !result <> None then
+        report_fault e h (Handler_overrun { bound; spent }) ~removed:false;
       acc
     end else
       match !result with Some r -> r :: acc | None -> acc
@@ -264,7 +357,11 @@ let raise_event e arg =
     let results =
       List.fold_left
         (fun acc h ->
-          if not (guards_pass e h arg) then acc
+          (* A handler may be evicted mid-dispatch (supervisor
+             quarantine triggered by an earlier handler's fault):
+             honor the eviction before invoking. *)
+          if not h.active then acc
+          else if not (guards_pass e h arg) then acc
           else begin
             Spin_machine.Clock.charge clock costs.handler_invoke;
             if h.async then begin
@@ -300,3 +397,10 @@ let topology t =
   List.rev_map
     (fun r -> (r.reg_name, r.reg_owner, r.reg_installers ()))
     t.registry
+
+let handler_installer h = h.installer
+
+let handler_id h = h.h_id
+
+let uninstall_installer t ~installer =
+  List.fold_left (fun acc r -> acc + r.reg_remove installer) 0 t.registry

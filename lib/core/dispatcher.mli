@@ -39,6 +39,50 @@ val set_async_spawn : t -> ((unit -> unit) -> unit) -> unit
     Before a scheduler exists, asynchronous handlers queue and run at
     the next {!flush_deferred}. *)
 
+(** {2 Failure policies and fault reporting}
+
+    Every installed handler carries an [on_failure] policy. With no
+    fault handler attached (no supervisor), all policies degrade to
+    today's behavior: a faulting handler is caught, counted, and
+    uninstalled. With a fault handler attached (see
+    {!set_fault_handler}), exceptions and time-bound overruns are
+    routed to it, carrying the policy, the installer identity, and a
+    reinstall closure, so a supervisor can quarantine domains and
+    restart handlers. *)
+
+type failure_policy =
+  | Uninstall
+      (** Evict the handler on its first exception (the default). *)
+  | Restart of { delay_us : float; backoff : float; max_restarts : int }
+      (** Evict on exception, but ask the supervisor to re-install
+          after [delay_us * backoff^n] (n = restarts so far), at most
+          [max_restarts] times. *)
+  | Quarantine of { window_us : float; max_faults : int }
+      (** Keep the handler installed across faults (each invocation
+          stays isolated), but when its domain accumulates
+          [max_faults] faults within [window_us], the supervisor
+          evicts the whole domain everywhere. *)
+
+type fault_kind =
+  | Handler_exception of exn
+  | Handler_overrun of { bound : int; spent : int }
+
+type fault = {
+  fault_event : string;        (** event the handler was installed on *)
+  fault_owner : string;        (** the event's primary module *)
+  fault_installer : string;    (** the faulting handler's installer *)
+  fault_policy : failure_policy;
+  fault_kind : fault_kind;
+  fault_handler_id : int;      (** stable across restarts *)
+  fault_removed : bool;        (** handler was evicted by the dispatcher *)
+  fault_reinstall : unit -> unit;  (** re-install the evicted handler *)
+}
+
+val set_fault_handler : t -> (fault -> unit) -> unit
+(** Routes handler faults to a supervisor. Only extension handlers
+    report; the primary implementation is trusted and its exceptions
+    propagate to the raiser. *)
+
 val flush_deferred : t -> int
 (** Runs handlers deferred while no spawn hook was installed; returns
     how many ran. *)
@@ -88,12 +132,14 @@ val install :
   ?guard:('a -> bool) ->
   ?bound_cycles:int ->
   ?async:bool ->
+  ?on_failure:failure_policy ->
   ('a -> 'r) ->
   (('a, 'r) handler, [ `Denied ]) result
 (** Installs an additional handler, subject to the primary module's
     authorization. Constraints from the authorizer are merged with
     the installer's own (guards conjoin; the tighter bound wins;
-    async is forced if either asks). *)
+    async is forced if either asks). [on_failure] defaults to
+    {!Uninstall}. *)
 
 val install_exn :
   ('a, 'r) event ->
@@ -101,6 +147,7 @@ val install_exn :
   ?guard:('a -> bool) ->
   ?bound_cycles:int ->
   ?async:bool ->
+  ?on_failure:failure_policy ->
   ('a -> 'r) ->
   ('a, 'r) handler
 
@@ -110,6 +157,7 @@ val install_indexed :
   key:int ->
   ?bound_cycles:int ->
   ?async:bool ->
+  ?on_failure:failure_policy ->
   ('a -> 'r) ->
   (('a, 'r) handler, [ `Denied | `No_index ]) result
 (** The optimization section 5.5 leaves as future work ("representing
@@ -127,6 +175,7 @@ val install_with_closure :
   ?guard:('c -> 'a -> bool) ->
   ?bound_cycles:int ->
   ?async:bool ->
+  ?on_failure:failure_policy ->
   ('c -> 'a -> 'r) ->
   (('a, 'r) handler, [ `Denied ]) result
 (** The paper's footnote 1: "the dispatcher also allows a handler to
@@ -175,3 +224,15 @@ val stats : ('a, 'r) event -> stats
 val topology : t -> (string * string * string list) list
 (** [(event, owner, handler installers)] for every declared event, in
     declaration order — the data behind Figure 5. *)
+
+val handler_installer : ('a, 'r) handler -> string
+
+val handler_id : ('a, 'r) handler -> int
+(** Stable identity assigned at install, preserved across supervisor
+    restarts of the handler. *)
+
+val uninstall_installer : t -> installer:string -> int
+(** Evicts every handler installed under [installer] across every
+    declared event (linear and indexed) — the primitive behind domain
+    quarantine. Returns how many handlers were evicted. Primary
+    (default) handlers are never touched. *)

@@ -14,11 +14,13 @@ type t = {
   name : string;
   objects : Object_file.t list;   (* shared across aggregates *)
   extra_exports : (Symbol.t * Univ.t) list;
+  parts : t list;                 (* leaf constituents; [] for leaves *)
 }
 
 let create obj =
   if not (Object_file.is_safe obj) then Error (Unsafe_object (Object_file.name obj))
-  else Ok { name = Object_file.name obj; objects = [ obj ]; extra_exports = [] }
+  else Ok { name = Object_file.name obj; objects = [ obj ];
+            extra_exports = []; parts = [] }
 
 let create_exn obj =
   match create obj with
@@ -26,18 +28,34 @@ let create_exn obj =
   | Error e -> raise (Link_error e)
 
 let create_from_module ~name ~exports =
-  { name; objects = []; extra_exports = exports }
+  { name; objects = []; extra_exports = exports; parts = [] }
 
 let name t = t.name
+
+(* An aggregate remembers which leaf domains it was combined from, so
+   a member can later be unlinked (supervisor quarantine) without
+   losing the rest. *)
+let leaf_parts t = if t.parts = [] then [ t ] else t.parts
 
 let combine ~name a b =
   { name;
     objects = a.objects @ b.objects;
-    extra_exports = a.extra_exports @ b.extra_exports }
+    extra_exports = a.extra_exports @ b.extra_exports;
+    parts = leaf_parts a @ leaf_parts b }
 
 let combine_all ~name = function
   | [] -> create_from_module ~name ~exports:[]
-  | d :: rest -> List.fold_left (fun acc x -> combine ~name acc x) { d with name } rest
+  | ds ->
+    { name;
+      objects = List.concat_map (fun d -> d.objects) ds;
+      extra_exports = List.concat_map (fun d -> d.extra_exports) ds;
+      parts = List.concat_map leaf_parts ds }
+
+let members t = List.map (fun p -> p.name) (leaf_parts t)
+
+let remove_member t ~member =
+  let keep = List.filter (fun p -> not (String.equal p.name member)) (leaf_parts t) in
+  combine_all ~name:t.name keep
 
 let export_list t =
   t.extra_exports

@@ -2,6 +2,7 @@ module Machine = Spin_machine.Machine
 module Clock = Spin_machine.Clock
 module Sched = Spin_sched.Sched
 module File_cache = Spin_fs.File_cache
+module Dispatcher = Spin_core.Dispatcher
 
 type t = {
   machine : Machine.t;
@@ -9,9 +10,13 @@ type t = {
   tcp : Tcp.t;
   cache : File_cache.t;
   port : int;
+  content : (string, Bytes.t option) Dispatcher.event option;
+  mutable fallback : Bytes.t option;
   mutable s_requests : int;
   mutable s_ok : int;
   mutable s_not_found : int;
+  mutable s_dynamic : int;
+  mutable s_fallbacks : int;
   mutable s_bytes : int;
 }
 
@@ -30,6 +35,31 @@ let respond t conn ~status ~body =
   Tcp.send t.tcp conn (Bytes.cat (Bytes.of_string head) body);
   Tcp.close t.tcp conn
 
+(* Dynamic content is an event: extensions install generators on
+   [HTTP.GenContent]; the primary implementation answers [None]. When
+   a generator faults it is contained by the dispatcher/supervisor —
+   a quarantined generator simply stops answering, and requests fall
+   back to the static error page instead of taking the server down. *)
+let serve_miss t conn name =
+  let generated =
+    match t.content with
+    | None -> None
+    | Some ev -> Dispatcher.raise_event ev name in
+  match generated with
+  | Some body ->
+    t.s_ok <- t.s_ok + 1;
+    t.s_dynamic <- t.s_dynamic + 1;
+    t.s_bytes <- t.s_bytes + Bytes.length body;
+    respond t conn ~status:"200 OK" ~body
+  | None ->
+    match t.fallback with
+    | Some body ->
+      t.s_fallbacks <- t.s_fallbacks + 1;
+      respond t conn ~status:"503 Service Unavailable" ~body
+    | None ->
+      t.s_not_found <- t.s_not_found + 1;
+      respond t conn ~status:"404 Not Found" ~body:Bytes.empty
+
 let handle_request t conn request =
   Clock.charge t.machine.Machine.clock parse_cost;
   t.s_requests <- t.s_requests + 1;
@@ -41,14 +71,19 @@ let handle_request t conn request =
       t.s_ok <- t.s_ok + 1;
       t.s_bytes <- t.s_bytes + Bytes.length body;
       respond t conn ~status:"200 OK" ~body
-    | None ->
-      t.s_not_found <- t.s_not_found + 1;
-      respond t conn ~status:"404 Not Found" ~body:Bytes.empty
+    | None -> serve_miss t conn name
 
-let create ?(port = 80) machine sched tcp cache =
+let create ?(port = 80) ?dispatcher machine sched tcp cache =
+  let content =
+    Option.map
+      (fun d ->
+        Dispatcher.declare d ~name:"HTTP.GenContent" ~owner:"HTTP"
+          (fun (_ : string) -> None))
+      dispatcher in
   let t = {
-    machine; sched; tcp; cache; port;
-    s_requests = 0; s_ok = 0; s_not_found = 0; s_bytes = 0;
+    machine; sched; tcp; cache; port; content; fallback = None;
+    s_requests = 0; s_ok = 0; s_not_found = 0; s_dynamic = 0;
+    s_fallbacks = 0; s_bytes = 0;
   } in
   Tcp.listen tcp ~port ~on_accept:(fun conn ->
     let pending = Buffer.create 128 in
@@ -69,10 +104,16 @@ let create ?(port = 80) machine sched tcp cache =
 
 let port t = t.port
 
+let content_event t = t.content
+
+let set_fallback t body = t.fallback <- Some body
+
 type stats = {
   requests : int;
   ok : int;
   not_found : int;
+  dynamic : int;
+  fallbacks : int;
   bytes_served : int;
 }
 
@@ -80,5 +121,7 @@ let stats t = {
   requests = t.s_requests;
   ok = t.s_ok;
   not_found = t.s_not_found;
+  dynamic = t.s_dynamic;
+  fallbacks = t.s_fallbacks;
   bytes_served = t.s_bytes;
 }

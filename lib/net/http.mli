@@ -5,19 +5,41 @@
 type t
 
 val create :
-  ?port:int -> Spin_machine.Machine.t -> Spin_sched.Sched.t -> Tcp.t ->
+  ?port:int -> ?dispatcher:Spin_core.Dispatcher.t ->
+  Spin_machine.Machine.t -> Spin_sched.Sched.t -> Tcp.t ->
   Spin_fs.File_cache.t -> t
 (** Listens (default port 80). Request format: [GET /name HTTP/1.0].
     Each request is served on its own kernel strand, so a cache miss
     blocks that request on the disk without stalling the protocol
-    input thread. *)
+    input thread.
+
+    With [dispatcher], the server also declares the [HTTP.GenContent]
+    event (see {!content_event}): paths not found in the file cache
+    are offered to dynamic content generators. *)
 
 val port : t -> int
+
+val content_event :
+  t -> (string, Bytes.t option) Spin_core.Dispatcher.event option
+(** The dynamic-content event (present when [create] was given a
+    dispatcher). Extensions install generators on it — typically with
+    an [on_failure] policy so a buggy generator is contained: when its
+    handlers are evicted or its domain quarantined, the server
+    gracefully degrades to the static fallback page instead of
+    dying. *)
+
+val set_fallback : t -> Bytes.t -> unit
+(** Static error page served with [503 Service Unavailable] when a
+    path misses both the file cache and every content generator
+    (e.g. after the generator's domain was quarantined). Without a
+    fallback such requests get an empty [404]. *)
 
 type stats = {
   requests : int;
   ok : int;
   not_found : int;
+  dynamic : int;     (** responses produced by content generators *)
+  fallbacks : int;   (** degraded responses (static error page) *)
   bytes_served : int;
 }
 

@@ -86,3 +86,5 @@ let start t =
 let frames_rx t = t.frames_rx
 
 let frames_tx t = t.frames_tx
+
+let drops t = Nic.rx_dropped t.nic

@@ -37,3 +37,9 @@ val start : t -> unit
 val frames_rx : t -> int
 
 val frames_tx : t -> int
+
+val drops : t -> int
+(** Frames the NIC dropped on receive-ring overflow — the device's
+    {!Spin_machine.Nic.rx_dropped}, surfaced at the driver so overload
+    is observable (e.g. via [Monitor.watch_netif]) instead of a
+    silent drop. *)

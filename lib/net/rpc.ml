@@ -2,7 +2,11 @@ module Machine = Spin_machine.Machine
 module Sim = Spin_machine.Sim
 module Sched = Spin_sched.Sched
 
-type outcome = Pending | Done of Bytes.t option
+type outcome =
+  | Pending
+  | Replied of Bytes.t   (* ok reply *)
+  | Rejected             (* remote answered: unknown procedure *)
+  | Timed_out
 
 type waiting = {
   strand : Spin_sched.Strand.t;
@@ -21,6 +25,7 @@ type t = {
   mutable s_calls : int;
   mutable s_served : int;
   mutable s_timeouts : int;
+  mutable s_retries : int;
 }
 
 (* Request: id u32, ok u8 (unused), namelen u8, name, args.
@@ -67,7 +72,8 @@ let accept_reply t ~src:_ reply =
   | Some w ->
     Hashtbl.remove t.calls id;
     w.outcome <-
-      Done (if ok then Some (Bytes.sub reply 5 (Bytes.length reply - 5)) else None);
+      (if ok then Replied (Bytes.sub reply 5 (Bytes.length reply - 5))
+       else Rejected);
     Sched.unblock t.sched w.strand
 
 let create machine sched am =
@@ -77,7 +83,7 @@ let create machine sched am =
     calls = Hashtbl.create 16;
     next_id = 1;
     request_handler = 0; reply_handler = 0;
-    s_calls = 0; s_served = 0; s_timeouts = 0;
+    s_calls = 0; s_served = 0; s_timeouts = 0; s_retries = 0;
   } in
   t.request_handler <- Active_msg.register am (fun ~src b -> serve t ~src b);
   t.reply_handler <- Active_msg.register am (fun ~src b -> accept_reply t ~src b);
@@ -85,10 +91,9 @@ let create machine sched am =
 
 let export t ~name proc = Hashtbl.replace t.procs name proc
 
-let call t ?(timeout_us = 1_000_000.) ~dst ~name args =
+let call_once t ~timeout_us ~dst ~name args =
   let id = t.next_id in
   t.next_id <- id + 1;
-  t.s_calls <- t.s_calls + 1;
   let w = { strand = Sched.self t.sched; outcome = Pending } in
   Hashtbl.replace t.calls id w;
   let timer =
@@ -97,28 +102,48 @@ let call t ?(timeout_us = 1_000_000.) ~dst ~name args =
       | Some w ->
         Hashtbl.remove t.calls id;
         t.s_timeouts <- t.s_timeouts + 1;
-        w.outcome <- Done None;
+        w.outcome <- Timed_out;
         Sched.unblock t.sched w.strand
       | None -> ()) in
   if not (Active_msg.send t.am ~dst ~handler:t.request_handler
             (encode_request ~id ~name args)) then begin
     Hashtbl.remove t.calls id;
     Sim.cancel t.machine.Machine.sim timer;
-    None
+    `Send_failed
   end else begin
     (* Loopback calls complete synchronously; network wakeups can be
        spurious, so re-check after every wakeup. *)
     let rec wait () =
       match w.outcome with
       | Pending -> Sched.block_current t.sched; wait ()
-      | Done _ -> () in
+      | Replied _ | Rejected | Timed_out -> () in
     wait ();
     Sim.cancel t.machine.Machine.sim timer;
     match w.outcome with
-    | Done r -> r
-    | Pending -> None
+    | Replied r -> `Replied r
+    | Rejected -> `Rejected
+    | Timed_out | Pending -> `Timed_out
   end
 
-type stats = { calls : int; served : int; timeouts : int }
+(* A lost request or reply surfaces as a timeout; retries re-send with
+   a doubled timeout each attempt (exponential backoff). A [Rejected]
+   outcome means the remote host answered — retrying cannot help. *)
+let call t ?(timeout_us = 1_000_000.) ?(retries = 0) ~dst ~name args =
+  t.s_calls <- t.s_calls + 1;
+  let rec attempt n timeout =
+    match call_once t ~timeout_us:timeout ~dst ~name args with
+    | `Replied r -> Some r
+    | `Rejected -> None
+    | `Timed_out | `Send_failed ->
+      if n >= retries then None
+      else begin
+        t.s_retries <- t.s_retries + 1;
+        attempt (n + 1) (timeout *. 2.)
+      end in
+  attempt 0 timeout_us
 
-let stats t = { calls = t.s_calls; served = t.s_served; timeouts = t.s_timeouts }
+type stats = { calls : int; served : int; timeouts : int; retries : int }
+
+let stats t =
+  { calls = t.s_calls; served = t.s_served; timeouts = t.s_timeouts;
+    retries = t.s_retries }

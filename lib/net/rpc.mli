@@ -12,11 +12,22 @@ val export : t -> name:string -> (Bytes.t -> Bytes.t) -> unit
 (** Make a procedure callable from remote hosts. *)
 
 val call :
-  t -> ?timeout_us:float -> dst:Ip.addr -> name:string -> Bytes.t ->
-  Bytes.t option
+  t -> ?timeout_us:float -> ?retries:int -> dst:Ip.addr -> name:string ->
+  Bytes.t -> Bytes.t option
 (** Blocks the calling strand for the reply; [None] on timeout or an
-    unknown remote procedure. Default timeout: one second. *)
+    unknown remote procedure. Default timeout: one second.
 
-type stats = { calls : int; served : int; timeouts : int }
+    [retries] (default 0) re-sends the request after each timeout or
+    send failure, doubling the timeout every attempt (exponential
+    backoff) — a lost datagram on a lossy wire is survived instead of
+    surfaced. A definitive answer from the remote host (unknown
+    procedure) is never retried. *)
+
+type stats = {
+  calls : int;      (** logical calls, not attempts *)
+  served : int;
+  timeouts : int;   (** timed-out attempts *)
+  retries : int;    (** re-sent requests across all calls *)
+}
 
 val stats : t -> stats

@@ -49,8 +49,8 @@ let create machine dispatcher ip =
 let packet_arrived t = t.event
 
 (* The UDP module supplies the port guard on every installation. *)
-let listen ?bound_cycles ?async t ~port ~installer handler =
-  Dispatcher.install_exn t.event ~installer ?bound_cycles ?async
+let listen ?bound_cycles ?async ?on_failure t ~port ~installer handler =
+  Dispatcher.install_exn t.event ~installer ?bound_cycles ?async ?on_failure
     ~guard:(fun d -> d.dst_port = port)
     handler
 

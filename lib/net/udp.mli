@@ -21,11 +21,13 @@ val packet_arrived : t -> (datagram, unit) Spin_core.Dispatcher.event
 
 val listen :
   ?bound_cycles:int -> ?async:bool ->
+  ?on_failure:Spin_core.Dispatcher.failure_policy ->
   t -> port:int -> installer:string -> (datagram -> unit) ->
   (datagram, unit) Spin_core.Dispatcher.handler
 (** [bound_cycles] imposes the paper's bounded-time constraint: a
     handler that overruns is aborted by the dispatcher. [async]
-    decouples the endpoint from the protocol thread. *)
+    decouples the endpoint from the protocol thread. [on_failure]
+    selects the supervisor policy applied when the endpoint faults. *)
 
 val unlisten : t -> (datagram, unit) Spin_core.Dispatcher.handler -> unit
 

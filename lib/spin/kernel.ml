@@ -21,9 +21,11 @@ type t = {
   sched : Sched.t;
   vm : Vm.t;
   heap : Kheap.t;
+  supervisor : Supervisor.t;
   syscall_event : (int * int array, int) Dispatcher.event;
   syscalls : (int, int array -> int) Hashtbl.t;
   mutable public : Kdomain.t;
+  mutable published : (string * Kdomain.t) list;
   mutable extensions : Kdomain.t list;
 }
 
@@ -41,9 +43,35 @@ let translation_event_tag
   : (Translation.fault, unit) Dispatcher.event Univ.tag =
   Univ.tag ~name:"Translation.Event" ()
 
+let quarantine_event_tag
+  : (Supervisor.quarantine, unit) Dispatcher.event Univ.tag =
+  Univ.tag ~name:"Supervisor.QuarantineEvent" ()
+
+let restart_event_tag
+  : (Supervisor.restart, unit) Dispatcher.event Univ.tag =
+  Univ.tag ~name:"Supervisor.RestartEvent" ()
+
 let publish t ~name ?authorize domain =
   Nameserver.register t.nameserver ~name ?authorize domain;
+  t.published <- t.published @ [ (name, domain) ];
   t.public <- Kdomain.combine ~name:"SpinPublic" t.public domain
+
+let unpublish t ~name =
+  match List.assoc_opt name t.published with
+  | None -> ()
+  | Some domain ->
+    Nameserver.unregister t.nameserver ~name;
+    t.published <- List.remove_assoc name t.published;
+    t.public <- Kdomain.remove_member t.public ~member:(Kdomain.name domain)
+
+(* Quarantine unlink: withdraw every service the domain exported and
+   the domain itself from SpinPublic, and forget the extension. *)
+let unlink_domain t dname =
+  List.iter
+    (fun (svc, d) -> if String.equal (Kdomain.name d) dname then unpublish t ~name:svc)
+    t.published;
+  t.public <- Kdomain.remove_member t.public ~member:dname;
+  t.extensions <- List.filter (fun d -> Kdomain.name d <> dname) t.extensions
 
 let boot ?(mem_mb = 64) ?(name = "spin") () =
   let machine = Machine.create ~mem_mb ~name () in
@@ -52,6 +80,7 @@ let boot ?(mem_mb = 64) ?(name = "spin") () =
   let sched = Sched.create machine.Machine.sim dispatcher in
   let vm = Vm.create machine dispatcher in
   let heap = Kheap.create machine.Machine.clock () in
+  let supervisor = Supervisor.create machine.Machine.sim dispatcher in
   let syscalls : (int, int array -> int) Hashtbl.t = Hashtbl.create 32 in
   (* One installed handler: the raise is a fast-path procedure call
      into the table (Table 2's 4 us system call). *)
@@ -62,8 +91,10 @@ let boot ?(mem_mb = 64) ?(name = "spin") () =
         | Some fn -> fn args
         | None -> -1) in
   let public = Kdomain.create_from_module ~name:"SpinPublic" ~exports:[] in
-  let t = { machine; dispatcher; nameserver; sched; vm; heap;
-            syscall_event; syscalls; public; extensions = [] } in
+  let t = { machine; dispatcher; nameserver; sched; vm; heap; supervisor;
+            syscall_event; syscalls; public; published = [];
+            extensions = [] } in
+  Supervisor.set_unlink supervisor (unlink_domain t);
   Cpu.set_trap_handler machine.Machine.cpu (fun trap ->
     match trap with
     | Cpu.Syscall { number; args } ->
@@ -100,8 +131,20 @@ let boot ?(mem_mb = 64) ?(name = "spin") () =
         (event_ty "Translation" "ProtectionFault",
          Univ.pack translation_event_tag (Translation.protection_fault vm.Vm.trans));
       ] in
+  (* Failure is observable: extensions import the supervisor's events
+     from SpinPublic and degrade gracefully when a peer is quarantined
+     or comes back. *)
+  let supervisor_domain =
+    Kdomain.create_from_module ~name:"Supervisor"
+      ~exports:[
+        (event_ty "Supervisor" "ExtensionQuarantined",
+         Univ.pack quarantine_event_tag (Supervisor.quarantined_event supervisor));
+        (event_ty "Supervisor" "ExtensionRestarted",
+         Univ.pack restart_event_tag (Supervisor.restarted_event supervisor));
+      ] in
   publish t ~name:"StrandService" strand_domain;
   publish t ~name:"TranslationService" translation_domain;
+  publish t ~name:"SupervisorService" supervisor_domain;
   t
 
 let elapsed_us t = Clock.now_us t.machine.Machine.clock
@@ -123,6 +166,10 @@ let load_extension t obj =
     | Ok _patched ->
       Kdomain.initialize domain;
       t.extensions <- domain :: t.extensions;
+      (* Faults from handlers installed under the domain's name are
+         attributed to it; register so the ledger names it even before
+         the first fault. *)
+      Supervisor.register_domain t.supervisor ~name:(Kdomain.name domain) ();
       Ok domain
 
 let extension_count t = List.length t.extensions

@@ -18,22 +18,35 @@ type t = {
   sched : Spin_sched.Sched.t;
   vm : Spin_vm.Vm.t;
   heap : Spin_kgc.Kheap.t;
+  supervisor : Supervisor.t;
   syscall_event :
     (int * int array, int) Spin_core.Dispatcher.event;
   syscalls : (int, int array -> int) Hashtbl.t;
   mutable public : Spin_core.Kdomain.t;
+  mutable published : (string * Spin_core.Kdomain.t) list;
   mutable extensions : Spin_core.Kdomain.t list;
 }
 
 val boot : ?mem_mb:int -> ?name:string -> unit -> t
-(** Boots with the Strand and Translation event interfaces already
-    published (importable from [SpinPublic] under the tags below). *)
+(** Boots with the Strand, Translation and Supervisor event interfaces
+    already published (importable from [SpinPublic] under the tags
+    below), and the supervisor attached to the dispatcher's fault
+    stream: a quarantined domain's handlers are evicted everywhere and
+    its interfaces are withdrawn from [SpinPublic]. *)
 
 val strand_event_tag :
   (Spin_sched.Strand.t, unit) Spin_core.Dispatcher.event Spin_core.Univ.tag
 
 val translation_event_tag :
   (Spin_vm.Translation.fault, unit) Spin_core.Dispatcher.event
+    Spin_core.Univ.tag
+
+val quarantine_event_tag :
+  (Supervisor.quarantine, unit) Spin_core.Dispatcher.event
+    Spin_core.Univ.tag
+
+val restart_event_tag :
+  (Supervisor.restart, unit) Spin_core.Dispatcher.event
     Spin_core.Univ.tag
 
 val elapsed_us : t -> float
@@ -60,6 +73,11 @@ val publish :
   Spin_core.Kdomain.t -> unit
 (** Export an interface: register it with the nameserver and fold it
     into [SpinPublic]. *)
+
+val unpublish : t -> name:string -> unit
+(** Withdraw a published interface: unregister it from the nameserver
+    and unlink its domain from [SpinPublic]. The supervisor calls this
+    (via its unlink hook) for every service of a quarantined domain. *)
 
 val load_extension :
   t -> Spin_core.Object_file.t ->

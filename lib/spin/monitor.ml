@@ -4,10 +4,12 @@ module Clock = Spin_machine.Clock
 type t = {
   clock : Clock.t;
   mutable counters : (string * int ref) list;
+  mutable gauges : (string * (unit -> int)) list;
   started_at : int;
 }
 
-let create clock = { clock; counters = []; started_at = Clock.now clock }
+let create clock =
+  { clock; counters = []; gauges = []; started_at = Clock.now clock }
 
 let counter t name =
   match List.assoc_opt name t.counters with
@@ -34,7 +36,31 @@ let watch_with t event ~interest =
        ~guard:(fun arg -> if interest arg then incr c; false)
        (fun _ -> assert false))
 
+(* Gauges sample state owned elsewhere (device drop counters, the
+   supervisor's fault ledger) at report time — overload and failure
+   are visible in the same report as event rates, instead of silent. *)
+let gauge t ~name sample = t.gauges <- t.gauges @ [ (name, sample) ]
+
+let watch_nic t nic =
+  let name = Spin_machine.Nic.kind_name (Spin_machine.Nic.kind nic) in
+  gauge t ~name:(name ^ ".rx_dropped")
+    (fun () -> Spin_machine.Nic.rx_dropped nic)
+
+let watch_netif t netif =
+  gauge t ~name:(Spin_net.Netif.name netif ^ ".rx_dropped")
+    (fun () -> Spin_net.Netif.drops netif)
+
+let watch_supervisor t sup =
+  gauge t ~name:"supervisor.faults"
+    (fun () -> (Supervisor.stats sup).Supervisor.s_faults);
+  gauge t ~name:"supervisor.restarts"
+    (fun () -> (Supervisor.stats sup).Supervisor.s_restarts);
+  gauge t ~name:"supervisor.quarantines"
+    (fun () -> (Supervisor.stats sup).Supervisor.s_quarantines)
+
 let counts t = List.map (fun (name, c) -> (name, !c)) t.counters
+
+let gauges t = List.map (fun (name, sample) -> (name, sample ())) t.gauges
 
 let report t =
   let elapsed_us =
@@ -51,4 +77,13 @@ let report t =
       Buffer.add_string buf
         (Printf.sprintf "  %-28s %8d  (%.0f/s)\n" name !c rate))
     t.counters;
+  (match t.gauges with
+   | [] -> ()
+   | gauges ->
+     Buffer.add_string buf "health:\n";
+     List.iter
+       (fun (name, sample) ->
+         Buffer.add_string buf
+           (Printf.sprintf "  %-28s %8d\n" name (sample ())))
+       gauges);
   Buffer.contents buf

@@ -22,5 +22,26 @@ val watch_with :
 val counts : t -> (string * int) list
 (** Events in watch order with their observed raise counts. *)
 
+val gauge : t -> name:string -> (unit -> int) -> unit
+(** Registers a named health gauge, sampled at {!report} /
+    {!gauges} time. Gauges surface state the monitor does not own —
+    device drop counters, supervisor fault tallies — so overload and
+    failure show up in the same report as event rates. *)
+
+val watch_nic : t -> Spin_machine.Nic.t -> unit
+(** Gauge on the NIC's receive-ring drop counter: overflow is
+    observable rather than a silent drop. *)
+
+val watch_netif : t -> Spin_net.Netif.t -> unit
+(** Same, at the driver level (the interface's NIC). *)
+
+val watch_supervisor : t -> Supervisor.t -> unit
+(** Gauges on the supervisor's fault, restart, and quarantine
+    totals. *)
+
+val gauges : t -> (string * int) list
+(** Registered gauges with their current samples. *)
+
 val report : t -> string
-(** Human-readable counts and rates per virtual second. *)
+(** Human-readable counts and rates per virtual second, followed by
+    the health gauges. *)

@@ -1,0 +1,252 @@
+module Dispatcher = Spin_core.Dispatcher
+module Sim = Spin_machine.Sim
+module Clock = Spin_machine.Clock
+
+type quarantine = {
+  q_domain : string;
+  q_faults : int;       (* total faults attributed when the axe fell *)
+  q_evicted : int;      (* handlers removed across all events *)
+  q_at_us : float;
+}
+
+type restart = {
+  r_domain : string;
+  r_installer : string;
+  r_event : string;
+  r_attempt : int;      (* 1 = first restart *)
+  r_at_us : float;
+}
+
+type budget = { window_us : float; max_faults : int }
+
+type domain_state = {
+  d_name : string;
+  mutable d_installers : string list;   (* every installer attributed *)
+  mutable d_budget : budget option;
+  mutable d_fault_log : (float * string) list;   (* (at_us, event), newest first *)
+  mutable d_faults : int;
+  mutable d_restarts : int;
+  mutable d_pending : Sim.handle list;  (* scheduled restarts *)
+  mutable d_quarantined : bool;
+  mutable d_evicted : int;
+}
+
+type entry = {
+  domain : string;
+  faults : int;
+  restarts : int;
+  quarantined : bool;
+  evicted : int;
+}
+
+type stats = {
+  s_faults : int;
+  s_restarts : int;
+  s_quarantines : int;
+  s_gave_up : int;
+}
+
+type t = {
+  sim : Sim.t;
+  disp : Dispatcher.t;
+  domains : (string, domain_state) Hashtbl.t;
+  mutable domain_order : string list;            (* first-seen order *)
+  owners : (string, string) Hashtbl.t;           (* installer -> domain *)
+  restarts : (int, int) Hashtbl.t;               (* handler id -> count *)
+  quarantined_ev : (quarantine, unit) Dispatcher.event;
+  restarted_ev : (restart, unit) Dispatcher.event;
+  mutable unlink : string -> unit;
+  mutable m_faults : int;
+  mutable m_restarts : int;
+  mutable m_quarantines : int;
+  mutable m_gave_up : int;
+}
+
+let fault_log_cap = 256
+
+let now_us t = Clock.now_us (Sim.clock t.sim)
+
+let quarantined_event t = t.quarantined_ev
+
+let restarted_event t = t.restarted_ev
+
+let set_unlink t f = t.unlink <- f
+
+let domain_of t installer =
+  match Hashtbl.find_opt t.owners installer with
+  | Some d -> d
+  | None -> installer
+
+let state t name =
+  match Hashtbl.find_opt t.domains name with
+  | Some d -> d
+  | None ->
+    let d = { d_name = name; d_installers = []; d_budget = None;
+              d_fault_log = []; d_faults = 0; d_restarts = 0;
+              d_pending = []; d_quarantined = false; d_evicted = 0 } in
+    Hashtbl.replace t.domains name d;
+    t.domain_order <- t.domain_order @ [ name ];
+    d
+
+let attribute d installer =
+  if not (List.mem installer d.d_installers) then
+    d.d_installers <- d.d_installers @ [ installer ]
+
+let register_domain t ~name ?(installers = []) ?budget () =
+  let d = state t name in
+  List.iter (fun i ->
+    Hashtbl.replace t.owners i name;
+    attribute d i) installers;
+  (match budget with Some b -> d.d_budget <- Some b | None -> ())
+
+let recent_faults d ~window_us now =
+  List.length
+    (List.filter (fun (at, _) -> now -. at <= window_us) d.d_fault_log)
+
+(* Quarantine: atomically evict every handler the domain installed, on
+   every event, cancel its pending restarts, unlink it from the public
+   namespace, and announce the fact as an event so peers can degrade
+   gracefully. *)
+let quarantine t d =
+  if not d.d_quarantined then begin
+    d.d_quarantined <- true;
+    t.m_quarantines <- t.m_quarantines + 1;
+    List.iter (fun h -> Sim.cancel t.sim h) d.d_pending;
+    d.d_pending <- [];
+    let installers =
+      if List.mem d.d_name d.d_installers then d.d_installers
+      else d.d_name :: d.d_installers in
+    d.d_evicted <-
+      List.fold_left
+        (fun acc i -> acc + Dispatcher.uninstall_installer t.disp ~installer:i)
+        0 installers;
+    t.unlink d.d_name;
+    Dispatcher.raise_event t.quarantined_ev
+      { q_domain = d.d_name; q_faults = d.d_faults;
+        q_evicted = d.d_evicted; q_at_us = now_us t }
+  end
+
+let schedule_restart t d (f : Dispatcher.fault) ~delay_us ~attempt =
+  let handle = ref None in
+  let h = Sim.after_us t.sim delay_us (fun () ->
+    (match !handle with
+     | Some h -> d.d_pending <- List.filter (fun x -> x != h) d.d_pending
+     | None -> ());
+    if not d.d_quarantined then begin
+      f.Dispatcher.fault_reinstall ();
+      Hashtbl.replace t.restarts f.Dispatcher.fault_handler_id attempt;
+      d.d_restarts <- d.d_restarts + 1;
+      t.m_restarts <- t.m_restarts + 1;
+      Dispatcher.raise_event t.restarted_ev
+        { r_domain = d.d_name;
+          r_installer = f.Dispatcher.fault_installer;
+          r_event = f.Dispatcher.fault_event;
+          r_attempt = attempt; r_at_us = now_us t }
+    end) in
+  handle := Some h;
+  d.d_pending <- h :: d.d_pending
+
+let truncate n l =
+  if List.length l <= n then l
+  else List.filteri (fun i _ -> i < n) l
+
+let on_fault t (f : Dispatcher.fault) =
+  let d = state t (domain_of t f.Dispatcher.fault_installer) in
+  attribute d f.Dispatcher.fault_installer;
+  let now = now_us t in
+  d.d_fault_log <-
+    truncate fault_log_cap ((now, f.Dispatcher.fault_event) :: d.d_fault_log);
+  d.d_faults <- d.d_faults + 1;
+  t.m_faults <- t.m_faults + 1;
+  if not d.d_quarantined then begin
+    (match f.Dispatcher.fault_policy with
+     | Dispatcher.Uninstall -> ()      (* dispatcher already evicted it *)
+     | Dispatcher.Quarantine { window_us; max_faults } ->
+       if recent_faults d ~window_us now >= max_faults then quarantine t d
+     | Dispatcher.Restart { delay_us; backoff; max_restarts } ->
+       if f.Dispatcher.fault_removed then begin
+         let n =
+           Option.value ~default:0
+             (Hashtbl.find_opt t.restarts f.Dispatcher.fault_handler_id) in
+         if n >= max_restarts then t.m_gave_up <- t.m_gave_up + 1
+         else
+           schedule_restart t d f
+             ~delay_us:(delay_us *. (backoff ** float_of_int n))
+             ~attempt:(n + 1)
+       end);
+    (* A domain-level budget (register_domain) applies on top of any
+       per-handler policy. *)
+    if not d.d_quarantined then
+      match d.d_budget with
+      | Some { window_us; max_faults }
+        when recent_faults d ~window_us now >= max_faults ->
+        quarantine t d
+      | _ -> ()
+  end
+
+let create sim disp =
+  let quarantined_ev =
+    Dispatcher.declare disp ~name:"Supervisor.ExtensionQuarantined"
+      ~owner:"Supervisor" ~combine:(fun _ -> ())
+      (fun (_ : quarantine) -> ()) in
+  let restarted_ev =
+    Dispatcher.declare disp ~name:"Supervisor.ExtensionRestarted"
+      ~owner:"Supervisor" ~combine:(fun _ -> ())
+      (fun (_ : restart) -> ()) in
+  let t = {
+    sim; disp;
+    domains = Hashtbl.create 16; domain_order = [];
+    owners = Hashtbl.create 16; restarts = Hashtbl.create 16;
+    quarantined_ev; restarted_ev;
+    unlink = (fun _ -> ());
+    m_faults = 0; m_restarts = 0; m_quarantines = 0; m_gave_up = 0;
+  } in
+  Dispatcher.set_fault_handler disp (on_fault t);
+  t
+
+let is_quarantined t domain =
+  match Hashtbl.find_opt t.domains domain with
+  | Some d -> d.d_quarantined
+  | None -> false
+
+let faults t domain =
+  match Hashtbl.find_opt t.domains domain with
+  | Some d -> d.d_faults
+  | None -> 0
+
+let recent t domain ~window_us =
+  match Hashtbl.find_opt t.domains domain with
+  | Some d -> recent_faults d ~window_us (now_us t)
+  | None -> 0
+
+let ledger t =
+  List.map
+    (fun name ->
+      let d = Hashtbl.find t.domains name in
+      { domain = d.d_name; faults = d.d_faults; restarts = d.d_restarts;
+        quarantined = d.d_quarantined; evicted = d.d_evicted })
+    t.domain_order
+
+let stats t = {
+  s_faults = t.m_faults;
+  s_restarts = t.m_restarts;
+  s_quarantines = t.m_quarantines;
+  s_gave_up = t.m_gave_up;
+}
+
+let report t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "supervisor: %d faults, %d restarts, %d quarantines, %d gave up\n"
+       t.m_faults t.m_restarts t.m_quarantines t.m_gave_up);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-20s faults=%-4d restarts=%-3d %s\n"
+           e.domain e.faults e.restarts
+           (if e.quarantined then
+              Printf.sprintf "QUARANTINED (%d handlers evicted)" e.evicted
+            else "ok")))
+    (ledger t);
+  Buffer.contents buf

@@ -13,6 +13,11 @@ module Link = Spin_machine.Link
 module Machine = Spin_machine.Machine
 module Sched = Spin_sched.Sched
 module Dispatcher = Spin_core.Dispatcher
+module Kdomain = Spin_core.Kdomain
+module Nameserver = Spin_core.Nameserver
+module Supervisor = Spin.Supervisor
+module Kernel = Spin.Kernel
+module Monitor = Spin.Monitor
 
 let addr_a = Ip.addr_of_quad 10 0 0 1
 let addr_b = Ip.addr_of_quad 10 0 0 2
@@ -191,6 +196,308 @@ let test_bounded_udp_handler_aborted () =
     (Dispatcher.stats (Udp.packet_arrived b.Host.udp)).Dispatcher.aborted;
   check int "other endpoints fine" 1 !healthy
 
+(* ------------------------------------------------------------------ *)
+(* The supervisor: quarantine and restart-with-backoff                *)
+(* ------------------------------------------------------------------ *)
+
+let supervised_dispatcher () =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let d = Dispatcher.create clock in
+  let sup = Supervisor.create sim d in
+  (clock, sim, d, sup)
+
+let test_supervisor_quarantines_domain () =
+  (* A filter extension installs handlers on two events; the one on
+     Net.A is buggy, with a Quarantine policy: faults are tolerated
+     (the handler stays) until the third inside the window, then the
+     WHOLE domain goes — both handlers, on both events, atomically —
+     while an unrelated peer extension is untouched. *)
+  let _, _, d, sup = supervised_dispatcher () in
+  let ev_a = Dispatcher.declare d ~name:"Net.A" ~owner:"Net"
+      ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  let ev_b = Dispatcher.declare d ~name:"Net.B" ~owner:"Net"
+      ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  ignore (Dispatcher.install_exn ev_a ~installer:"filter"
+            ~on_failure:(Dispatcher.Quarantine
+                           { window_us = 1_000_000.; max_faults = 3 })
+            (fun _ -> failwith "filter bug"));
+  let filter_b = ref 0 and peer = ref 0 in
+  ignore (Dispatcher.install_exn ev_b ~installer:"filter"
+            (fun _ -> incr filter_b));
+  ignore (Dispatcher.install_exn ev_a ~installer:"peer" (fun _ -> incr peer));
+  let announced = ref [] in
+  ignore (Dispatcher.install_exn (Supervisor.quarantined_event sup)
+            ~installer:"watcher"
+            (fun q -> announced := q.Supervisor.q_domain :: !announced));
+  (* Two faults: tolerated, the handler stays installed. *)
+  Dispatcher.raise_event ev_a 1;
+  Dispatcher.raise_event ev_a 2;
+  check bool "not yet quarantined" false (Supervisor.is_quarantined sup "filter");
+  check int "faults on the ledger" 2 (Supervisor.faults sup "filter");
+  check int "still installed after tolerated faults" 3
+    (Dispatcher.handler_count ev_a);
+  (* Third fault inside the window: the axe falls. *)
+  Dispatcher.raise_event ev_a 3;
+  check bool "quarantined" true (Supervisor.is_quarantined sup "filter");
+  check (list string) "quarantine announced as an event" [ "filter" ] !announced;
+  check int "evicted from the faulting event" 2 (Dispatcher.handler_count ev_a);
+  check int "and from every other event it touched" 1
+    (Dispatcher.handler_count ev_b);
+  check int "all three faults were caught" 3
+    (Dispatcher.stats ev_a).Dispatcher.handler_failures;
+  (* Peers keep dispatching; the quarantined domain is gone for good. *)
+  Dispatcher.raise_event ev_a 4;
+  Dispatcher.raise_event ev_b 5;
+  check int "peer unharmed" 4 !peer;
+  check int "quarantined handler never ran again" 0 !filter_b;
+  (match List.find_opt (fun e -> e.Supervisor.domain = "filter")
+           (Supervisor.ledger sup) with
+   | Some e ->
+     check int "ledger: faults" 3 e.Supervisor.faults;
+     check int "ledger: evicted both handlers" 2 e.Supervisor.evicted;
+     check bool "ledger: quarantined" true e.Supervisor.quarantined
+   | None -> fail "filter missing from the ledger")
+
+let test_supervisor_restart_with_backoff () =
+  (* A transiently-buggy handler with a Restart policy: each fault
+     evicts it and schedules a reinstall after an exponentially
+     backed-off delay. Once its bug clears, it serves again. *)
+  let clock, sim, d, sup = supervised_dispatcher () in
+  let ev = Dispatcher.declare d ~name:"Svc.Op" ~owner:"Svc"
+      ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  let attempts = ref [] in
+  ignore (Dispatcher.install_exn (Supervisor.restarted_event sup)
+            ~installer:"watcher"
+            (fun r -> attempts := r.Supervisor.r_attempt :: !attempts));
+  let calls = ref 0 and served = ref 0 in
+  ignore (Dispatcher.install_exn ev ~installer:"flaky"
+            ~on_failure:(Dispatcher.Restart
+                           { delay_us = 1_000.; backoff = 2.; max_restarts = 5 })
+            (fun _ ->
+              incr calls;
+              if !calls <= 2 then failwith "transient bug";
+              incr served));
+  Dispatcher.raise_event ev 1;                     (* fault #1: evicted *)
+  check int "evicted after the fault" 1 (Dispatcher.handler_count ev);
+  let t0 = Clock.now_us clock in
+  Sim.run sim;                                     (* deferred reinstall fires *)
+  check bool "came back only after the delay" true
+    (Clock.now_us clock -. t0 >= 1_000.);
+  check int "reinstalled" 2 (Dispatcher.handler_count ev);
+  Dispatcher.raise_event ev 2;                     (* fault #2: evicted again *)
+  let t1 = Clock.now_us clock in
+  Sim.run sim;                                     (* backoff doubled *)
+  check bool "second delay backed off" true (Clock.now_us clock -. t1 >= 2_000.);
+  Dispatcher.raise_event ev 3;                     (* bug cleared *)
+  check int "serves after recovery" 1 !served;
+  check (list int) "restarts announced with attempt numbers" [ 2; 1 ] !attempts;
+  check int "ledger counts the restarts" 2
+    (Supervisor.stats sup).Supervisor.s_restarts;
+  check bool "never quarantined" false (Supervisor.is_quarantined sup "flaky")
+
+let test_supervisor_restart_gives_up () =
+  (* A hopeless handler exhausts its restart budget and stays gone. *)
+  let _, sim, d, sup = supervised_dispatcher () in
+  let ev = Dispatcher.declare d ~name:"Svc.Op" ~owner:"Svc"
+      ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  ignore (Dispatcher.install_exn ev ~installer:"hopeless"
+            ~on_failure:(Dispatcher.Restart
+                           { delay_us = 500.; backoff = 2.; max_restarts = 2 })
+            (fun _ -> failwith "always broken"));
+  for i = 1 to 4 do
+    Dispatcher.raise_event ev i;    (* fault (if installed) ... *)
+    Sim.run sim                     (* ... then any pending restart *)
+  done;
+  let st = Supervisor.stats sup in
+  check int "two restarts granted" 2 st.Supervisor.s_restarts;
+  check int "then the supervisor gave up" 1 st.Supervisor.s_gave_up;
+  check int "handler stays gone" 1 (Dispatcher.handler_count ev);
+  check int "three faults in total" 3 (Supervisor.faults sup "hopeless")
+
+let test_supervisor_domain_budget_groups_installers () =
+  (* Two installers grouped under one registered domain with a
+     domain-level budget: their faults pool, and the budget trips the
+     quarantine even though each handler's own policy is the default
+     Uninstall. *)
+  let _, _, d, sup = supervised_dispatcher () in
+  let ev = Dispatcher.declare d ~name:"Svc.Op" ~owner:"Svc"
+      ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  let ev2 = Dispatcher.declare d ~name:"Svc.Other" ~owner:"Svc"
+      ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  Supervisor.register_domain sup ~name:"plugins"
+    ~installers:[ "plug-a"; "plug-b" ]
+    ~budget:{ Supervisor.window_us = 1_000_000.; max_faults = 2 } ();
+  ignore (Dispatcher.install_exn ev ~installer:"plug-a"
+            (fun _ -> failwith "a is broken"));
+  ignore (Dispatcher.install_exn ev ~installer:"plug-b"
+            (fun _ -> failwith "b is broken"));
+  let healthy_runs = ref 0 in
+  ignore (Dispatcher.install_exn ev2 ~installer:"plug-b"
+            (fun _ -> incr healthy_runs));
+  (* One raise: both broken handlers fault, pooling two faults on the
+     "plugins" domain — which is exactly its budget. *)
+  Dispatcher.raise_event ev 1;
+  check bool "domain quarantined on pooled faults" true
+    (Supervisor.is_quarantined sup "plugins");
+  check int "domain-level fault count" 2 (Supervisor.faults sup "plugins");
+  (* The healthy handler of a member installer is swept too. *)
+  Dispatcher.raise_event ev2 2;
+  check int "member's healthy handler evicted" 0 !healthy_runs;
+  check int "only the primary remains" 1 (Dispatcher.handler_count ev2)
+
+let test_kernel_quarantine_unlinks_service () =
+  (* End to end through the kernel: a quarantined extension's
+     published service disappears from the nameserver and its domain
+     is unlinked from SpinPublic. *)
+  let k = Kernel.boot ~mem_mb:8 () in
+  let filter = Kdomain.create_from_module ~name:"Filter" ~exports:[] in
+  Kernel.publish k ~name:"FilterService" filter;
+  let ev = Dispatcher.declare k.Kernel.dispatcher ~name:"Net.Filter"
+      ~owner:"Net" ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  ignore (Dispatcher.install_exn ev ~installer:"Filter"
+            ~on_failure:(Dispatcher.Quarantine
+                           { window_us = 1_000_000.; max_faults = 1 })
+            (fun _ -> failwith "filter bug"));
+  let me = { Nameserver.who = "test" } in
+  check bool "service resolvable before the fault" true
+    (Result.is_ok (Nameserver.lookup k.Kernel.nameserver ~name:"FilterService" me));
+  check bool "domain linked into SpinPublic" true
+    (List.mem "Filter" (Kdomain.members k.Kernel.public));
+  Dispatcher.raise_event ev 1;
+  check bool "quarantined" true
+    (Supervisor.is_quarantined k.Kernel.supervisor "Filter");
+  check bool "service withdrawn from the nameserver" true
+    (Nameserver.lookup k.Kernel.nameserver ~name:"FilterService" me
+     = Error Nameserver.Unknown_name);
+  check bool "domain unlinked from SpinPublic" false
+    (List.mem "Filter" (Kdomain.members k.Kernel.public))
+
+let test_http_degrades_when_generator_quarantined () =
+  (* The consumer proving graceful degradation: an in-kernel HTTP
+     server offers cache misses to dynamic content generators via the
+     HTTP.GenContent event. A buggy CMS generator gets quarantined;
+     requests it used to crash on degrade to the static 503 fallback,
+     while a peer generator and plain static files keep serving. *)
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let server = Host.create sim ~name:"server" ~addr:addr_b in
+  let client = Host.create sim ~name:"client" ~addr:addr_a in
+  ignore (Host.wire client server ~kind:Nic.Lance);
+  let sup = Supervisor.create sim server.Host.dispatcher in
+  let disk = Machine.add_disk ~blocks:16384 server.Host.machine in
+  let bc =
+    Spin_fs.Block_cache.create server.Host.machine server.Host.sched disk in
+  let http = ref None in
+  ignore (Sched.spawn server.Host.sched ~name:"setup" (fun () ->
+    let fs = Spin_fs.Simple_fs.format bc ~blocks:16384 () in
+    Spin_fs.Simple_fs.create fs ~name:"index.html";
+    Spin_fs.Simple_fs.write fs ~name:"index.html"
+      (Bytes.of_string "<h1>static</h1>");
+    let cache = Spin_fs.File_cache.create fs in
+    let h = Http.create ~dispatcher:server.Host.dispatcher
+        server.Host.machine server.Host.sched server.Host.tcp cache in
+    Http.set_fallback h (Bytes.of_string "<h1>degraded</h1>");
+    (match Http.content_event h with
+     | Some ev ->
+       ignore (Dispatcher.install_exn ev ~installer:"cms"
+                 ~on_failure:(Dispatcher.Quarantine
+                                { window_us = 1_000_000_000.; max_faults = 2 })
+                 (fun path ->
+                    if path = "boom" then failwith "cms bug" else None));
+       ignore (Dispatcher.install_exn ev ~installer:"status-page"
+                 (fun path ->
+                    if path = "status" then
+                      Some (Bytes.of_string "<h1>ok</h1>")
+                    else None))
+     | None -> failwith "no content event");
+    http := Some h));
+  Host.run_all [ client; server ];
+  let get path =
+    match Tcp.connect client.Host.tcp ~dst:addr_b ~dst_port:80 with
+    | None -> "no-connection"
+    | Some conn ->
+      Tcp.send client.Host.tcp conn
+        (Bytes.of_string (Printf.sprintf "GET /%s HTTP/1.0\r\n\r\n" path));
+      let response = Buffer.create 256 in
+      let rec drain () =
+        let data = Tcp.read client.Host.tcp conn in
+        if Bytes.length data > 0 then begin
+          Buffer.add_bytes response data;
+          drain ()
+        end in
+      drain ();
+      Buffer.contents response in
+  let status path =
+    let r = get path in
+    if String.length r > 12 then String.sub r 9 3 else r in
+  let log = ref [] in
+  let failure = ref None in
+  ignore (Sched.spawn client.Host.sched ~name:"client" (fun () ->
+    try
+      log := [
+        ("static before", status "index.html");
+        ("dynamic before", status "status");
+        ("crash 1", status "boom");
+        ("crash 2", status "boom");      (* second fault: quarantine *)
+        ("dynamic after", status "status");
+        ("degraded after", status "boom");
+        ("static after", status "index.html");
+      ]
+    with e -> failure := Some e));
+  Host.run_all [ client; server ];
+  (match !failure with Some e -> raise e | None -> ());
+  let expect label want =
+    match List.assoc_opt label !log with
+    | Some got -> check string label want got
+    | None -> fail (label ^ " missing") in
+  expect "static before" "200";
+  expect "dynamic before" "200";
+  expect "crash 1" "503";               (* fault contained, degraded *)
+  expect "crash 2" "503";
+  expect "dynamic after" "200";         (* peer generator untouched *)
+  expect "degraded after" "503";        (* cms gone; fallback serves *)
+  expect "static after" "200";
+  check bool "cms quarantined" true (Supervisor.is_quarantined sup "cms");
+  let h = Option.get !http in
+  let st = Http.stats h in
+  check int "three degraded responses" 3 st.Http.fallbacks;
+  check int "two dynamic responses" 2 st.Http.dynamic;
+  let ev = Option.get (Http.content_event h) in
+  check int "both faults were caught by the dispatcher" 2
+    (Dispatcher.stats ev).Dispatcher.handler_failures;
+  check int "cms evicted, status-page still installed" 2
+    (Dispatcher.handler_count ev)
+
+let test_rx_overflow_observable () =
+  (* The receive-ring overflow of test_rx_ring_overflow_drops, now
+     surfaced through the driver and the monitor: Netif.drops exposes
+     the device counter and a Monitor gauge reports it. *)
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let a = Machine.create_on sim ~name:"a" () in
+  let b = Machine.create_on sim ~name:"b" () in
+  let nic_a, nic_b = Machine.connect a b ~kind:Nic.Lance () in
+  let disp = Dispatcher.create clock in
+  let sched = Sched.create sim disp in
+  (* Never started: the ring is never drained, as in a stalled host. *)
+  let nb = Netif.create b sched disp nic_b ~name:"Ether" in
+  let m = Monitor.create clock in
+  Monitor.watch_netif m nb;
+  for _ = 1 to 80 do
+    ignore (Nic.transmit nic_a (Bytes.create 64))
+  done;
+  Sim.run sim;
+  check int "drops surfaced at the driver" 16 (Netif.drops nb);
+  check (list (pair string int)) "gauge samples the device counter"
+    [ ("Ether.rx_dropped", 16) ] (Monitor.gauges m);
+  let r = Monitor.report m in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+    scan 0 in
+  check bool "report mentions the drops" true (contains r "Ether.rx_dropped")
+
 let () =
   Alcotest.run "spin_faults"
     [
@@ -213,5 +520,22 @@ let () =
             test_rogue_packet_handler_does_not_kill_network;
           test_case "bounded handler aborted" `Quick
             test_bounded_udp_handler_aborted;
+        ] );
+      ( "supervisor",
+        [
+          test_case "quarantine sweeps the whole domain" `Quick
+            test_supervisor_quarantines_domain;
+          test_case "restart with exponential backoff" `Quick
+            test_supervisor_restart_with_backoff;
+          test_case "restart budget exhausted" `Quick
+            test_supervisor_restart_gives_up;
+          test_case "domain budget pools installers" `Quick
+            test_supervisor_domain_budget_groups_installers;
+          test_case "quarantine unlinks published services" `Quick
+            test_kernel_quarantine_unlinks_service;
+          test_case "http degrades around a quarantined generator" `Quick
+            test_http_degrades_when_generator_quarantined;
+          test_case "rx overflow is observable" `Quick
+            test_rx_overflow_observable;
         ] );
     ]

@@ -9,6 +9,7 @@ module Clock = Spin_machine.Clock
 module Cost = Spin_machine.Cost
 module Sim = Spin_machine.Sim
 module Nic = Spin_machine.Nic
+module Link = Spin_machine.Link
 module Dispatcher = Spin_core.Dispatcher
 module Sched = Spin_sched.Sched
 
@@ -324,6 +325,47 @@ let test_rpc_timeout () =
       (Rpc.call a.Host.rpc ~timeout_us:10_000.
          ~dst:(Ip.addr_of_quad 99 0 0 1) ~name:"x" Bytes.empty = None))
 
+let test_rpc_retries_through_outage () =
+  (* The wire is totally dark for the first 25 ms: every early attempt
+     times out. Exponential-backoff retries keep re-sending until the
+     link heals — the caller never sees the outage. *)
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let a = Host.create sim ~name:"a" ~addr:addr_a in
+  let b = Host.create sim ~name:"b" ~addr:addr_b in
+  let nic_a = Machine.add_nic a.Host.machine ~kind:Nic.Lance in
+  let nic_b = Machine.add_nic b.Host.machine ~kind:Nic.Lance in
+  let link = Link.create sim ~mbps:(Nic.link_mbps Nic.Lance) () in
+  Nic.attach nic_a link Link.A;
+  Nic.attach nic_b link Link.B;
+  Link.set_loss link ~every:1;
+  let na = Netif.create a.Host.machine a.Host.sched a.Host.dispatcher nic_a
+      ~name:"Ether" in
+  let nb = Netif.create b.Host.machine b.Host.sched b.Host.dispatcher nic_b
+      ~name:"Ether" in
+  Ip.add_interface a.Host.ip na ~addr:addr_a;
+  Ip.add_interface b.Host.ip nb ~addr:addr_b;
+  Ip.add_route a.Host.ip ~dst:addr_b na;
+  Ip.add_route b.Host.ip ~dst:addr_a nb;
+  Netif.start na;
+  Netif.start nb;
+  Rpc.export b.Host.rpc ~name:"echo" (fun x -> x);
+  ignore (Sim.after_us sim 25_000. (fun () -> Link.set_loss link ~every:0));
+  in_strand [ a; b ] a (fun () ->
+    match
+      Rpc.call a.Host.rpc ~timeout_us:10_000. ~retries:3 ~dst:addr_b
+        ~name:"echo" (Bytes.of_string "still there?")
+    with
+    | Some r ->
+      check string "answered after the outage" "still there?"
+        (Bytes.to_string r)
+    | None -> fail "retries did not survive the outage");
+  let st = Rpc.stats a.Host.rpc in
+  check int "one logical call" 1 st.Rpc.calls;
+  check bool "attempts timed out" true (st.Rpc.timeouts >= 2);
+  check bool "the request was re-sent" true (st.Rpc.retries >= 2);
+  check bool "frames really were lost" true (Link.frames_dropped link >= 2)
+
 (* ------------------------------------------------------------------ *)
 (* Forward extension                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -549,6 +591,8 @@ let () =
           test_case "rpc call" `Quick test_rpc_call;
           test_case "rpc unknown procedure" `Quick test_rpc_unknown_procedure;
           test_case "rpc unroutable" `Quick test_rpc_timeout;
+          test_case "rpc retries through an outage" `Quick
+            test_rpc_retries_through_outage;
         ] );
       ( "forward",
         [
