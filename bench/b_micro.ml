@@ -75,7 +75,8 @@ let table2 () =
   let osf_cross = avg_us_bl osf (fun () -> Bl.cross_address_space_call osf) in
   let mach_cross = avg_us_bl mach (fun () -> Bl.cross_address_space_call mach) in
   let p name paper measured sys =
-    Printf.printf "%-28s %12.2f %12.2f %12s\n" name paper measured sys in
+    Printf.printf "%-28s %12.2f %12.2f %12s\n" name paper measured sys;
+    Report.metric ~name:(sys ^ ": " ^ name) measured in
   p "Protected in-kernel call" 0.13 in_kernel "SPIN";
   p "System call" 4. syscall "SPIN";
   p "System call" 5. osf_sys "DEC OSF/1";
@@ -182,7 +183,9 @@ let table3 () =
   Printf.printf "%-34s %10s %10s %10s %10s\n" "system"
     "FJ paper" "FJ ours" "PP paper" "PP ours";
   let p name (fjp, ppp) (fj, pp) =
-    Printf.printf "%-34s %10.0f %10.1f %10.0f %10.1f\n" name fjp fj ppp pp in
+    Printf.printf "%-34s %10.0f %10.1f %10.0f %10.1f\n" name fjp fj ppp pp;
+    Report.metric ~name:(name ^ ": fork-join") fj;
+    Report.metric ~name:(name ^ ": ping-pong") pp in
   p "DEC OSF/1 kernel" (198., 21.) (measure_bl_thread_ops Os_costs.osf1 ~user:false);
   p "DEC OSF/1 user (P-threads)" (1230., 264.) (measure_bl_thread_ops Os_costs.osf1 ~user:true);
   p "Mach kernel" (101., 71.) (measure_bl_thread_ops Os_costs.mach3 ~user:false);
@@ -279,6 +282,20 @@ let table4 () =
     match paper, ours with
     | Some p, Some o -> cell p o
     | _ -> "n/a" in
+  let ops = [
+    ("Fault", fun r -> r.fault); ("Trap", fun r -> r.trap);
+    ("Prot1", fun r -> r.prot1); ("Prot100", fun r -> r.prot100);
+    ("Unprot100", fun r -> r.unprot100);
+    ("Appel1", fun r -> r.appel1); ("Appel2", fun r -> r.appel2);
+  ] in
+  List.iter
+    (fun (sys, row) ->
+       List.iter (fun (op, get) -> Report.metric ~name:(sys ^ ": " ^ op) (get row))
+         ops;
+       match row.dirty with
+       | Some d -> Report.metric ~name:(sys ^ ": Dirty") d
+       | None -> ())
+    [ ("DEC OSF/1", osf); ("Mach", mach); ("SPIN", spin) ];
   let line name f =
     Printf.printf "%-12s %16s %16s %16s\n" name
       (f paper_osf osf) (f paper_mach mach) (f paper_spin spin) in

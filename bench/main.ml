@@ -1,9 +1,11 @@
 (* The benchmark harness: regenerates every table and figure of the
    paper's evaluation (section 5) against this reproduction.
 
-     dune exec bench/main.exe            -- everything
-     dune exec bench/main.exe table4     -- one experiment
-     dune exec bench/main.exe bechamel   -- host-time costs (Bechamel)
+     dune exec bench/main.exe                -- everything
+     dune exec bench/main.exe table4         -- one experiment
+     dune exec bench/main.exe bechamel       -- host-time costs (Bechamel)
+     dune exec bench/main.exe -- --json OUT.json table2
+                                             -- also write metrics as JSON
 
    Virtual times are microseconds on the simulated 133 MHz Alpha; see
    DESIGN.md for the cost model and EXPERIMENTS.md for the recorded
@@ -27,29 +29,39 @@ let experiments = [
 ]
 
 let usage () =
-  print_endline "usage: main.exe [experiment...]";
+  print_endline "usage: main.exe [--json FILE] [experiment...]";
   print_endline "experiments:";
   List.iter (fun (name, desc, _) -> Printf.printf "  %-12s %s\n" name desc)
     experiments;
-  print_endline "  all          every experiment except bechamel"
+  print_endline "  all          every experiment except bechamel";
+  print_endline "  --json FILE  also write measured metrics to FILE"
+
+let run_one (name, _, f) =
+  Report.experiment name;
+  f ()
 
 let run_all () =
   List.iter
-    (fun (name, _, f) -> if name <> "bechamel" then f ())
+    (fun ((name, _, _) as e) -> if name <> "bechamel" then run_one e)
     experiments
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] | _ :: [ "all" ] -> run_all ()
-  | _ :: [ "help" ] | _ :: [ "--help" ] -> usage ()
-  | _ :: names ->
-    List.iter
-      (fun name ->
-        match List.find_opt (fun (n, _, _) -> n = name) experiments with
-        | Some (_, _, f) -> f ()
-        | None ->
-          Printf.printf "unknown experiment %S\n" name;
-          usage ();
-          exit 1)
-      names
-  | [] -> run_all ()
+  let rec parse = function
+    | "--json" :: path :: rest -> Report.set_json path; parse rest
+    | "--json" :: [] ->
+      print_endline "--json needs a file argument"; usage (); exit 1
+    | args -> args in
+  (match parse (List.tl (Array.to_list Sys.argv)) with
+   | [] | [ "all" ] -> run_all ()
+   | [ "help" ] | [ "--help" ] -> usage ()
+   | names ->
+     List.iter
+       (fun name ->
+         match List.find_opt (fun (n, _, _) -> n = name) experiments with
+         | Some e -> run_one e
+         | None ->
+           Printf.printf "unknown experiment %S\n" name;
+           usage ();
+           exit 1)
+       names);
+  Report.write_json ()

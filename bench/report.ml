@@ -1,5 +1,59 @@
 (* Shared formatting for the benchmark harness: every table prints
-   paper-reported values next to our measured ones. *)
+   paper-reported values next to our measured ones. With a JSON sink
+   installed (--json FILE), experiments also record machine-readable
+   metrics, giving CI a perf trajectory across commits. *)
+
+type metric = {
+  m_experiment : string;
+  m_name : string;
+  m_value : float;
+  m_unit : string;
+}
+
+let json_path : string option ref = ref None
+let current_experiment = ref ""
+let metrics : metric list ref = ref []
+
+let set_json path = json_path := Some path
+
+let experiment name = current_experiment := name
+
+let metric ?(unit_ = "us") ~name value =
+  if !json_path <> None then
+    metrics :=
+      { m_experiment = !current_experiment; m_name = name;
+        m_value = value; m_unit = unit_ } :: !metrics
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json () =
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "{\"schema\":\"spin-bench/1\",\"results\":[";
+    List.iteri
+      (fun i m ->
+         if i > 0 then output_char oc ',';
+         Printf.fprintf oc
+           "{\"experiment\":\"%s\",\"name\":\"%s\",\"value\":%g,\"unit\":\"%s\"}"
+           (json_escape m.m_experiment) (json_escape m.m_name)
+           m.m_value (json_escape m.m_unit))
+      (List.rev !metrics);
+    output_string oc "]}\n";
+    close_out oc;
+    Printf.printf "\nwrote %d metrics to %s\n" (List.length !metrics) path
 
 let header title =
   let line = String.make 72 '-' in

@@ -1,3 +1,5 @@
+module Trace = Spin_machine.Trace
+
 type costs = {
   dispatch_fixed : int;
   guard_eval : int;
@@ -36,6 +38,7 @@ type fault = {
 type t = {
   clock : Spin_machine.Clock.t;
   costs : costs;
+  tracer : Trace.t;
   mutable spawn : ((unit -> unit) -> unit) option;
   deferred : (unit -> unit) Queue.t;
   mutable registry : registration list;   (* reverse declaration order *)
@@ -58,6 +61,7 @@ type ('a, 'r) handler = {
   bound : int option;
   async : bool;
   policy : failure_policy;
+  h_indexed : bool;                      (* lives in an index bucket *)
   mutable active : bool;
   mutable revive : unit -> unit;
 }
@@ -94,6 +98,11 @@ type ('a, 'r) event = {
   default_handler : ('a, 'r) handler;
   mutable primary_active : bool;
   mutable extra : ('a, 'r) handler list;  (* installation order *)
+  (* Active handlers across all index buckets. Buckets deliberately
+     retain inactive handlers (dispatch filters on [active], reviving
+     is a flag flip), so [Hashtbl.length indexed] counts buckets ever
+     used, not live handlers — the fast-path guard must not use it. *)
+  mutable n_indexed_active : int;
   mutable s_raises : int;
   mutable s_fast : int;
   mutable s_invocations : int;
@@ -105,8 +114,11 @@ type ('a, 'r) event = {
 exception No_handler of string
 
 let create ?(costs = default_costs) clock =
-  { clock; costs; spawn = None; deferred = Queue.create (); registry = [];
+  { clock; costs; tracer = Trace.of_clock clock; spawn = None;
+    deferred = Queue.create (); registry = [];
     on_fault = None; next_handler_id = 0 }
+
+let tracer t = t.tracer
 
 let set_async_spawn t f = t.spawn <- Some f
 
@@ -127,6 +139,16 @@ let last_result name results =
   | r :: _ -> r
   | [] -> raise (No_handler name)
 
+(* Every site that retires a handler funnels through here so the
+   active-indexed count stays exact: the fast-path guard depends on
+   it (one stale increment would disable the fast path forever, one
+   stale decrement would skip live indexed handlers). *)
+let deactivate e h =
+  if h.active then begin
+    h.active <- false;
+    if h.h_indexed then e.n_indexed_active <- e.n_indexed_active - 1
+  end
+
 let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary default =
   let combine = match combine with Some f -> f | None -> last_result name in
   let auth = match auth with Some f -> f | None -> fun ~installer:_ -> allow in
@@ -136,12 +158,13 @@ let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary defau
     | None -> fun ~requester:_ -> false in
   let default_handler =
     { h_id = fresh_handler_id t; installer = owner; fn = default; guards = [];
-      bound = None; async = false; policy = Uninstall; active = true;
-      revive = (fun () -> ()) } in
+      bound = None; async = false; policy = Uninstall; h_indexed = false;
+      active = true; revive = (fun () -> ()) } in
   let e =
     { e_name = name; e_owner = owner; e_ty = ty; disp = t; combine; auth;
       index; indexed = Hashtbl.create 8;
       allow_remove; default_handler; primary_active = true; extra = [];
+      n_indexed_active = 0;
       s_raises = 0; s_fast = 0; s_invocations = 0;
       s_guard_rejections = 0; s_aborted = 0; s_failed = 0 } in
   let reg_installers () =
@@ -155,7 +178,7 @@ let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary defau
     List.iter
       (fun h ->
         if h.active && String.equal h.installer installer then begin
-          h.active <- false; incr removed
+          deactivate e h; incr removed
         end)
       e.extra;
     e.extra <- List.filter (fun h -> h.active) e.extra;
@@ -164,7 +187,7 @@ let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary defau
         List.iter
           (fun h ->
             if h.active && String.equal h.installer installer then begin
-              h.active <- false; incr removed
+              deactivate e h; incr removed
             end)
           !b)
       e.indexed;
@@ -190,8 +213,8 @@ let install e ~installer ?guard ?bound_cycles ?(async = false)
       | Some a, Some b -> Some (min a b) in
     let h =
       { h_id = fresh_handler_id e.disp; installer; fn; guards; bound;
-        async = async || force_async; policy = on_failure; active = true;
-        revive = (fun () -> ()) } in
+        async = async || force_async; policy = on_failure; h_indexed = false;
+        active = true; revive = (fun () -> ()) } in
     h.revive <- (fun () ->
       if not h.active then begin
         h.active <- true;
@@ -214,15 +237,20 @@ let install_indexed e ~installer ~key ?bound_cycles ?(async = false)
         | Some a, Some b -> Some (min a b) in
       let h = { h_id = fresh_handler_id e.disp; installer; fn; guards; bound;
                 async = async || force_async; policy = on_failure;
-                active = true; revive = (fun () -> ()) } in
+                h_indexed = true; active = true; revive = (fun () -> ()) } in
       (* The bucket keeps inactive handlers (dispatch filters on
          [active]), so reviving is just a flag flip. *)
-      h.revive <- (fun () -> h.active <- true);
+      h.revive <- (fun () ->
+        if not h.active then begin
+          h.active <- true;
+          e.n_indexed_active <- e.n_indexed_active + 1
+        end);
       let bucket =
         match Hashtbl.find_opt e.indexed key with
         | Some b -> b
         | None -> let b = ref [] in Hashtbl.replace e.indexed key b; b in
       bucket := !bucket @ [ h ];
+      e.n_indexed_active <- e.n_indexed_active + 1;
       Ok h
 
 let install_with_closure e ~installer ~closure ?guard ?bound_cycles ?async
@@ -240,7 +268,7 @@ let install_exn e ~installer ?guard ?bound_cycles ?async ?on_failure fn =
 let add_guard h g = h.guards <- h.guards @ [ g ]
 
 let uninstall e h =
-  h.active <- false;
+  deactivate e h;
   e.extra <- List.filter (fun x -> x != h) e.extra
 
 let remove_primary e ~requester =
@@ -264,6 +292,9 @@ let guards_pass e h arg =
       if g arg then eval rest
       else begin
         e.s_guard_rejections <- e.s_guard_rejections + 1;
+        if Trace.on e.disp.tracer then
+          Trace.instant e.disp.tracer ~cat:"dispatcher" ~name:"guard_reject"
+            ~args:[ ("event", e.e_name); ("installer", h.installer) ] ();
         false
       end in
   eval h.guards
@@ -302,11 +333,15 @@ let run_sync e h arg acc =
       try Some (h.fn arg)
       with exn ->
         e.s_failed <- e.s_failed + 1;
+        if Trace.on e.disp.tracer then
+          Trace.instant e.disp.tracer ~cat:"dispatcher" ~name:"fault"
+            ~args:[ ("event", e.e_name); ("installer", h.installer);
+                    ("exn", Printexc.to_string exn) ] ();
         let keep_installed =
           e.disp.on_fault <> None
           && (match h.policy with Quarantine _ -> true | _ -> false) in
         if not keep_installed then begin
-          h.active <- false;
+          deactivate e h;
           e.extra <- List.filter (fun x -> x != h) e.extra
         end;
         report_fault e h (Handler_exception exn) ~removed:(not keep_installed);
@@ -332,18 +367,44 @@ let run_sync e h arg acc =
 let raise_event e arg =
   let clock = e.disp.clock in
   let costs = e.disp.costs in
+  let tr = e.disp.tracer in
   e.s_raises <- e.s_raises + 1;
   match active_handlers e with
   | [ h ] when h.guards = [] && not h.async && h.bound = None
-            && Hashtbl.length e.indexed = 0 ->
-    (* Fast path: a raise is a protected procedure call. *)
+            && e.n_indexed_active = 0 ->
+    (* Fast path: a raise is a protected procedure call. The guard
+       checks the *active* indexed count — [Hashtbl.length e.indexed]
+       counts buckets, which retain uninstalled handlers. *)
     e.s_fast <- e.s_fast + 1;
-    e.s_invocations <- e.s_invocations + 1;
     Spin_machine.Clock.charge clock
       (Spin_machine.Clock.cost clock).Spin_machine.Cost.cross_module_call;
-    h.fn arg
+    if Trace.on tr then begin
+      let sp =
+        Trace.begin_span tr ~cat:"dispatcher" ~name:e.e_name
+          ~args:[ ("path", "fast") ] () in
+      Fun.protect ~finally:(fun () -> Trace.end_span tr sp)
+        (fun () ->
+           if h == e.default_handler then begin
+             e.s_invocations <- e.s_invocations + 1;
+             h.fn arg
+           end else e.combine (List.rev (run_sync e h arg [])))
+    end
+    else if h == e.default_handler then begin
+      (* Only the trusted primary gets the raw call — its exceptions
+         propagate to the raiser, as a direct procedure call's would.
+         A sole extension handler still goes through [run_sync] so its
+         faults are caught, counted, and reported. *)
+      e.s_invocations <- e.s_invocations + 1;
+      h.fn arg
+    end else
+      e.combine (List.rev (run_sync e h arg []))
   | handlers ->
     Spin_machine.Clock.charge clock costs.dispatch_fixed;
+    let sp =
+      if Trace.on tr then
+        Trace.begin_span tr ~cat:"dispatcher" ~name:e.e_name
+          ~args:[ ("path", "slow") ] ()
+      else Trace.null_span in
     (* Indexed handlers are found by hashing, not by walking guards:
        one lookup regardless of how many keys are registered. *)
     let indexed_handlers =
@@ -364,6 +425,10 @@ let raise_event e arg =
           else if not (guards_pass e h arg) then acc
           else begin
             Spin_machine.Clock.charge clock costs.handler_invoke;
+            if Trace.on tr then
+              Trace.instant tr ~cat:"dispatcher" ~name:"invoke"
+                ~args:[ ("event", e.e_name); ("installer", h.installer);
+                        ("async", string_of_bool h.async) ] ();
             if h.async then begin
               e.s_invocations <- e.s_invocations + 1;
               run_async e h arg;
@@ -371,12 +436,16 @@ let raise_event e arg =
             end else run_sync e h arg acc
           end)
         [] (handlers @ indexed_handlers) in
-    e.combine (List.rev results)
+    match e.combine (List.rev results) with
+    | r -> Trace.end_span tr sp; r
+    | exception exn -> Trace.end_span tr sp; raise exn
 
 let raise_default e fallback arg =
   match raise_event e arg with
   | r -> r
   | exception No_handler _ -> fallback
+
+let indexed_active e = e.n_indexed_active
 
 let handler_count e =
   List.length (active_handlers e)

@@ -34,6 +34,11 @@ val default_costs : costs
 
 val create : ?costs:costs -> Spin_machine.Clock.t -> t
 
+val tracer : t -> Spin_machine.Trace.t
+(** The clock-shared tracer dispatch records into (raise spans with a
+    fast/slow path tag, guard rejections, handler invocations, fault
+    markers). Disabled tracing costs one bool check per site. *)
+
 val set_async_spawn : t -> ((unit -> unit) -> unit) -> unit
 (** Installs the thread-spawn hook used for asynchronous handlers.
     Before a scheduler exists, asynchronous handlers queue and run at
@@ -205,6 +210,12 @@ val raise_default : ('a, 'r) event -> 'r -> 'a -> 'r
 
 val handler_count : ('a, 'r) event -> int
 (** Active handlers, including the primary. *)
+
+val indexed_active : ('a, 'r) event -> int
+(** Active handlers across the event's index buckets. This — not the
+    bucket count, which retains uninstalled handlers — feeds the
+    fast-path guard, so it drops back to 0 (and the fast path resumes)
+    once every indexed handler is uninstalled or quarantined. *)
 
 type stats = {
   raises : int;

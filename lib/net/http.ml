@@ -1,5 +1,6 @@
 module Machine = Spin_machine.Machine
 module Clock = Spin_machine.Clock
+module Trace = Spin_machine.Trace
 module Sched = Spin_sched.Sched
 module File_cache = Spin_fs.File_cache
 module Dispatcher = Spin_core.Dispatcher
@@ -63,6 +64,16 @@ let serve_miss t conn name =
 let handle_request t conn request =
   Clock.charge t.machine.Machine.clock parse_cost;
   t.s_requests <- t.s_requests + 1;
+  let tr = Trace.of_clock t.machine.Machine.clock in
+  let sp =
+    if Trace.on tr then
+      Trace.begin_span tr ~cat:"http" ~name:"request"
+        ~args:[ ("path",
+                 match parse_request request with
+                 | Some name -> "/" ^ name
+                 | None -> "<bad>") ] ()
+    else Trace.null_span in
+  Fun.protect ~finally:(fun () -> Trace.end_span tr sp) @@ fun () ->
   match parse_request request with
   | None -> respond t conn ~status:"400 Bad Request" ~body:Bytes.empty
   | Some name ->

@@ -1,5 +1,6 @@
 module Machine = Spin_machine.Machine
 module Clock = Spin_machine.Clock
+module Trace = Spin_machine.Trace
 module Dispatcher = Spin_core.Dispatcher
 
 type addr = int
@@ -111,8 +112,17 @@ let encode_frame ~src ~dst ~proto payload =
 
 let charge t = Clock.charge t.machine.Machine.clock process_cost
 
+let trace_pkt t name pkt =
+  let tr = Trace.of_clock t.machine.Machine.clock in
+  if Trace.on tr then
+    Trace.instant tr ~cat:"ip" ~name
+      ~args:[ ("src", addr_to_string pkt.src);
+              ("dst", addr_to_string pkt.dst);
+              ("proto", string_of_int pkt.proto) ] ()
+
 let deliver t pkt =
   t.s_delivered <- t.s_delivered + 1;
+  trace_pkt t "deliver" pkt;
   Dispatcher.raise_default t.event () pkt
 
 let transmit_on t netif pkt =
@@ -133,6 +143,7 @@ let send t ?(ttl = 64) ?src ~dst ~proto payload =
   charge t;
   let src = match src with Some s -> s | None -> local_addr t in
   let pkt = { src; dst; proto; ttl; payload } in
+  trace_pkt t "send" pkt;
   if is_local t dst then begin
     t.s_sent <- t.s_sent + 1;
     deliver t pkt;
@@ -147,12 +158,15 @@ let send t ?(ttl = 64) ?src ~dst ~proto payload =
       end else transmit_on t netif pkt
 
 let forward t pkt =
-  if pkt.ttl <= 1 then t.s_dropped <- t.s_dropped + 1
-  else
+  if pkt.ttl <= 1 then begin
+    t.s_dropped <- t.s_dropped + 1;
+    trace_pkt t "drop" pkt
+  end else
     match route_toward t pkt.dst with
-    | None -> t.s_dropped <- t.s_dropped + 1
+    | None -> t.s_dropped <- t.s_dropped + 1; trace_pkt t "drop" pkt
     | Some netif ->
       t.s_forwarded <- t.s_forwarded + 1;
+      trace_pkt t "forward" pkt;
       ignore (transmit_on t netif { pkt with ttl = pkt.ttl - 1 })
 
 let input t frame =

@@ -2,6 +2,7 @@ module Machine = Spin_machine.Machine
 module Nic = Spin_machine.Nic
 module Intr = Spin_machine.Intr
 module Clock = Spin_machine.Clock
+module Trace = Spin_machine.Trace
 module Sched = Spin_sched.Sched
 module Dispatcher = Spin_core.Dispatcher
 
@@ -46,18 +47,32 @@ let name t = t.name
 let mtu t = Nic.mtu t.nic
 
 let transmit t pkt =
+  let tr = Trace.of_clock t.machine.Machine.clock in
+  let sp =
+    if Trace.on tr then
+      Trace.begin_span tr ~cat:"netif" ~name:(t.name ^ ".tx")
+        ~args:[ ("bytes", string_of_int (Pkt.length pkt)) ] ()
+    else Trace.null_span in
   Clock.charge t.machine.Machine.clock t.tx_overhead;
   let ok = Nic.transmit t.nic (Pkt.contents pkt) in
   if ok then t.frames_tx <- t.frames_tx + 1;
+  Trace.end_span tr sp ~args:[ ("ok", string_of_bool ok) ];
   ok
 
 let protocol_loop t () =
   let rec loop () =
     match Queue.take_opt t.rx_queue with
     | Some pkt ->
+      let tr = Trace.of_clock t.machine.Machine.clock in
+      let sp =
+        if Trace.on tr then
+          Trace.begin_span tr ~cat:"netif" ~name:(t.name ^ ".rx")
+            ~args:[ ("bytes", string_of_int (Pkt.length pkt)) ] ()
+        else Trace.null_span in
       Clock.charge t.machine.Machine.clock t.rx_overhead;
       t.frames_rx <- t.frames_rx + 1;
       Dispatcher.raise_default t.rx_event () pkt;
+      Trace.end_span tr sp;
       Sched.preempt_point t.sched;
       loop ()
     | None ->

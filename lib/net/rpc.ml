@@ -1,5 +1,6 @@
 module Machine = Spin_machine.Machine
 module Sim = Spin_machine.Sim
+module Trace = Spin_machine.Trace
 module Sched = Spin_sched.Sched
 
 type outcome =
@@ -26,6 +27,7 @@ type t = {
   mutable s_served : int;
   mutable s_timeouts : int;
   mutable s_retries : int;
+  mutable s_send_failures : int;
 }
 
 (* Request: id u32, ok u8 (unused), namelen u8, name, args.
@@ -84,6 +86,7 @@ let create machine sched am =
     next_id = 1;
     request_handler = 0; reply_handler = 0;
     s_calls = 0; s_served = 0; s_timeouts = 0; s_retries = 0;
+    s_send_failures = 0;
   } in
   t.request_handler <- Active_msg.register am (fun ~src b -> serve t ~src b);
   t.reply_handler <- Active_msg.register am (fun ~src b -> accept_reply t ~src b);
@@ -127,23 +130,54 @@ let call_once t ~timeout_us ~dst ~name args =
 
 (* A lost request or reply surfaces as a timeout; retries re-send with
    a doubled timeout each attempt (exponential backoff). A [Rejected]
-   outcome means the remote host answered — retrying cannot help. *)
+   outcome means the remote host answered — retrying cannot help. A
+   failed send is different from a timeout: it is synchronous (no
+   virtual time passed waiting), so re-sending keeps the current
+   timeout instead of consuming a backoff doubling. *)
 let call t ?(timeout_us = 1_000_000.) ?(retries = 0) ~dst ~name args =
   t.s_calls <- t.s_calls + 1;
+  let tr = Trace.of_clock t.machine.Machine.clock in
+  let sp =
+    if Trace.on tr then
+      Trace.begin_span tr ~cat:"rpc" ~name
+        ~args:[ ("dst", Ip.addr_to_string dst) ] ()
+    else Trace.null_span in
+  let retry n kind =
+    if Trace.on tr then
+      Trace.instant tr ~cat:"rpc" ~name:"retry"
+        ~args:[ ("proc", name); ("attempt", string_of_int (n + 1));
+                ("cause", kind) ] () in
+  let finish outcome result =
+    Trace.end_span tr sp ~args:[ ("outcome", outcome) ];
+    result in
   let rec attempt n timeout =
     match call_once t ~timeout_us:timeout ~dst ~name args with
-    | `Replied r -> Some r
-    | `Rejected -> None
-    | `Timed_out | `Send_failed ->
-      if n >= retries then None
+    | `Replied r -> finish "replied" (Some r)
+    | `Rejected -> finish "rejected" None
+    | `Timed_out ->
+      if n >= retries then finish "timed_out" None
       else begin
         t.s_retries <- t.s_retries + 1;
+        retry n "timeout";
         attempt (n + 1) (timeout *. 2.)
+      end
+    | `Send_failed ->
+      t.s_send_failures <- t.s_send_failures + 1;
+      if n >= retries then finish "send_failed" None
+      else begin
+        retry n "send_failed";
+        attempt (n + 1) timeout
       end in
   attempt 0 timeout_us
 
-type stats = { calls : int; served : int; timeouts : int; retries : int }
+type stats = {
+  calls : int;
+  served : int;
+  timeouts : int;
+  retries : int;
+  send_failures : int;
+}
 
 let stats t =
   { calls = t.s_calls; served = t.s_served; timeouts = t.s_timeouts;
-    retries = t.s_retries }
+    retries = t.s_retries; send_failures = t.s_send_failures }

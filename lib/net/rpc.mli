@@ -18,16 +18,21 @@ val call :
     unknown remote procedure. Default timeout: one second.
 
     [retries] (default 0) re-sends the request after each timeout or
-    send failure, doubling the timeout every attempt (exponential
-    backoff) — a lost datagram on a lossy wire is survived instead of
-    surfaced. A definitive answer from the remote host (unknown
-    procedure) is never retried. *)
+    send failure. A timeout doubles the next attempt's timeout
+    (exponential backoff) — a lost datagram on a lossy wire is
+    survived instead of surfaced. A failed send is synchronous (no
+    virtual time passed waiting), so its re-send keeps the current
+    timeout rather than consuming a backoff doubling. A definitive
+    answer from the remote host (unknown procedure) is never
+    retried. *)
 
 type stats = {
-  calls : int;      (** logical calls, not attempts *)
+  calls : int;          (** logical calls, not attempts *)
   served : int;
-  timeouts : int;   (** timed-out attempts *)
-  retries : int;    (** re-sent requests across all calls *)
+  timeouts : int;       (** timed-out attempts *)
+  retries : int;        (** re-sends after a timeout, across all calls *)
+  send_failures : int;  (** synchronous send failures (re-sent without
+                            consuming a backoff doubling) *)
 }
 
 val stats : t -> stats

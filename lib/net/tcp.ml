@@ -1,5 +1,6 @@
 module Machine = Spin_machine.Machine
 module Clock = Spin_machine.Clock
+module Trace = Spin_machine.Trace
 module Sim = Spin_machine.Sim
 module Sched = Spin_sched.Sched
 module Dispatcher = Spin_core.Dispatcher
@@ -140,6 +141,12 @@ let decode b =
 
 let charge t = Clock.charge t.machine.Machine.clock process_cost
 
+let flags_to_string flags =
+  String.concat ""
+    (List.filter_map
+       (fun (bit, c) -> if flags land bit <> 0 then Some c else None)
+       [ (flag_syn, "S"); (flag_ack, "A"); (flag_fin, "F"); (flag_rst, "R") ])
+
 let emit t conn ~seq ~flags data =
   charge t;
   (match conn.delayed_ack with
@@ -152,6 +159,12 @@ let emit t conn ~seq ~flags data =
   let flags =
     if flags land flag_syn <> 0 && conn.rcv_nxt = 0 then flags
     else flags lor flag_ack in
+  let tr = Trace.of_clock t.machine.Machine.clock in
+  if Trace.on tr then
+    Trace.instant tr ~cat:"tcp" ~name:"tx"
+      ~args:[ ("seq", string_of_int seq);
+              ("flags", flags_to_string flags);
+              ("bytes", string_of_int (Bytes.length data)) ] ();
   ignore (Ip.send t.ip ~dst:conn.r_addr ~proto:Ip.proto_tcp
             (encode { sport = conn.l_port; dport = conn.r_port;
                       seq; ack = conn.rcv_nxt; flags; data }))
@@ -185,6 +198,11 @@ and on_timeout t conn =
       List.iter
         (fun u ->
           t.s_rexmit <- t.s_rexmit + 1;
+          let tr = Trace.of_clock t.machine.Machine.clock in
+          if Trace.on tr then
+            Trace.instant tr ~cat:"tcp" ~name:"retransmit"
+              ~args:[ ("seq", string_of_int u.u_seq);
+                      ("retries", string_of_int conn.retries) ] ();
           emit t conn ~seq:u.u_seq ~flags:u.u_flags u.u_data)
         conn.inflight;
       arm_rto t conn
@@ -310,6 +328,16 @@ let handle_established t conn seg =
 let handle_segment t (seg, src) =
   t.s_in <- t.s_in + 1;
   charge t;
+  let tr = Trace.of_clock t.machine.Machine.clock in
+  let sp =
+    if Trace.on tr then
+      Trace.begin_span tr ~cat:"tcp" ~name:"rx_segment"
+        ~args:[ ("seq", string_of_int seg.seq);
+                ("flags", flags_to_string seg.flags);
+                ("dport", string_of_int seg.dport);
+                ("bytes", string_of_int (Bytes.length seg.data)) ] ()
+    else Trace.null_span in
+  Fun.protect ~finally:(fun () -> Trace.end_span tr sp) @@ fun () ->
   match Hashtbl.find_opt t.conns (seg.dport, src, seg.sport) with
   | Some conn ->
     (match conn.st with

@@ -1,5 +1,6 @@
 module Machine = Spin_machine.Machine
 module Clock = Spin_machine.Clock
+module Trace = Spin_machine.Trace
 module Dispatcher = Spin_core.Dispatcher
 
 type datagram = {
@@ -33,6 +34,12 @@ let input t (pkt : Ip.packet) =
     if Bytes.length b >= header_bytes + len then begin
       t.s_received <- t.s_received + 1;
       let payload = Bytes.sub b header_bytes len in
+      let tr = Trace.of_clock t.machine.Machine.clock in
+      if Trace.on tr then
+        Trace.instant tr ~cat:"udp" ~name:"rx"
+          ~args:[ ("src", Ip.addr_to_string pkt.Ip.src);
+                  ("dst_port", string_of_int dst_port);
+                  ("bytes", string_of_int len) ] ();
       Dispatcher.raise_default t.event ()
         { src = pkt.Ip.src; src_port; dst_port; payload }
     end

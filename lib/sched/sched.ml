@@ -2,6 +2,7 @@ module Dispatcher = Spin_core.Dispatcher
 module Clock = Spin_machine.Clock
 module Cost = Spin_machine.Cost
 module Sim = Spin_machine.Sim
+module Trace = Spin_machine.Trace
 module Dllist = Spin_dstruct.Dllist
 
 type events = {
@@ -69,13 +70,21 @@ let default_block t s =
        at its next preemption point (usually immediately, because
        block_current suspends right after raising the event). *)
     dequeue t s;
-    s.Strand.state <- Strand.Blocked
+    s.Strand.state <- Strand.Blocked;
+    let tr = Trace.of_clock t.clock in
+    if Trace.on tr then
+      Trace.instant tr ~cat:"sched" ~name:"block"
+        ~args:[ ("strand", s.Strand.name) ] ()
   | Strand.Blocked | Strand.Dead -> ()
 
 let default_unblock t s =
   match s.Strand.state with
   | Strand.Blocked | Strand.Created ->
     enqueue t s;
+    let tr = Trace.of_clock t.clock in
+    if Trace.on tr then
+      Trace.instant tr ~cat:"sched" ~name:"unblock"
+        ~args:[ ("strand", s.Strand.name) ] ();
     (* A wakeup of higher priority preempts the running strand. *)
     (match t.current with
      | Some cur when s.Strand.priority > cur.Strand.priority ->
@@ -179,6 +188,10 @@ let execute t s =
   let cost = Clock.cost t.clock in
   Clock.charge t.clock (cost.Cost.context_switch + t.params.switch_extra);
   t.s_switches <- t.s_switches + 1;
+  let tr = Trace.of_clock t.clock in
+  if Trace.on tr then
+    Trace.instant tr ~cat:"sched" ~name:"switch"
+      ~args:[ ("strand", s.Strand.name); ("owner", s.Strand.owner) ] ();
   Dispatcher.raise_default t.events.resume () s;
   s.Strand.state <- Strand.Running;
   t.current <- Some s;
@@ -188,7 +201,14 @@ let execute t s =
     match s.Strand.coro with
     | Some c -> c
     | None -> invalid_arg "Sched: strand has no kernel context" in
+  (* The span key is the strand name, so each strand gets its own
+     run-time histogram. *)
+  let run_span =
+    if Trace.on tr then
+      Trace.begin_span tr ~cat:"sched" ~name:s.Strand.name ()
+    else Trace.null_span in
   let outcome = Coro.run coro in
+  Trace.end_span tr run_span;
   t.current <- None;
   Dispatcher.raise_default t.events.checkpoint () s;
   match outcome with

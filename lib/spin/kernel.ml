@@ -147,6 +147,8 @@ let boot ?(mem_mb = 64) ?(name = "spin") () =
   publish t ~name:"SupervisorService" supervisor_domain;
   t
 
+let trace t = Spin_machine.Trace.of_clock t.machine.Machine.clock
+
 let elapsed_us t = Clock.now_us t.machine.Machine.clock
 
 let stamp_us t f =

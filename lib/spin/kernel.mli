@@ -49,6 +49,11 @@ val restart_event_tag :
   (Supervisor.restart, unit) Spin_core.Dispatcher.event
     Spin_core.Univ.tag
 
+val trace : t -> Spin_machine.Trace.t
+(** The kernel's tracer — the one every subsystem on this machine's
+    clock records into. Disabled (and free beyond one bool check per
+    site) until {!Spin_machine.Trace.enable}. *)
+
 val elapsed_us : t -> float
 
 val stamp_us : t -> (unit -> unit) -> float

@@ -1,15 +1,18 @@
 module Dispatcher = Spin_core.Dispatcher
 module Clock = Spin_machine.Clock
+module Trace = Spin_machine.Trace
 
 type t = {
   clock : Clock.t;
   mutable counters : (string * int ref) list;
   mutable gauges : (string * (unit -> int)) list;
+  mutable tracers : Trace.t list;
   started_at : int;
 }
 
 let create clock =
-  { clock; counters = []; gauges = []; started_at = Clock.now clock }
+  { clock; counters = []; gauges = []; tracers = [];
+    started_at = Clock.now clock }
 
 let counter t name =
   match List.assoc_opt name t.counters with
@@ -58,6 +61,10 @@ let watch_supervisor t sup =
   gauge t ~name:"supervisor.quarantines"
     (fun () -> (Supervisor.stats sup).Supervisor.s_quarantines)
 
+let watch_trace t tracer =
+  if not (List.memq tracer t.tracers) then
+    t.tracers <- t.tracers @ [ tracer ]
+
 let counts t = List.map (fun (name, c) -> (name, !c)) t.counters
 
 let gauges t = List.map (fun (name, sample) -> (name, sample ())) t.gauges
@@ -86,4 +93,19 @@ let report t =
          Buffer.add_string buf
            (Printf.sprintf "  %-28s %8d\n" name (sample ())))
        gauges);
+  List.iter
+    (fun tr ->
+       match Trace.summaries tr with
+       | [] -> ()
+       | summaries ->
+         Buffer.add_string buf "latency (virtual us):\n";
+         List.iter
+           (fun (key, s) ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "  %-28s n=%-6d p50=%8.2f p90=%8.2f p99=%8.2f max=%8.2f\n"
+                   key s.Trace.count s.Trace.p50_us s.Trace.p90_us
+                   s.Trace.p99_us s.Trace.max_us))
+           summaries)
+    t.tracers;
   Buffer.contents buf

@@ -42,6 +42,10 @@ val watch_supervisor : t -> Supervisor.t -> unit
 val gauges : t -> (string * int) list
 (** Registered gauges with their current samples. *)
 
+val watch_trace : t -> Spin_machine.Trace.t -> unit
+(** Folds the tracer's latency histograms (p50/p90/p99 per key) into
+    {!report}. *)
+
 val report : t -> string
 (** Human-readable counts and rates per virtual second, followed by
     the health gauges. *)

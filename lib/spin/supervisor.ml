@@ -1,6 +1,7 @@
 module Dispatcher = Spin_core.Dispatcher
 module Sim = Spin_machine.Sim
 module Clock = Spin_machine.Clock
+module Trace = Spin_machine.Trace
 
 type quarantine = {
   q_domain : string;
@@ -24,6 +25,7 @@ type domain_state = {
   mutable d_installers : string list;   (* every installer attributed *)
   mutable d_budget : budget option;
   mutable d_fault_log : (float * string) list;   (* (at_us, event), newest first *)
+  mutable d_log_cap : int;              (* raised to cover large budgets *)
   mutable d_faults : int;
   mutable d_restarts : int;
   mutable d_pending : Sim.handle list;  (* scheduled restarts *)
@@ -64,7 +66,21 @@ type t = {
 
 let fault_log_cap = 256
 
+(* Budgets only need [max_faults] retained timestamps to trip, so the
+   per-domain log cap is raised to the largest [max_faults] any budget
+   or Quarantine policy on that domain asks for — otherwise a budget
+   beyond [fault_log_cap] could never trip (the log would shed entries
+   before the count got there). Saturated to keep the log bounded
+   against absurd budgets (e.g. [max_int]). *)
+let log_cap_limit = 1_000_000
+
+let raise_log_cap d n =
+  let n = min n log_cap_limit in
+  if n > d.d_log_cap then d.d_log_cap <- n
+
 let now_us t = Clock.now_us (Sim.clock t.sim)
+
+let tracer t = Trace.of_clock (Sim.clock t.sim)
 
 let quarantined_event t = t.quarantined_ev
 
@@ -82,8 +98,9 @@ let state t name =
   | Some d -> d
   | None ->
     let d = { d_name = name; d_installers = []; d_budget = None;
-              d_fault_log = []; d_faults = 0; d_restarts = 0;
-              d_pending = []; d_quarantined = false; d_evicted = 0 } in
+              d_fault_log = []; d_log_cap = fault_log_cap; d_faults = 0;
+              d_restarts = 0; d_pending = []; d_quarantined = false;
+              d_evicted = 0 } in
     Hashtbl.replace t.domains name d;
     t.domain_order <- t.domain_order @ [ name ];
     d
@@ -97,7 +114,11 @@ let register_domain t ~name ?(installers = []) ?budget () =
   List.iter (fun i ->
     Hashtbl.replace t.owners i name;
     attribute d i) installers;
-  (match budget with Some b -> d.d_budget <- Some b | None -> ())
+  (match budget with
+   | Some b ->
+     d.d_budget <- Some b;
+     raise_log_cap d b.max_faults
+   | None -> ())
 
 let recent_faults d ~window_us now =
   List.length
@@ -120,6 +141,12 @@ let quarantine t d =
       List.fold_left
         (fun acc i -> acc + Dispatcher.uninstall_installer t.disp ~installer:i)
         0 installers;
+    let tr = tracer t in
+    if Trace.on tr then
+      Trace.instant tr ~cat:"supervisor" ~name:"quarantine"
+        ~args:[ ("domain", d.d_name);
+                ("faults", string_of_int d.d_faults);
+                ("evicted", string_of_int d.d_evicted) ] ();
     t.unlink d.d_name;
     Dispatcher.raise_event t.quarantined_ev
       { q_domain = d.d_name; q_faults = d.d_faults;
@@ -137,6 +164,13 @@ let schedule_restart t d (f : Dispatcher.fault) ~delay_us ~attempt =
       Hashtbl.replace t.restarts f.Dispatcher.fault_handler_id attempt;
       d.d_restarts <- d.d_restarts + 1;
       t.m_restarts <- t.m_restarts + 1;
+      let tr = tracer t in
+      if Trace.on tr then
+        Trace.instant tr ~cat:"supervisor" ~name:"restart"
+          ~args:[ ("domain", d.d_name);
+                  ("installer", f.Dispatcher.fault_installer);
+                  ("event", f.Dispatcher.fault_event);
+                  ("attempt", string_of_int attempt) ] ();
       Dispatcher.raise_event t.restarted_ev
         { r_domain = d.d_name;
           r_installer = f.Dispatcher.fault_installer;
@@ -154,8 +188,11 @@ let on_fault t (f : Dispatcher.fault) =
   let d = state t (domain_of t f.Dispatcher.fault_installer) in
   attribute d f.Dispatcher.fault_installer;
   let now = now_us t in
+  (match f.Dispatcher.fault_policy with
+   | Dispatcher.Quarantine { max_faults; _ } -> raise_log_cap d max_faults
+   | Dispatcher.Uninstall | Dispatcher.Restart _ -> ());
   d.d_fault_log <-
-    truncate fault_log_cap ((now, f.Dispatcher.fault_event) :: d.d_fault_log);
+    truncate d.d_log_cap ((now, f.Dispatcher.fault_event) :: d.d_fault_log);
   d.d_faults <- d.d_faults + 1;
   t.m_faults <- t.m_faults + 1;
   if not d.d_quarantined then begin

@@ -1,0 +1,4 @@
+(* The trace implementation lives in [Spin_machine] so the layers
+   below this library (dispatcher, scheduler, VM, network) can record
+   into it; this facade re-exports it at the kernel's level. *)
+include Spin_machine.Trace

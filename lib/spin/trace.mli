@@ -1,0 +1,9 @@
+(** Kernel-wide event tracing and latency profiling.
+
+    A re-export of {!Spin_machine.Trace} (where the implementation
+    lives, below every instrumented layer), preserving all type
+    equalities: a [Spin.Trace.t] is a [Spin_machine.Trace.t], so
+    tracers obtained from {!Kernel.trace} or
+    {!Spin_core.Dispatcher.tracer} interoperate freely. *)
+
+include module type of struct include Spin_machine.Trace end

@@ -3,6 +3,7 @@ module Mmu = Spin_machine.Mmu
 module Cpu = Spin_machine.Cpu
 module Addr = Spin_machine.Addr
 module Clock = Spin_machine.Clock
+module Trace = Spin_machine.Trace
 module Capability = Spin_core.Capability
 module Dispatcher = Spin_core.Dispatcher
 
@@ -225,16 +226,26 @@ let handle_trap t trap =
         | None -> false
         | Some ctx ->
           let f = { ctx; va; access } in
+          let tr = Trace.of_clock t.machine.Machine.clock in
+          let mark kind =
+            if Trace.on tr then
+              Trace.instant tr ~cat:"vm" ~name:kind
+                ~args:[ ("va", Printf.sprintf "0x%x" va);
+                        ("ctx", string_of_int ctx.id);
+                        ("owner", ctx.owner) ] () in
           (match fault with
            | Mmu.Protection_violation ->
              t.s_prot <- t.s_prot + 1;
+             mark "protection_fault";
              Dispatcher.raise_default t.protection_fault () f
            | Mmu.Page_not_present | Mmu.Bad_address ->
              if in_region ctx va then begin
                t.s_np <- t.s_np + 1;
+               mark "page_not_present";
                Dispatcher.raise_default t.page_not_present () f
              end else begin
                t.s_bad <- t.s_bad + 1;
+               mark "bad_address";
                Dispatcher.raise_default t.bad_address () f
              end);
           true))

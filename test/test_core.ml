@@ -479,6 +479,32 @@ let test_dispatch_indexed () =
              + (2 * costs.Dispatcher.handler_invoke)
              + Spin_machine.Cost.alpha_133.Spin_machine.Cost.cross_module_call + 200)
 
+let test_dispatch_fast_path_resumes_after_indexed_uninstall () =
+  (* The fast-path guard must count *active* indexed handlers, not
+     index buckets: buckets deliberately retain uninstalled handlers,
+     so one install_indexed must not disable the fast path forever. *)
+  let _, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Pkt.Demux" ~owner:"Filter"
+      ~combine:(fun _ -> ())
+      ~index:(fun proto -> proto)
+      (fun _ -> ()) in
+  Dispatcher.raise_event e 1;
+  check int "fast before any indexed install" 1
+    (Dispatcher.stats e).Dispatcher.fast_path;
+  let h =
+    match Dispatcher.install_indexed e ~installer:"svc" ~key:7 (fun _ -> ()) with
+    | Ok h -> h
+    | Error _ -> fail "indexed install failed" in
+  check int "one active indexed handler" 1 (Dispatcher.indexed_active e);
+  Dispatcher.raise_event e 7;
+  check int "slow while an indexed handler is live" 1
+    (Dispatcher.stats e).Dispatcher.fast_path;
+  Dispatcher.uninstall e h;
+  check int "no active indexed handlers" 0 (Dispatcher.indexed_active e);
+  Dispatcher.raise_event e 7;
+  check int "fast path resumes after uninstall" 2
+    (Dispatcher.stats e).Dispatcher.fast_path
+
 let test_dispatch_indexed_requires_index () =
   let _, d = mk_dispatcher () in
   let e = Dispatcher.declare d ~name:"Plain" ~owner:"M" (fun () -> ()) in
@@ -554,6 +580,8 @@ let () =
           test_case "indexed dispatch (5.5 future work)" `Quick test_dispatch_indexed;
           test_case "indexed requires an index" `Quick
             test_dispatch_indexed_requires_index;
+          test_case "fast path resumes after indexed uninstall" `Quick
+            test_dispatch_fast_path_resumes_after_indexed_uninstall;
           test_case "topology introspection" `Quick test_dispatch_topology;
         ] );
     ]

@@ -149,6 +149,32 @@ let test_primary_exception_propagates () =
   check_raises "propagates" (Failure "trusted service bug")
     (fun () -> Dispatcher.raise_event e ())
 
+let test_fast_path_sole_extension_fault_contained () =
+  (* Regression: with the primary removed and exactly one unguarded
+     synchronous extension handler left, dispatch takes the fast path.
+     That path used to call the handler raw, so an extension exception
+     escaped raise_event — uncounted, unreported, its failure policy
+     skipped — as if the extension were trusted. *)
+  let clock = Clock.create Cost.alpha_133 in
+  let d = Dispatcher.create clock in
+  let e = Dispatcher.declare d ~name:"Svc.Op" ~owner:"Svc"
+      ~combine:(fun _ -> ())
+      ~allow_remove_primary:(fun ~requester:_ -> true)
+      (fun (_ : int) -> ()) in
+  check bool "primary removed" true
+    (Dispatcher.remove_primary e ~requester:"ext" = Ok ());
+  ignore (Dispatcher.install_exn e ~installer:"ext"
+            (fun _ -> failwith "sole extension bug"));
+  (* Must not escape, even though dispatch collapses to the fast path. *)
+  Dispatcher.raise_event e 1;
+  let st = Dispatcher.stats e in
+  check bool "fast path was taken" true (st.Dispatcher.fast_path >= 1);
+  check int "failure caught and counted" 1 st.Dispatcher.handler_failures;
+  (* Uninstall policy applied: the rogue handler never runs again. *)
+  Dispatcher.raise_event e 2;
+  check int "evicted after the fault" 1
+    (Dispatcher.stats e).Dispatcher.handler_failures
+
 let test_rogue_packet_handler_does_not_kill_network () =
   (* A buggy monitoring extension on the UDP event must not take the
      stack down: later packets still reach their ports. *)
@@ -346,6 +372,34 @@ let test_supervisor_domain_budget_groups_installers () =
   check int "member's healthy handler evicted" 0 !healthy_runs;
   check int "only the primary remains" 1 (Dispatcher.handler_count ev2)
 
+let test_supervisor_budget_beyond_log_cap () =
+  (* Regression: the per-domain fault log was truncated at a fixed 256
+     entries, so a registered budget with max_faults > 256 could never
+     trip — the recent-fault count saturated below the threshold and
+     the domain hammered on forever. The log cap now stretches to the
+     largest budget that needs it. *)
+  let _, _, d, sup = supervised_dispatcher () in
+  let ev = Dispatcher.declare d ~name:"Svc.Op" ~owner:"Svc"
+      ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  Supervisor.register_domain sup ~name:"chatty" ~installers:[ "chatty" ]
+    ~budget:{ Supervisor.window_us = 1_000_000_000.; max_faults = 300 } ();
+  (* A tolerant per-handler policy keeps the handler installed so every
+     raise produces a fresh fault against the domain budget. *)
+  ignore (Dispatcher.install_exn ev ~installer:"chatty"
+            ~on_failure:(Dispatcher.Quarantine
+                           { window_us = 1_000_000_000.; max_faults = max_int })
+            (fun _ -> failwith "chatty bug"));
+  for i = 1 to 299 do
+    Dispatcher.raise_event ev i
+  done;
+  check bool "299 faults: budget not yet exhausted" false
+    (Supervisor.is_quarantined sup "chatty");
+  check int "ledger kept every fault, past the old cap" 299
+    (Supervisor.faults sup "chatty");
+  Dispatcher.raise_event ev 300;
+  check bool "300th fault trips the 300-fault budget" true
+    (Supervisor.is_quarantined sup "chatty")
+
 let test_kernel_quarantine_unlinks_service () =
   (* End to end through the kernel: a quarantined extension's
      published service disappears from the nameserver and its domain
@@ -516,6 +570,8 @@ let () =
             test_handler_exception_isolated;
           test_case "primary exception propagates" `Quick
             test_primary_exception_propagates;
+          test_case "sole extension fault contained on fast path" `Quick
+            test_fast_path_sole_extension_fault_contained;
           test_case "rogue handler spares the stack" `Quick
             test_rogue_packet_handler_does_not_kill_network;
           test_case "bounded handler aborted" `Quick
@@ -531,6 +587,8 @@ let () =
             test_supervisor_restart_gives_up;
           test_case "domain budget pools installers" `Quick
             test_supervisor_domain_budget_groups_installers;
+          test_case "budget larger than the old log cap still trips" `Quick
+            test_supervisor_budget_beyond_log_cap;
           test_case "quarantine unlinks published services" `Quick
             test_kernel_quarantine_unlinks_service;
           test_case "http degrades around a quarantined generator" `Quick

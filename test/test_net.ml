@@ -325,6 +325,27 @@ let test_rpc_timeout () =
       (Rpc.call a.Host.rpc ~timeout_us:10_000.
          ~dst:(Ip.addr_of_quad 99 0 0 1) ~name:"x" Bytes.empty = None))
 
+let test_rpc_send_failure_retries_without_backoff () =
+  (* Regression: a failed send is synchronous — no virtual time passed
+     waiting — yet it used to be treated like a timeout, doubling the
+     next timeout and counting as a backoff retry. Re-sends after a
+     send failure now keep the current timeout and are counted
+     separately from timeout-driven retries. *)
+  let sim, a, b = two_hosts () in
+  let clock = Sim.clock sim in
+  in_strand [ a; b ] a (fun () ->
+    let t0 = Clock.now_us clock in
+    check bool "unroutable call fails" true
+      (Rpc.call a.Host.rpc ~timeout_us:1_000_000. ~retries:1
+         ~dst:(Ip.addr_of_quad 99 0 0 1) ~name:"x" Bytes.empty = None);
+    (* Two synchronous send failures: no timeout was ever waited on. *)
+    check bool "failed synchronously, not after a timeout" true
+      (Clock.now_us clock -. t0 < 1_000_000.));
+  let st = Rpc.stats a.Host.rpc in
+  check int "both attempts counted as send failures" 2 st.Rpc.send_failures;
+  check int "no backoff retries consumed" 0 st.Rpc.retries;
+  check int "no timeouts" 0 st.Rpc.timeouts
+
 let test_rpc_retries_through_outage () =
   (* The wire is totally dark for the first 25 ms: every early attempt
      times out. Exponential-backoff retries keep re-sending until the
@@ -591,6 +612,8 @@ let () =
           test_case "rpc call" `Quick test_rpc_call;
           test_case "rpc unknown procedure" `Quick test_rpc_unknown_procedure;
           test_case "rpc unroutable" `Quick test_rpc_timeout;
+          test_case "rpc send failure retries without backoff" `Quick
+            test_rpc_send_failure_retries_without_backoff;
           test_case "rpc retries through an outage" `Quick
             test_rpc_retries_through_outage;
         ] );
