@@ -190,10 +190,10 @@ let little_language () =
   let frame port =
     Spin_net.Ip.encode_frame ~src:1 ~dst:2 ~proto:Spin_net.Ip.proto_udp
       (Spin_net.Udp.encode_datagram ~src_port:9 ~dst_port:port Bytes.empty) in
-  let port_of pkt = Bytes.get_uint16_le pkt 16 in
+  let port_of pkt = Spin_net.Pkt.get_u16_le pkt 16 in
   (* (a) compiled guards *)
   let guarded = Dispatcher.declare k.Kernel.dispatcher ~name:"F.G" ~owner:"F"
-      ~combine:(fun _ -> ()) (fun (_ : Bytes.t) -> ()) in
+      ~combine:(fun _ -> ()) (fun (_ : Spin_net.Pkt.t) -> ()) in
   for p = 0 to endpoints - 1 do
     ignore (Dispatcher.install_exn guarded ~installer:"svc"
               ~guard:(fun pkt -> port_of pkt = p) (fun _ -> ()))
@@ -204,11 +204,11 @@ let little_language () =
   List.iter Spin_net.Pkt_filter.validate programs;
   let interpreted pkt =
     List.iter
-      (fun prog -> ignore (Spin_net.Pkt_filter.run clock prog pkt))
+      (fun prog -> ignore (Spin_net.Pkt_filter.run_view clock prog pkt))
       programs in
   (* (c) indexed dispatch *)
   let indexed = Dispatcher.declare k.Kernel.dispatcher ~name:"F.I" ~owner:"F"
-      ~combine:(fun _ -> ()) ~index:port_of (fun (_ : Bytes.t) -> ()) in
+      ~combine:(fun _ -> ()) ~index:port_of (fun (_ : Spin_net.Pkt.t) -> ()) in
   for p = 0 to endpoints - 1 do
     (match Dispatcher.install_indexed indexed ~installer:"svc" ~key:p
              (fun _ -> ()) with

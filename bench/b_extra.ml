@@ -37,8 +37,8 @@ let udp_rtt_with_watchers ~count ~pass =
          (fun _ -> ()))
   done;
   ignore (Udp.listen b.Host.udp ~port:7 ~installer:"echo" (fun d ->
-    ignore (Udp.send b.Host.udp ~src_port:7 ~dst:d.Udp.src ~port:d.Udp.src_port
-              d.Udp.payload)));
+    ignore (Udp.send_pkt b.Host.udp ~src_port:7 ~dst:d.Udp.src
+              ~port:d.Udp.src_port d.Udp.payload)));
   let rtts = ref [] and t0 = ref 0. and pending = ref 0 in
   ignore (Udp.listen a.Host.udp ~port:7070 ~installer:"probe" (fun _ ->
     rtts := (Clock.now_us clock -. !t0) :: !rtts;

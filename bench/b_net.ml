@@ -45,10 +45,11 @@ let udp_latency ?optimized sys kind =
     (match sys with
      | Spin_sys -> ()
      | Osf_sys ->
-       Bl_path.user_recv_overhead bclock osf ~bytes:(Bytes.length d.Udp.payload);
-       Bl_path.user_send_overhead bclock osf ~bytes:(Bytes.length d.Udp.payload));
-    ignore (Udp.send b.Host.udp ~src_port:7 ~dst:d.Udp.src ~port:d.Udp.src_port
-              d.Udp.payload)));
+       Bl_path.user_recv_overhead bclock osf ~bytes:(Pkt.length d.Udp.payload);
+       Bl_path.user_send_overhead bclock osf ~bytes:(Pkt.length d.Udp.payload));
+    (* Echo in place: response headers go into the request's headroom. *)
+    ignore (Udp.send_pkt b.Host.udp ~src_port:7 ~dst:d.Udp.src
+              ~port:d.Udp.src_port d.Udp.payload)));
   let rtts = ref [] in
   let t0 = ref 0. in
   let pending = ref 0 in
@@ -56,7 +57,7 @@ let udp_latency ?optimized sys kind =
     (match sys with
      | Spin_sys -> ()
      | Osf_sys ->
-       Bl_path.user_recv_overhead clock osf ~bytes:(Bytes.length d.Udp.payload));
+       Bl_path.user_recv_overhead clock osf ~bytes:(Pkt.length d.Udp.payload));
     rtts := (Clock.now_us clock -. !t0) :: !rtts;
     decr pending));
   let probes = 5 in
@@ -125,8 +126,8 @@ let udp_bandwidth sys kind ~payload_bytes ~bursts =
     (match sys with
      | Spin_sys -> ()
      | Osf_sys ->
-       Bl_path.user_recv_overhead bclock osf ~bytes:(Bytes.length d.Udp.payload));
-    received := !received + Bytes.length d.Udp.payload;
+       Bl_path.user_recv_overhead bclock osf ~bytes:(Pkt.length d.Udp.payload));
+    received := !received + Pkt.length d.Udp.payload;
     incr in_burst;
     if !in_burst = window then begin
       in_burst := 0;
@@ -180,27 +181,29 @@ let udp_bandwidth sys kind ~payload_bytes ~bursts =
 let table5 () =
   Report.header "Table 5: UDP latency (us) and receive bandwidth (Mb/s)";
   Printf.printf "%-22s %-12s %10s %10s\n" "metric" "system" "paper" "measured";
-  let row metric sys paper measured =
+  let row ?(qual = "") ?(unit_ = "us") metric sys paper measured =
     Printf.printf "%-22s %-12s %10.1f %10.1f\n" metric (sys_name sys)
-      paper measured in
+      paper measured;
+    Report.metric ~unit_
+      ~name:(Printf.sprintf "%s %s%s" metric (sys_name sys) qual) measured in
   row "Ethernet latency" Osf_sys 789. (udp_latency Osf_sys Nic.Lance);
   row "Ethernet latency" Spin_sys 565. (udp_latency Spin_sys Nic.Lance);
   row "ATM latency" Osf_sys 631. (udp_latency Osf_sys Nic.Fore_atm);
   row "ATM latency" Spin_sys 421. (udp_latency Spin_sys Nic.Fore_atm);
-  row "Ethernet bandwidth" Osf_sys 8.9
+  row ~unit_:"Mb/s" "Ethernet bandwidth" Osf_sys 8.9
     (udp_bandwidth Osf_sys Nic.Lance ~payload_bytes:1400 ~bursts:12);
-  row "Ethernet bandwidth" Spin_sys 8.9
+  row ~unit_:"Mb/s" "Ethernet bandwidth" Spin_sys 8.9
     (udp_bandwidth Spin_sys Nic.Lance ~payload_bytes:1400 ~bursts:12);
-  row "ATM bandwidth" Osf_sys 27.9
+  row ~unit_:"Mb/s" "ATM bandwidth" Osf_sys 27.9
     (udp_bandwidth Osf_sys Nic.Fore_atm ~payload_bytes:8078 ~bursts:12);
-  row "ATM bandwidth" Spin_sys 33.
+  row ~unit_:"Mb/s" "ATM bandwidth" Spin_sys 33.
     (udp_bandwidth Spin_sys Nic.Fore_atm ~payload_bytes:8078 ~bursts:12);
   (* The paper's footnote: with drivers optimized for latency, SPIN
      reaches 337 us on Ethernet and 241 us on ATM. *)
   Printf.printf "  (optimized drivers, SPIN only:)\n";
-  row "Ethernet latency" Spin_sys 337.
+  row ~qual:" optimized" "Ethernet latency" Spin_sys 337.
     (udp_latency ~optimized:true Spin_sys Nic.Lance);
-  row "ATM latency" Spin_sys 241.
+  row ~qual:" optimized" "ATM latency" Spin_sys 241.
     (udp_latency ~optimized:true Spin_sys Nic.Fore_atm)
 
 (* ------------------------------------------------------------------ *)
@@ -230,8 +233,8 @@ let forward_udp_latency sys kind =
      let fclock = fwd.Host.machine.Machine.clock in
      let flows : (int, Ip.addr * int) Hashtbl.t = Hashtbl.create 8 in
      ignore (Udp.listen fwd.Host.udp ~port:9000 ~installer:"splice" (fun d ->
-       Bl_path.user_recv_overhead fclock osf ~bytes:(Bytes.length d.Udp.payload);
-       Bl_path.user_send_overhead fclock osf ~bytes:(Bytes.length d.Udp.payload);
+       Bl_path.user_recv_overhead fclock osf ~bytes:(Pkt.length d.Udp.payload);
+       Bl_path.user_send_overhead fclock osf ~bytes:(Pkt.length d.Udp.payload);
        let dst, port =
          if d.Udp.src = addr_b then
            match Hashtbl.find_opt flows d.Udp.src_port with
@@ -241,9 +244,10 @@ let forward_udp_latency sys kind =
            Hashtbl.replace flows 9000 (d.Udp.src, d.Udp.src_port);
            (addr_b, 9000)
          end in
-       ignore (Udp.send fwd.Host.udp ~src_port:9000 ~dst ~port d.Udp.payload))));
+       ignore (Udp.send fwd.Host.udp ~src_port:9000 ~dst ~port
+                 (Pkt.contents d.Udp.payload)))));
   ignore (Udp.listen server.Host.udp ~port:9000 ~installer:"echo" (fun d ->
-    ignore (Udp.send server.Host.udp ~src_port:9000 ~dst:d.Udp.src
+    ignore (Udp.send_pkt server.Host.udp ~src_port:9000 ~dst:d.Udp.src
               ~port:d.Udp.src_port d.Udp.payload)));
   let rtts = ref [] and t0 = ref 0. and pending = ref 0 in
   ignore (Udp.listen client.Host.udp ~port:5555 ~installer:"probe" (fun _ ->
@@ -314,7 +318,8 @@ let table6 () =
   Report.header "Table 6: protocol forwarding, 16-byte round trip (us)";
   Printf.printf "%-26s %-12s %10s %10s\n" "path" "system" "paper" "measured";
   let row path sys paper v =
-    Printf.printf "%-26s %-12s %10.0f %10.0f\n" path (sys_name sys) paper v in
+    Printf.printf "%-26s %-12s %10.0f %10.0f\n" path (sys_name sys) paper v;
+    Report.metric ~name:(path ^ " " ^ sys_name sys) v in
   row "TCP over Ethernet" Osf_sys 2080. (forward_tcp_latency Osf_sys Nic.Lance);
   row "TCP over Ethernet" Spin_sys 1420. (forward_tcp_latency Spin_sys Nic.Lance);
   row "TCP over ATM" Osf_sys 1730. (forward_tcp_latency Osf_sys Nic.Fore_atm);

@@ -24,6 +24,7 @@ let experiments = [
   ("dispatcher", "dispatcher scalability (5.5)", B_extra.dispatcher_scaling);
   ("gc", "automatic storage management (5.5)", B_extra.gc_impact);
   ("web", "web server latency (5.4)", B_extra.web);
+  ("load", "HTTP load scaling over the zero-copy path (5.4)", B_load.run);
   ("ablation", "design-choice ablations", B_ablation.run);
   ("bechamel", "host-time simulation costs", B_bechamel.run);
 ]

@@ -32,8 +32,8 @@ let () =
   let f_udp = Forward.create fwd.Host.ip ~proto:Ip.proto_udp ~port:9000
       ~to_:addr_server in
   ignore (Udp.listen server.Host.udp ~port:9000 ~installer:"echo" (fun d ->
-    ignore (Udp.send server.Host.udp ~src_port:9000 ~dst:d.Udp.src
-              ~port:d.Udp.src_port d.Udp.payload)));
+    ignore (Udp.send_pkt server.Host.udp ~src_port:9000 ~dst:d.Udp.src
+              ~port:d.Udp.src_port d.Udp.payload)));  (* in-place echo *)
   let udp_rtt = ref 0. in
   let t_send = ref 0. in
   ignore (Udp.listen client.Host.udp ~port:5555 ~installer:"client" (fun _ ->

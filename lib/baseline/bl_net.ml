@@ -21,7 +21,7 @@ let udp_listen_user t ~port app =
   Udp.listen t.host.Host.udp ~port ~installer:(t.os.Os_costs.os_name ^ "-user")
     (fun d ->
       Bl_path.user_recv_overhead (clock t) t.os
-        ~bytes:(Bytes.length d.Udp.payload);
+        ~bytes:(Pkt.length d.Udp.payload);
       app d)
 
 let tcp_connect_from_user t ~dst ~dst_port =
@@ -52,5 +52,7 @@ let user_splice_forwarder t ~port ~to_ ~to_port =
            Hashtbl.replace flows to_port (d.Udp.src, d.Udp.src_port);
            (to_, to_port)
          end in
+       (* User-level splice: the payload crosses into user space and
+          back — materialize it, as the real path would. *)
        ignore (udp_send_from_user t ~src_port:port ~dst ~port:dst_port
-                 d.Udp.payload)))
+                 (Pkt.contents d.Udp.payload))))

@@ -9,8 +9,7 @@ let null_syscall clock os =
   Clock.charge clock (trap_cost clock);
   Clock.charge clock os.Os_costs.syscall_dispatch
 
-let copy_cost clock ~bytes =
-  ((bytes + 7) / 8) * (Clock.cost clock).Cost.copy_per_word
+let copy_cost clock ~bytes = Cost.copy_cycles (Clock.cost clock) ~bytes
 
 let user_send_overhead clock os ~bytes =
   null_syscall clock os;

@@ -34,6 +34,8 @@ let alpha_133 = {
   mem_access = 3;
 }
 
+let copy_cycles c ~bytes = ((bytes + 7) / 8) * c.copy_per_word
+
 let us_to_cycles c us = int_of_float (Float.round (us *. float_of_int c.cycles_per_us))
 
 let cycles_to_us c cycles = float_of_int cycles /. float_of_int c.cycles_per_us

@@ -27,6 +27,13 @@ type t = {
 val alpha_133 : t
 (** Calibrated for the paper's hardware; see DESIGN.md section 2. *)
 
+val copy_cycles : t -> bytes:int -> int
+(** CPU cycles to move [bytes] memory-to-memory ([copy_per_word] per
+    8-byte word). The protocol stack charges this at its true copy
+    points only — payload hand-off to an application buffer, blitting
+    app data into a transmit frame — never for the zero-copy header
+    push/pull path. *)
+
 val us_to_cycles : t -> float -> int
 (** [us_to_cycles c us] rounds [us] microseconds to cycles. *)
 

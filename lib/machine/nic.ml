@@ -71,15 +71,22 @@ let attach t link ep =
     end else
       t.rx_dropped <- t.rx_dropped + 1)
 
-let transmit t frame =
+(* The device copies the frame out of host memory (DMA or PIO) as it
+   goes onto the wire. This is the packet path's one unavoidable copy:
+   it means a delivered frame never aliases the sender's buffers, so
+   the receive path may use it in place. *)
+let transmit t ?(off = 0) ?len frame =
+  let len = match len with Some l -> l | None -> Bytes.length frame - off in
+  if off < 0 || len < 0 || off + len > Bytes.length frame then
+    invalid_arg "Nic.transmit";
   match t.link with
   | None -> false
   | Some (link, ep) ->
-    if Bytes.length frame > t.mtu + header_allowance then false
+    if len > t.mtu + header_allowance then false
     else begin
-      charge_io t (Bytes.length frame);
+      charge_io t len;
       t.frames_tx <- t.frames_tx + 1;
-      Link.send link ~from:ep frame;
+      Link.send link ~from:ep (Bytes.sub frame off len);
       true
     end
 

@@ -18,14 +18,19 @@ let process_cost = 180                    (* deliberately lean *)
 let input t (pkt : Ip.packet) =
   Clock.charge t.machine.Machine.clock process_cost;
   let b = pkt.Ip.payload in
-  if Bytes.length b >= header then begin
-    let h = Bytes.get_uint16_le b 0 in
-    let len = Bytes.get_uint16_le b 2 in
-    if Bytes.length b >= header + len then
+  if Pkt.length b >= header then begin
+    let h = Pkt.get_u16_le b 0 in
+    let len = Pkt.get_u16_le b 2 in
+    if Pkt.length b >= header + len then
       match Spin_dstruct.Idtable.lookup t.handlers h with
       | Some handler ->
         t.s_delivered <- t.s_delivered + 1;
-        handler ~src:pkt.Ip.src (Bytes.sub b header len)
+        (* Extension boundary: handlers own their argument, so hand
+           them a private copy (charged — a true copy point). *)
+        Clock.charge t.machine.Machine.clock
+          (Spin_machine.Cost.copy_cycles
+             (Clock.cost t.machine.Machine.clock) ~bytes:len);
+        handler ~src:pkt.Ip.src (Pkt.contents (Pkt.sub b ~pos:header ~len))
       | None -> t.s_dropped <- t.s_dropped + 1
   end
 
@@ -45,11 +50,15 @@ let unregister t i = Spin_dstruct.Idtable.remove t.handlers i
 
 let send t ~dst ~handler payload =
   Clock.charge t.machine.Machine.clock process_cost;
-  let b = Bytes.make (header + Bytes.length payload) '\000' in
-  Bytes.set_uint16_le b 0 handler;
-  Bytes.set_uint16_le b 2 (Bytes.length payload);
-  Bytes.blit payload 0 b header (Bytes.length payload);
-  let ok = Ip.send t.ip ~dst ~proto b in
+  (* Application hand-off: one charged copy, then zero-copy down. *)
+  Clock.charge t.machine.Machine.clock
+    (Spin_machine.Cost.copy_cycles (Clock.cost t.machine.Machine.clock)
+       ~bytes:(Bytes.length payload));
+  let pkt = Pkt.of_payload payload in
+  let buf, off = Pkt.push_view pkt header in
+  Bytes.set_uint16_le buf off handler;
+  Bytes.set_uint16_le buf (off + 2) (Bytes.length payload);
+  let ok = Ip.send t.ip ~dst ~proto pkt in
   if ok then t.s_sent <- t.s_sent + 1;
   ok
 

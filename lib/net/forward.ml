@@ -11,8 +11,8 @@ type t = {
 }
 
 let ports payload =
-  if Bytes.length payload >= 4 then
-    Some (Bytes.get_uint16_le payload 0, Bytes.get_uint16_le payload 2)
+  if Pkt.length payload >= 4 then
+    Some (Pkt.get_u16_le payload 0, Pkt.get_u16_le payload 2)
   else None
 
 let interesting t (pkt : Ip.packet) =

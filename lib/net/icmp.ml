@@ -10,21 +10,25 @@ let type_echo_reply = 0
 let header = 4                            (* type, code, seq u16 *)
 
 let encode ~typ ~seq payload =
-  let h = Bytes.make header '\000' in
-  Bytes.set_uint8 h 0 typ;
-  Bytes.set_uint16_le h 2 seq;
-  Bytes.cat h payload
+  let pkt = Pkt.of_payload payload in
+  let buf, off = Pkt.push_view pkt header in
+  Bytes.set_uint8 buf off typ;
+  Bytes.set_uint8 buf (off + 1) 0;
+  Bytes.set_uint16_le buf (off + 2) seq;
+  pkt
 
 let input t (pkt : Ip.packet) =
-  if Bytes.length pkt.Ip.payload >= header then begin
-    let typ = Bytes.get_uint8 pkt.Ip.payload 0 in
-    let seq = Bytes.get_uint16_le pkt.Ip.payload 2 in
-    let body =
-      Bytes.sub pkt.Ip.payload header (Bytes.length pkt.Ip.payload - header) in
+  let b = pkt.Ip.payload in
+  if Pkt.length b >= header then begin
+    let typ = Pkt.get_u8 b 0 in
+    let seq = Pkt.get_u16_le b 2 in
     if typ = type_echo_request then begin
       t.served <- t.served + 1;
-      ignore (Ip.send t.ip ~dst:pkt.Ip.src ~proto:Ip.proto_icmp
-                (encode ~typ:type_echo_reply ~seq body))
+      (* In-place echo: flip the type byte and send the same buffer
+         back — the consumed IP/link headers in its headroom are
+         overwritten by the reply's. No payload byte moves. *)
+      Pkt.set_u8 b 0 type_echo_reply;
+      ignore (Ip.send t.ip ~dst:pkt.Ip.src ~proto:Ip.proto_icmp b)
     end else if typ = type_echo_reply then begin
       t.replies <- t.replies + 1;
       match List.assoc_opt seq t.waiting with

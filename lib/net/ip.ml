@@ -19,7 +19,7 @@ type packet = {
   dst : addr;
   proto : int;
   ttl : int;
-  payload : Bytes.t;
+  payload : Pkt.t;
 }
 
 let proto_icmp = 1
@@ -84,31 +84,24 @@ let mtu_toward t dst =
     route_toward t dst
     |> Option.map (fun netif -> Netif.mtu netif - link_header - ip_header)
 
-let encode pkt payload =
-  let h = Bytes.make ip_header '\000' in
-  Bytes.set_uint8 h 0 pkt.proto;
-  Bytes.set_uint8 h 1 pkt.ttl;
-  Bytes.set_uint16_le h 2 (Bytes.length payload);
-  Bytes.set_int32_le h 4 (Int32.of_int pkt.src);
-  Bytes.set_int32_le h 8 (Int32.of_int pkt.dst);
-  h
-
-let decode h =
-  let proto = Bytes.get_uint8 h 0 in
-  let ttl = Bytes.get_uint8 h 1 in
-  let len = Bytes.get_uint16_le h 2 in
-  let src = Int32.to_int (Bytes.get_int32_le h 4) in
-  let dst = Int32.to_int (Bytes.get_int32_le h 8) in
-  (proto, ttl, len, src, dst)
+(* Write the IP and link headers into the packet's headroom — the
+   payload bytes never move. On a forwarded or echoed packet the
+   headers land exactly where the received ones sat. *)
+let push_headers pkt ~src ~dst ~proto ~ttl =
+  let plen = Pkt.length pkt in
+  let buf, off = Pkt.push_view pkt ip_header in
+  Bytes.set_uint8 buf off proto;
+  Bytes.set_uint8 buf (off + 1) ttl;
+  Bytes.set_uint16_le buf (off + 2) plen;
+  Bytes.set_int32_le buf (off + 4) (Int32.of_int src);
+  Bytes.set_int32_le buf (off + 8) (Int32.of_int dst);
+  let buf, off = Pkt.push_view pkt link_header in
+  Bytes.set_uint16_le buf off ethertype_ip
 
 let encode_frame ~src ~dst ~proto payload =
-  let pkt = { src; dst; proto; ttl = 64; payload } in
   let frame = Pkt.of_payload payload in
-  Pkt.push frame (encode pkt payload);
-  let ethertype = Bytes.create link_header in
-  Bytes.set_uint16_le ethertype 0 ethertype_ip;
-  Pkt.push frame ethertype;
-  Pkt.contents frame
+  push_headers frame ~src ~dst ~proto ~ttl:64;
+  frame
 
 let charge t = Clock.charge t.machine.Machine.clock process_cost
 
@@ -126,12 +119,9 @@ let deliver t pkt =
   Dispatcher.raise_default t.event () pkt
 
 let transmit_on t netif pkt =
-  let frame = Pkt.of_payload pkt.payload in
-  Pkt.push frame (encode pkt pkt.payload);
-  let ethertype = Bytes.create link_header in
-  Bytes.set_uint16_le ethertype 0 ethertype_ip;
-  Pkt.push frame ethertype;
-  if Netif.transmit netif frame then begin
+  push_headers pkt.payload ~src:pkt.src ~dst:pkt.dst ~proto:pkt.proto
+    ~ttl:pkt.ttl;
+  if Netif.transmit netif pkt.payload then begin
     t.s_sent <- t.s_sent + 1;
     true
   end else begin
@@ -152,10 +142,19 @@ let send t ?(ttl = 64) ?src ~dst ~proto payload =
     match route_toward t dst with
     | None -> t.s_dropped <- t.s_dropped + 1; false
     | Some netif ->
-      if Bytes.length payload > Netif.mtu netif - link_header - ip_header then begin
+      if Pkt.length payload > Netif.mtu netif - link_header - ip_header
+      then begin
         t.s_dropped <- t.s_dropped + 1;
         false
       end else transmit_on t netif pkt
+
+let send_bytes t ?ttl ?src ~dst ~proto payload =
+  (* The application hand-off: one charged copy into a fresh buffer
+     with header room, then the zero-copy path. *)
+  Clock.charge t.machine.Machine.clock
+    (Spin_machine.Cost.copy_cycles (Clock.cost t.machine.Machine.clock)
+       ~bytes:(Bytes.length payload));
+  send t ?ttl ?src ~dst ~proto (Pkt.of_payload payload)
 
 let forward t pkt =
   if pkt.ttl <= 1 then begin
@@ -172,20 +171,24 @@ let forward t pkt =
 let input t frame =
   charge t;
   t.s_received <- t.s_received + 1;
-  let _ethertype = Pkt.pull frame link_header in
-  let header = Pkt.pull frame ip_header in
-  let proto, ttl, len, src, dst = decode header in
-  let payload = Pkt.contents frame in
-  if Bytes.length payload < len then t.s_dropped <- t.s_dropped + 1
+  Pkt.drop frame link_header;
+  let proto = Pkt.get_u8 frame 0 in
+  let ttl = Pkt.get_u8 frame 1 in
+  let len = Pkt.get_u16_le frame 2 in
+  let src = Pkt.get_u32_le frame 4 in
+  let dst = Pkt.get_u32_le frame 8 in
+  Pkt.drop frame ip_header;
+  if Pkt.length frame < len then t.s_dropped <- t.s_dropped + 1
   else begin
-    let payload = Bytes.sub payload 0 len in
-    let pkt = { src; dst; proto; ttl; payload } in
+    (* The payload is the received frame itself, trimmed — the consumed
+       headers remain in its headroom for an in-place response. *)
+    Pkt.truncate frame len;
+    let pkt = { src; dst; proto; ttl; payload = frame } in
     if is_local t dst then deliver t pkt else forward t pkt
   end
 
 let frame_is_ip frame =
-  Pkt.length frame >= link_header
-  && Bytes.get_uint16_le (Pkt.peek frame link_header) 0 = ethertype_ip
+  Pkt.length frame >= link_header && Pkt.get_u16_le frame 0 = ethertype_ip
 
 let add_interface t netif ~addr =
   t.ifaces <- t.ifaces @ [ { netif; addr } ];

@@ -21,7 +21,11 @@ type packet = {
   dst : addr;
   proto : int;
   ttl : int;
-  payload : Bytes.t;
+  payload : Pkt.t;
+  (** A view of the very frame the NIC received (headers consumed into
+      its headroom) on the receive path, or the caller's transmit
+      buffer on the send path. Read-only for handlers, except that an
+      owner may push response headers into the headroom ({!Pkt}). *)
 }
 
 val proto_icmp : int
@@ -53,15 +57,24 @@ val attach :
     guard. *)
 
 val encode_frame :
-  src:addr -> dst:addr -> proto:int -> Bytes.t -> Bytes.t
+  src:addr -> dst:addr -> proto:int -> Bytes.t -> Pkt.t
 (** Build a ready-to-transmit link frame (no charges, no routing) —
     for extensions that sit below IP and patch headers themselves,
-    like the video multicast. *)
+    like the video multicast. Copies [payload] once. *)
 
 val send :
-  t -> ?ttl:int -> ?src:addr -> dst:addr -> proto:int -> Bytes.t -> bool
-(** [false] when no route exists or the datagram exceeds the route's
+  t -> ?ttl:int -> ?src:addr -> dst:addr -> proto:int -> Pkt.t -> bool
+(** Transmit the packet zero-copy: the IP and link headers are pushed
+    into the packet's headroom and the same buffer goes to the
+    driver. The packet is consumed — do not touch it after the call.
+    [false] when no route exists or the datagram exceeds the route's
     MTU (no fragmentation). Local destinations loop back. *)
+
+val send_bytes :
+  t -> ?ttl:int -> ?src:addr -> dst:addr -> proto:int -> Bytes.t -> bool
+(** [send] for callers holding plain bytes: one charged copy into a
+    fresh headroomed buffer (the application hand-off), then the
+    zero-copy path. The caller keeps ownership of [payload]. *)
 
 val mtu_toward : t -> addr -> int option
 (** Usable payload bytes toward a destination. *)

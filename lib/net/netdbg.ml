@@ -40,10 +40,10 @@ let encode_request ~op ~arg =
 
 let answer t (d : Udp.datagram) =
   t.served <- t.served + 1;
-  if Bytes.length d.Udp.payload < 9 then None
+  if Pkt.length d.Udp.payload < 9 then None
   else
-    let op = Bytes.get_uint8 d.Udp.payload 0 in
-    let arg = Int64.to_int (Bytes.get_int64_le d.Udp.payload 1) in
+    let op = Pkt.get_u8 d.Udp.payload 0 in
+    let arg = Int64.to_int (Pkt.get_i64_le d.Udp.payload 1) in
     let reply ~op payload =
       let b = Bytes.create (1 + Bytes.length payload) in
       Bytes.set_uint8 b 0 op;
@@ -94,7 +94,8 @@ let roundtrip host ~dst ~port ~op ~arg =
   let reply = ref None in
   let reply_port = 32_000 + op in
   let h = Udp.listen host.Host.udp ~port:reply_port ~installer:"NetDbg-client"
-      (fun d -> reply := Some d.Udp.payload) in
+      (* The payload view dies with the dispatch — keep a copy. *)
+      (fun d -> reply := Some (Pkt.contents d.Udp.payload)) in
   let sent =
     Udp.send host.Host.udp ~src_port:reply_port ~dst ~port
       (encode_request ~op ~arg) in

@@ -9,15 +9,35 @@
 
     Driver overheads model the paper's unoptimized vendor drivers;
     [optimized:true] models the faster drivers of the 337/241 us
-    footnote. *)
+    footnote.
+
+    {2 Buffer ownership}
+
+    The packets raised on {!rx_event} alias the DMA buffer the NIC
+    wrote — no copy is made between the device ring and the protocol
+    graph. Handlers up the stack receive views of that same buffer
+    (see {!Pkt} for the aliasing rules) and may reuse its headroom to
+    transmit a response in place. Conversely, a packet passed to
+    {!transmit} is handed off for good: the device copies it onto the
+    wire (the path's single true copy, so receivers never alias the
+    sender), but the buffer must not be touched after the call.
+
+    {2 Batching}
+
+    One protocol-thread wakeup drains up to [rx_batch] queued frames:
+    the first pays the driver's full receive overhead, the rest only a
+    coalesced residue — under load one interrupt services a burst,
+    keeping per-packet work near hardware cost. A single outstanding
+    probe (the latency tables) always pays the full cost. *)
 
 type t
 
 val create :
-  ?optimized:bool ->
+  ?optimized:bool -> ?rx_batch:int ->
   Spin_machine.Machine.t -> Spin_sched.Sched.t -> Spin_core.Dispatcher.t ->
   Spin_machine.Nic.t -> name:string -> t
-(** [name] prefixes the event ("Ether", "ATM", "T3"). *)
+(** [name] prefixes the event ("Ether", "ATM", "T3"). [rx_batch]
+    (default 8) bounds the frames serviced per wakeup. *)
 
 val rx_event : t -> (Pkt.t, unit) Spin_core.Dispatcher.event
 
@@ -27,8 +47,14 @@ val mtu : t -> int
 
 val transmit : t -> Pkt.t -> bool
 (** Driver transmit: charges the driver overhead and the NIC I/O
-    cost. [false] when the frame exceeds the MTU or the NIC is
-    unplugged. *)
+    cost, then transfers the frame to the device. [false] when the
+    frame exceeds the MTU or the NIC is unplugged. The packet is
+    consumed — do not touch it after the call. *)
+
+val transmit_burst : t -> Pkt.t list -> int
+(** Transmit a burst through one driver doorbell: the full per-frame
+    driver overhead is charged once, subsequent frames pay the
+    coalesced residue. Returns the number of frames accepted. *)
 
 val start : t -> unit
 (** Spawns the protocol-processing thread. Call once, before
@@ -37,6 +63,10 @@ val start : t -> unit
 val frames_rx : t -> int
 
 val frames_tx : t -> int
+
+val rx_bursts : t -> int
+(** Wakeups that serviced more than one frame — how often the
+    coalesced path actually ran. *)
 
 val drops : t -> int
 (** Frames the NIC dropped on receive-ring overflow — the device's

@@ -1,25 +1,127 @@
-type t = { mutable data : Bytes.t }
+(* An sk_buff-style packet: one backing buffer allocated with
+   headroom, a mutable [off, off+len) live window. Layers push headers
+   into the headroom and pull them by advancing the offset; neither
+   direction copies the payload. *)
 
-let of_payload b = { data = Bytes.copy b }
+type t = {
+  mutable buf : Bytes.t;
+  mutable off : int;
+  mutable len : int;
+}
 
-let of_string s = { data = Bytes.of_string s }
+(* Enough for link (2) + IP (12) + the largest transport header (TCP,
+   16) of this stack's wire format, with slack for extensions that
+   push their own framing. *)
+let default_headroom = 48
 
-let length t = Bytes.length t.data
+let alloc ?(headroom = default_headroom) n =
+  if n < 0 || headroom < 0 then invalid_arg "Pkt.alloc";
+  { buf = Bytes.create (headroom + n); off = headroom; len = n }
 
-let push t header = t.data <- Bytes.cat header t.data
+let of_payload ?headroom b =
+  let t = alloc ?headroom (Bytes.length b) in
+  Bytes.blit b 0 t.buf t.off (Bytes.length b);
+  t
+
+let of_frame b = { buf = b; off = 0; len = Bytes.length b }
+
+let of_string s = of_payload (Bytes.of_string s)
+
+let empty () = { buf = Bytes.empty; off = 0; len = 0 }
+
+let length t = t.len
+
+let headroom t = t.off
+
+(* Headroom exhausted: migrate into a fresh buffer with a full
+   [default_headroom] in front. The only copy in the push path. *)
+let grow_headroom t need =
+  let headroom = default_headroom + need in
+  let buf = Bytes.create (headroom + t.len) in
+  Bytes.blit t.buf t.off buf headroom t.len;
+  t.buf <- buf;
+  t.off <- headroom
+
+let push_view t n =
+  if n < 0 then invalid_arg "Pkt.push_view";
+  if t.off < n then grow_headroom t n;
+  t.off <- t.off - n;
+  t.len <- t.len + n;
+  (t.buf, t.off)
+
+let push t header =
+  let n = Bytes.length header in
+  let buf, off = push_view t n in
+  Bytes.blit header 0 buf off n
+
+let drop t n =
+  if n < 0 || n > t.len then invalid_arg "Pkt.drop: short packet";
+  t.off <- t.off + n;
+  t.len <- t.len - n
 
 let pull t n =
-  if n > Bytes.length t.data then invalid_arg "Pkt.pull: short packet";
-  let head = Bytes.sub t.data 0 n in
-  t.data <- Bytes.sub t.data n (Bytes.length t.data - n);
+  if n > t.len then invalid_arg "Pkt.pull: short packet";
+  let head = Bytes.sub t.buf t.off n in
+  drop t n;
   head
 
 let peek t n =
-  if n > Bytes.length t.data then invalid_arg "Pkt.peek: short packet";
-  Bytes.sub t.data 0 n
+  if n > t.len then invalid_arg "Pkt.peek: short packet";
+  Bytes.sub t.buf t.off n
 
-let contents t = Bytes.copy t.data
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Pkt.truncate";
+  t.len <- n
 
-let to_string t = Bytes.to_string t.data
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Pkt.sub";
+  { buf = t.buf; off = t.off + pos; len }
 
-let copy t = { data = Bytes.copy t.data }
+let view t = (t.buf, t.off, t.len)
+
+let get_u8 t i =
+  if i < 0 || i >= t.len then invalid_arg "Pkt.get_u8";
+  Bytes.get_uint8 t.buf (t.off + i)
+
+let get_u16_le t i =
+  if i < 0 || i + 2 > t.len then invalid_arg "Pkt.get_u16_le";
+  Bytes.get_uint16_le t.buf (t.off + i)
+
+let get_u32_le t i =
+  if i < 0 || i + 4 > t.len then invalid_arg "Pkt.get_u32_le";
+  Int32.to_int (Bytes.get_int32_le t.buf (t.off + i))
+
+let get_i64_le t i =
+  if i < 0 || i + 8 > t.len then invalid_arg "Pkt.get_i64_le";
+  Bytes.get_int64_le t.buf (t.off + i)
+
+let set_u8 t i v =
+  if i < 0 || i >= t.len then invalid_arg "Pkt.set_u8";
+  Bytes.set_uint8 t.buf (t.off + i) v
+
+let set_u16_le t i v =
+  if i < 0 || i + 2 > t.len then invalid_arg "Pkt.set_u16_le";
+  Bytes.set_uint16_le t.buf (t.off + i) v
+
+let set_u32_le t i v =
+  if i < 0 || i + 4 > t.len then invalid_arg "Pkt.set_u32_le";
+  Bytes.set_int32_le t.buf (t.off + i) (Int32.of_int v)
+
+let blit_to t ~pos dst ~dst_pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Pkt.blit_to";
+  Bytes.blit t.buf (t.off + pos) dst dst_pos len
+
+let blit_from src ~src_pos t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Pkt.blit_from";
+  Bytes.blit src src_pos t.buf (t.off + pos) len
+
+let add_to_buffer b t = Buffer.add_subbytes b t.buf t.off t.len
+
+let contents t = Bytes.sub t.buf t.off t.len
+
+let to_string t = Bytes.sub_string t.buf t.off t.len
+
+let copy t =
+  let c = alloc ~headroom:(min t.off default_headroom) t.len in
+  Bytes.blit t.buf t.off c.buf c.off t.len;
+  c

@@ -1,31 +1,140 @@
-(** Packet buffers.
+(** Zero-copy packet buffers.
 
-    A packet is a byte sequence that grows at the front as each layer
-    pushes its header and shrinks as receiving layers pull theirs —
-    the paper's packets are "pushed through the protocol graph by
-    events and pulled by handlers". *)
+    A packet is an sk_buff-style {e view}: one backing byte buffer
+    allocated with headroom, and a mutable [off, off+len) live window
+    over it. A sending layer {!push}es its header by writing into the
+    reserved headroom; a receiving layer {!drop}s or {!pull}s its
+    header by advancing the offset. Neither direction copies the
+    payload — the bytes handed up through ethernet → ip → udp/tcp are
+    the same buffer the NIC received (the paper's packets are "pushed
+    through the protocol graph by events and pulled by handlers",
+    at hardware cost).
+
+    {2 Aliasing and ownership invariants}
+
+    - {!of_frame}, {!sub}, and {!drop}/{!pull}/{!truncate} all {e
+      alias} the backing buffer; {!of_payload}, {!copy}, {!contents},
+      and {!pull}'s returned header are the only copying operations.
+    - A packet handed to a receive handler is owned by that handler
+      for the duration of the dispatch. The payload region must be
+      treated {b read-only} — other handlers on the same event hold
+      views into the same buffer. The {e headroom} (the consumed
+      headers below [off]) is scratch space: echoing a packet by
+      pushing fresh headers into it is legal and is how the stack
+      achieves copy-free forwarding.
+    - Transmitting a packet ({!Netif.transmit}) transfers ownership to
+      the driver; the caller must not touch buffer or view afterwards.
+      The NIC performs the single true copy (the device DMA) when the
+      frame crosses onto the wire, so received frames never alias a
+      remote sender's memory.
+    - To retain packet data beyond the current dispatch while others
+      may still push into the shared buffer, take a {!copy} (isolated)
+      or {!contents} (materialized bytes).
+
+    {2 Headroom}
+
+    Buffers allocated by this stack reserve {!default_headroom} bytes
+    in front of the payload; a received frame's consumed headers play
+    the same role. {!push} beyond the available headroom does not fail
+    — it falls back to reallocating the backing buffer with a fresh
+    [default_headroom] (one copy), so correctness never depends on
+    headroom arithmetic. Hot paths size their headroom so the fallback
+    never runs. *)
 
 type t
 
-val of_payload : Bytes.t -> t
+val default_headroom : int
+(** 48 bytes: link (2) + IP (12) + largest transport header (16) of
+    this stack's wire format, plus slack for extension framing. *)
+
+val alloc : ?headroom:int -> int -> t
+(** [alloc n] is a fresh packet of [n] uninitialized payload bytes
+    with [headroom] (default {!default_headroom}) reserved in front.
+    The canonical transmit-side constructor: fill the payload once,
+    then let each layer push its header for free. *)
+
+val of_payload : ?headroom:int -> Bytes.t -> t
+(** Copies [b] into a fresh buffer with headroom; the caller keeps
+    ownership of [b]. One copy — the charged "application hand-off"
+    constructor. *)
+
+val of_frame : Bytes.t -> t
+(** Aliases [b] (off = 0, no headroom). Ownership of [b] transfers to
+    the packet: the receive path wraps the DMA buffer the NIC wrote
+    without copying. *)
 
 val of_string : string -> t
 
+val empty : unit -> t
+(** A fresh zero-length packet (no backing storage). *)
+
 val length : t -> int
 
+val headroom : t -> int
+(** Bytes available in front of the live window for {!push}. *)
+
 val push : t -> Bytes.t -> unit
-(** Prepend a header. *)
+(** Prepend a header by blitting it into the headroom — O(header),
+    not O(packet). Falls back to one realloc when headroom is
+    exhausted. *)
+
+val push_view : t -> int -> Bytes.t * int
+(** [push_view t n] reserves [n] header bytes in the headroom and
+    returns [(buf, off)] — the backing buffer and the offset of the
+    reserved region — so encoders write fields in place without an
+    intermediate header allocation. Write all [n] bytes immediately. *)
+
+val drop : t -> int -> unit
+(** Consume the first [n] bytes by advancing the view — zero-copy
+    {!pull}. Raises [Invalid_argument] if the packet is shorter. *)
 
 val pull : t -> int -> Bytes.t
-(** Remove and return the first [n] bytes. Raises [Invalid_argument]
+(** Remove and return (a copy of) the first [n] bytes. Prefer {!drop}
+    plus the offset accessors on hot paths. Raises [Invalid_argument]
     if the packet is shorter. *)
 
 val peek : t -> int -> Bytes.t
-(** The first [n] bytes without consuming them. *)
+(** The first [n] bytes (copied) without consuming them. *)
+
+val truncate : t -> int -> unit
+(** Shrink the view to its first [n] bytes (drops link-layer padding
+    after the declared datagram length). *)
+
+val sub : t -> pos:int -> len:int -> t
+(** An aliasing view of a sub-range: shares the backing buffer, so
+    writes through either view are visible in both. Used to hand a
+    transport payload upward and to cut MSS-sized transmit views out
+    of a send buffer without copying. *)
+
+val view : t -> Bytes.t * int * int
+(** [(buf, off, len)] — the raw window, for blitting at true copy
+    points. The region outside [off, off+len) is not the caller's. *)
+
+(** {2 Bounds-checked accessors, relative to the view} *)
+
+val get_u8 : t -> int -> int
+val get_u16_le : t -> int -> int
+val get_u32_le : t -> int -> int
+val get_i64_le : t -> int -> int64
+val set_u8 : t -> int -> int -> unit
+val set_u16_le : t -> int -> int -> unit
+val set_u32_le : t -> int -> int -> unit
+
+val blit_to : t -> pos:int -> Bytes.t -> dst_pos:int -> len:int -> unit
+(** Copy out of the view. *)
+
+val blit_from : Bytes.t -> src_pos:int -> t -> pos:int -> len:int -> unit
+(** Copy into the view (filling a freshly {!alloc}ed payload). *)
+
+val add_to_buffer : Buffer.t -> t -> unit
+(** Append the view to a [Buffer.t] (TCP reassembly) — copies, charge
+    accordingly. *)
 
 val contents : t -> Bytes.t
-(** The remaining bytes (a copy). *)
+(** The live window as fresh bytes (a copy). *)
 
 val to_string : t -> string
 
 val copy : t -> t
+(** Deep copy with its own backing buffer — the isolation escape
+    hatch when a handler must retain data past its dispatch. *)

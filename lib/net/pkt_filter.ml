@@ -42,10 +42,7 @@ let validate program =
       0 program in
   if depth <> 1 then raise (Bad_program "program must leave one value")
 
-let run clock program pkt =
-  let len = Bytes.length pkt in
-  let byte off = if off < len then Bytes.get_uint8 pkt off else 0 in
-  let u16 off = if off + 1 < len then Bytes.get_uint16_le pkt off else 0 in
+let run_with clock program ~byte ~u16 =
   let stack = ref [] in
   let push v = stack := v :: !stack in
   let pop2 () =
@@ -71,6 +68,21 @@ let run clock program pkt =
   match !stack with
   | [ v ] -> v <> 0
   | _ -> raise (Bad_program "program left a bad stack")
+
+let run clock program pkt =
+  let len = Bytes.length pkt in
+  run_with clock program
+    ~byte:(fun off -> if off < len then Bytes.get_uint8 pkt off else 0)
+    ~u16:(fun off -> if off + 1 < len then Bytes.get_uint16_le pkt off else 0)
+
+(* Filters read the frame where it lies — no materialization of the
+   packet just to ask a question about it. *)
+let run_view clock program pkt =
+  let buf, base, len = Pkt.view pkt in
+  run_with clock program
+    ~byte:(fun off -> if off < len then Bytes.get_uint8 buf (base + off) else 0)
+    ~u16:(fun off ->
+      if off + 1 < len then Bytes.get_uint16_le buf (base + off) else 0)
 
 (* Over this stack's wire format: link header is 2 bytes of ethertype,
    the IP protocol byte sits at offset 2, and the UDP destination port

@@ -38,6 +38,11 @@ val run : Spin_machine.Clock.t -> program -> Bytes.t -> bool
     interpretation cost. Out-of-range reads yield 0 (packets shorter
     than the filter expects simply fail to match). *)
 
+val run_view : Spin_machine.Clock.t -> program -> Pkt.t -> bool
+(** [run] over a packet view — the filter reads the frame where it
+    lies (no copy just to inspect it). Offsets are relative to the
+    view's start. *)
+
 val instruction_cost : int
 (** Cycles per interpreted instruction. *)
 

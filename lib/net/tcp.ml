@@ -1,5 +1,6 @@
 module Machine = Spin_machine.Machine
 module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
 module Trace = Spin_machine.Trace
 module Sim = Spin_machine.Sim
 module Sched = Spin_sched.Sched
@@ -40,13 +41,15 @@ type segment = {
   seq : int;
   ack : int;
   flags : int;
-  data : Bytes.t;
+  data : Pkt.t;
+  (* Receive side: a view of the frame the NIC received. Send side: a
+     view into the application's send buffer (see [chunk]). *)
 }
 
 type unacked = {
   u_seq : int;
   u_flags : int;
-  u_data : Bytes.t;
+  u_data : Pkt.t;                          (* send-buffer view, retransmit-safe *)
 }
 
 type conn = {
@@ -59,7 +62,7 @@ type conn = {
   mutable snd_una : int;
   mutable rcv_nxt : int;
   mutable inflight : unacked list;       (* oldest first *)
-  mutable pending : Bytes.t list;        (* beyond the window *)
+  mutable pending : Pkt.t list;          (* send-buffer views beyond the window *)
   mutable rx_cb : (Bytes.t -> unit) option;
   rx_buf : Buffer.t;
   mutable reader : Spin_sched.Strand.t option;
@@ -108,30 +111,40 @@ type stats = {
 (* Wire format                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Build the wire packet: blit the segment's send-buffer view into a
+   fresh headroomed buffer (the transmit path's one true copy — the
+   retransmit queue keeps its views pristine while IP pushes headers
+   into this buffer), then write the TCP header in front. *)
 let encode seg =
-  let b = Bytes.make (header_bytes + Bytes.length seg.data) '\000' in
-  Bytes.set_uint16_le b 0 seg.sport;
-  Bytes.set_uint16_le b 2 seg.dport;
-  Bytes.set_int32_le b 4 (Int32.of_int seg.seq);
-  Bytes.set_int32_le b 8 (Int32.of_int seg.ack);
-  Bytes.set_uint8 b 12 seg.flags;
-  Bytes.set_uint16_le b 14 (Bytes.length seg.data);
-  Bytes.blit seg.data 0 b header_bytes (Bytes.length seg.data);
-  b
+  let dlen = Pkt.length seg.data in
+  let pkt = Pkt.alloc dlen in
+  (if dlen > 0 then
+     let buf, off, _ = Pkt.view pkt in
+     Pkt.blit_to seg.data ~pos:0 buf ~dst_pos:off ~len:dlen);
+  let hbuf, hoff = Pkt.push_view pkt header_bytes in
+  Bytes.set_uint16_le hbuf hoff seg.sport;
+  Bytes.set_uint16_le hbuf (hoff + 2) seg.dport;
+  Bytes.set_int32_le hbuf (hoff + 4) (Int32.of_int seg.seq);
+  Bytes.set_int32_le hbuf (hoff + 8) (Int32.of_int seg.ack);
+  Bytes.set_uint8 hbuf (hoff + 12) seg.flags;
+  Bytes.set_uint16_le hbuf (hoff + 14) dlen;
+  pkt
 
 let decode b =
-  if Bytes.length b < header_bytes then None
+  if Pkt.length b < header_bytes then None
   else begin
-    let len = Bytes.get_uint16_le b 14 in
-    if Bytes.length b < header_bytes + len then None
+    let len = Pkt.get_u16_le b 14 in
+    if Pkt.length b < header_bytes + len then None
     else
       Some {
-        sport = Bytes.get_uint16_le b 0;
-        dport = Bytes.get_uint16_le b 2;
-        seq = Int32.to_int (Bytes.get_int32_le b 4);
-        ack = Int32.to_int (Bytes.get_int32_le b 8);
-        flags = Bytes.get_uint8 b 12;
-        data = Bytes.sub b header_bytes len;
+        sport = Pkt.get_u16_le b 0;
+        dport = Pkt.get_u16_le b 2;
+        seq = Pkt.get_u32_le b 4;
+        ack = Pkt.get_u32_le b 8;
+        flags = Pkt.get_u8 b 12;
+        (* The segment data is a view of the received frame — no copy
+           until it crosses into the application ([deliver_data]). *)
+        data = Pkt.sub b ~pos:header_bytes ~len;
       }
   end
 
@@ -164,7 +177,12 @@ let emit t conn ~seq ~flags data =
     Trace.instant tr ~cat:"tcp" ~name:"tx"
       ~args:[ ("seq", string_of_int seq);
               ("flags", flags_to_string flags);
-              ("bytes", string_of_int (Bytes.length data)) ] ();
+              ("bytes", string_of_int (Pkt.length data)) ] ();
+  (* The blit into the wire frame is a true copy point. *)
+  if Pkt.length data > 0 then
+    Clock.charge t.machine.Machine.clock
+      (Cost.copy_cycles (Clock.cost t.machine.Machine.clock)
+         ~bytes:(Pkt.length data));
   ignore (Ip.send t.ip ~dst:conn.r_addr ~proto:Ip.proto_tcp
             (encode { sport = conn.l_port; dport = conn.r_port;
                       seq; ack = conn.rcv_nxt; flags; data }))
@@ -174,7 +192,7 @@ let emit_raw t ~src ~dst seg =
   t.s_out <- t.s_out + 1;
   ignore (Ip.send t.ip ~src ~dst ~proto:Ip.proto_tcp (encode seg))
 
-let seg_len u = Bytes.length u.u_data + (if u.u_flags land (flag_syn lor flag_fin) <> 0 then 1 else 0)
+let seg_len u = Pkt.length u.u_data + (if u.u_flags land (flag_syn lor flag_fin) <> 0 then 1 else 0)
 
 let cancel_rto t conn =
   match conn.rto with
@@ -242,7 +260,7 @@ let rec fill_window t conn =
     | [] ->
       if conn.fin_pending then begin
         conn.fin_pending <- false;
-        transmit_segment t conn ~flags:flag_fin Bytes.empty;
+        transmit_segment t conn ~flags:flag_fin (Pkt.empty ());
         conn.st <- (match conn.st with Close_wait -> Last_ack | _ -> Fin_wait)
       end
 
@@ -251,14 +269,21 @@ let rec fill_window t conn =
 (* ------------------------------------------------------------------ *)
 
 let deliver_data t conn data =
-  if Bytes.length data > 0 then
+  if Pkt.length data > 0 then begin
+    (* Application hand-off — the receive path's one true copy: out of
+       the NIC frame into the app's callback bytes or the reassembly
+       buffer. *)
+    Clock.charge t.machine.Machine.clock
+      (Cost.copy_cycles (Clock.cost t.machine.Machine.clock)
+         ~bytes:(Pkt.length data));
     match conn.rx_cb with
-    | Some cb -> cb data
+    | Some cb -> cb (Pkt.contents data)
     | None ->
-      Buffer.add_bytes conn.rx_buf data;
+      Pkt.add_to_buffer conn.rx_buf data;
       (match conn.reader with
        | Some s -> conn.reader <- None; Sched.unblock t.sched s
        | None -> ())
+  end
 
 let handle_ack t conn ack =
   let advanced = ref false in
@@ -282,7 +307,7 @@ let handle_established t conn seg =
     let expected = conn.rcv_nxt in
     let fin = seg.flags land flag_fin <> 0 in
     if seg.seq = expected then begin
-      conn.rcv_nxt <- expected + Bytes.length seg.data + (if fin then 1 else 0);
+      conn.rcv_nxt <- expected + Pkt.length seg.data + (if fin then 1 else 0);
       let snd_before = conn.snd_nxt in
       deliver_data t conn seg.data;
       if fin then begin
@@ -301,23 +326,23 @@ let handle_established t conn seg =
          hoping to piggyback them on upcoming data (standard delayed
          acknowledgements). FINs are acknowledged at once. *)
       if conn.snd_nxt = snd_before then begin
-        if fin then emit t conn ~seq:conn.snd_nxt ~flags:0 Bytes.empty
-        else if Bytes.length seg.data > 0 then begin
+        if fin then emit t conn ~seq:conn.snd_nxt ~flags:0 (Pkt.empty ())
+        else if Pkt.length seg.data > 0 then begin
           conn.unacked_rx <- conn.unacked_rx + 1;
           if conn.unacked_rx >= 2 then
-            emit t conn ~seq:conn.snd_nxt ~flags:0 Bytes.empty
+            emit t conn ~seq:conn.snd_nxt ~flags:0 (Pkt.empty ())
           else if conn.delayed_ack = None then
             conn.delayed_ack <-
               Some (Sim.after_us t.machine.Machine.sim delayed_ack_us
                       (fun () ->
                         conn.delayed_ack <- None;
                         if conn.st <> Closed then
-                          emit t conn ~seq:conn.snd_nxt ~flags:0 Bytes.empty))
+                          emit t conn ~seq:conn.snd_nxt ~flags:0 (Pkt.empty ())))
         end
       end
-    end else if seg.seq < expected && (Bytes.length seg.data > 0 || fin) then
+    end else if seg.seq < expected && (Pkt.length seg.data > 0 || fin) then
       (* Duplicate: re-ack. *)
-      emit t conn ~seq:conn.snd_nxt ~flags:0 Bytes.empty
+      emit t conn ~seq:conn.snd_nxt ~flags:0 (Pkt.empty ())
     (* Out-of-order beyond rcv_nxt: dropped (Go-Back-N). *);
     (match conn.st with
      | Last_ack when conn.inflight = [] -> teardown t conn
@@ -335,7 +360,7 @@ let handle_segment t (seg, src) =
         ~args:[ ("seq", string_of_int seg.seq);
                 ("flags", flags_to_string seg.flags);
                 ("dport", string_of_int seg.dport);
-                ("bytes", string_of_int (Bytes.length seg.data)) ] ()
+                ("bytes", string_of_int (Pkt.length seg.data)) ] ()
     else Trace.null_span in
   Fun.protect ~finally:(fun () -> Trace.end_span tr sp) @@ fun () ->
   match Hashtbl.find_opt t.conns (seg.dport, src, seg.sport) with
@@ -347,7 +372,7 @@ let handle_segment t (seg, src) =
          conn.rcv_nxt <- seg.seq + 1;
          handle_ack t conn seg.ack;
          conn.st <- Established;
-         emit t conn ~seq:conn.snd_nxt ~flags:0 Bytes.empty;  (* ack *)
+         emit t conn ~seq:conn.snd_nxt ~flags:0 (Pkt.empty ());  (* ack *)
          (match conn.opener with
           | Some s -> conn.opener <- None; Sched.unblock t.sched s
           | None -> ())
@@ -363,7 +388,7 @@ let handle_segment t (seg, src) =
            | Some on_accept -> on_accept conn
            | None -> ()
          end;
-         if Bytes.length seg.data > 0 then handle_established t conn seg
+         if Pkt.length seg.data > 0 then handle_established t conn seg
        end
      | Established | Fin_wait | Close_wait | Last_ack | Time_wait ->
        handle_established t conn seg
@@ -384,13 +409,13 @@ let handle_segment t (seg, src) =
         delayed_ack = None; unacked_rx = 0;
       } in
       Hashtbl.replace t.conns (conn.l_port, conn.r_addr, conn.r_port) conn;
-      transmit_segment t conn ~flags:flag_syn Bytes.empty
+      transmit_segment t conn ~flags:flag_syn (Pkt.empty ())
     end else if seg.flags land flag_rst = 0 then begin
       (* No home for it: RST. *)
       t.s_rst <- t.s_rst + 1;
       emit_raw t ~src:(Ip.local_addr t.ip) ~dst:src
         { sport = seg.dport; dport = seg.sport;
-          seq = seg.ack; ack = seg.seq; flags = flag_rst; data = Bytes.empty }
+          seq = seg.ack; ack = seg.seq; flags = flag_rst; data = Pkt.empty () }
     end
 
 (* ------------------------------------------------------------------ *)
@@ -452,7 +477,7 @@ let connect t ~dst ~dst_port =
     delayed_ack = None; unacked_rx = 0;
   } in
   Hashtbl.replace t.conns (l_port, dst, dst_port) conn;
-  transmit_segment t conn ~flags:flag_syn Bytes.empty;
+  transmit_segment t conn ~flags:flag_syn (Pkt.empty ());
   (* Loopback handshakes complete synchronously inside the transmit;
      wakeups may be spurious, so wait until the state settles. *)
   while conn.st = Syn_sent do
@@ -462,19 +487,33 @@ let connect t ~dst ~dst_port =
   done;
   if conn.st = Established then Some conn else None
 
-let rec chunk data acc =
-  if Bytes.length data <= mss then List.rev (data :: acc)
-  else
-    chunk (Bytes.sub data mss (Bytes.length data - mss))
-      (Bytes.sub data 0 mss :: acc)
+(* Cut MSS-sized aliasing views directly out of the send buffer — no
+   per-segment copies, no repeated [Bytes.sub] of the shrinking tail. *)
+let chunk data =
+  let len = Pkt.length data in
+  let rec cut pos acc =
+    if pos >= len then List.rev acc
+    else
+      let n = min mss (len - pos) in
+      cut (pos + n) (Pkt.sub data ~pos ~len:n :: acc) in
+  cut 0 []
 
-let send t conn data =
+let send_pkt t conn data =
   if conn.st = Established || conn.st = Close_wait then begin
-    if Bytes.length data > 0 then begin
-      conn.pending <- conn.pending @ chunk data [];
+    if Pkt.length data > 0 then begin
+      conn.pending <- conn.pending @ chunk data;
       fill_window t conn
     end
   end
+
+let send t conn data =
+  (* Application hand-off: one charged copy of the whole send buffer;
+     the window then transmits views of it. *)
+  if Bytes.length data > 0 then
+    Clock.charge t.machine.Machine.clock
+      (Cost.copy_cycles (Clock.cost t.machine.Machine.clock)
+         ~bytes:(Bytes.length data));
+  send_pkt t conn (Pkt.of_payload ~headroom:0 data)
 
 let on_receive conn cb =
   (* Drain anything buffered before switching to callback mode. *)
@@ -507,7 +546,7 @@ let close t conn =
 let abort t conn =
   if conn.st <> Closed then begin
     t.s_rst <- t.s_rst + 1;
-    emit t conn ~seq:conn.snd_nxt ~flags:flag_rst Bytes.empty;
+    emit t conn ~seq:conn.snd_nxt ~flags:flag_rst (Pkt.empty ());
     teardown t conn
   end
 

@@ -51,14 +51,30 @@ val connect : t -> dst:Ip.addr -> dst_port:int -> conn option
 
 val send : t -> conn -> Bytes.t -> unit
 (** Segments and queues the data; transmission respects the window
-    and retransmits on timeout. No-op on a closed connection. *)
+    and retransmits on timeout. No-op on a closed connection.
+
+    Application hand-off: the data is copied once (charged) into a
+    private send buffer, and the window then transmits MSS-sized
+    {e views} of that buffer — each segment on the wire aliases the
+    send buffer rather than owning a fresh copy, and the retransmit
+    queue holds the same views. The caller keeps ownership of [data]
+    and may reuse it immediately. *)
+
+val send_pkt : t -> conn -> Pkt.t -> unit
+(** Zero-copy [send]: the connection takes ownership of the packet and
+    cuts its MSS-sized segment views directly from it. The buffer must
+    not be mutated by the caller afterwards — the retransmit queue
+    aliases it until every byte is acknowledged. *)
 
 val on_receive : conn -> (Bytes.t -> unit) -> unit
-(** In-order delivery callback (replaces blocking reads when set). *)
+(** In-order delivery callback (replaces blocking reads when set).
+    The callback receives a private copy (the receive path's single
+    charged copy, out of the NIC frame) and owns it. *)
 
 val read : t -> conn -> Bytes.t
 (** Blocks the calling strand until data arrives; empty bytes on a
-    connection that closed. *)
+    connection that closed. The returned bytes are the caller's own
+    (copied out of the frames at reassembly). *)
 
 val close : t -> conn -> unit
 (** Sends FIN; teardown completes asynchronously. *)

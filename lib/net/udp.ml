@@ -1,5 +1,6 @@
 module Machine = Spin_machine.Machine
 module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
 module Trace = Spin_machine.Trace
 module Dispatcher = Spin_core.Dispatcher
 
@@ -7,7 +8,7 @@ type datagram = {
   src : Ip.addr;
   src_port : int;
   dst_port : int;
-  payload : Bytes.t;
+  payload : Pkt.t;
 }
 
 let header_bytes = 8
@@ -26,14 +27,17 @@ let process_cost = 380
 
 let input t (pkt : Ip.packet) =
   Clock.charge t.machine.Machine.clock process_cost;
-  if Bytes.length pkt.Ip.payload >= header_bytes then begin
-    let b = pkt.Ip.payload in
-    let src_port = Bytes.get_uint16_le b 0 in
-    let dst_port = Bytes.get_uint16_le b 2 in
-    let len = Bytes.get_uint16_le b 4 in
-    if Bytes.length b >= header_bytes + len then begin
+  let b = pkt.Ip.payload in
+  if Pkt.length b >= header_bytes then begin
+    let src_port = Pkt.get_u16_le b 0 in
+    let dst_port = Pkt.get_u16_le b 2 in
+    let len = Pkt.get_u16_le b 4 in
+    if Pkt.length b >= header_bytes + len then begin
       t.s_received <- t.s_received + 1;
-      let payload = Bytes.sub b header_bytes len in
+      (* The datagram payload is a view of the received frame — the
+         endpoint sees the packet in place, headroom intact for an
+         in-place reply. *)
+      let payload = Pkt.sub b ~pos:header_bytes ~len in
       let tr = Trace.of_clock t.machine.Machine.clock in
       if Trace.on tr then
         Trace.instant tr ~cat:"udp" ~name:"rx"
@@ -71,12 +75,25 @@ let encode_datagram ~src_port ~dst_port payload =
   Bytes.blit payload 0 b header_bytes (Bytes.length payload);
   b
 
-let send t ?(src_port = 0) ~dst ~port payload =
+let send_pkt t ?(src_port = 0) ~dst ~port payload =
   Clock.charge t.machine.Machine.clock process_cost;
-  let b = encode_datagram ~src_port ~dst_port:port payload in
-  let ok = Ip.send t.ip ~dst ~proto:Ip.proto_udp b in
+  let plen = Pkt.length payload in
+  let buf, off = Pkt.push_view payload header_bytes in
+  Bytes.set_uint16_le buf off src_port;
+  Bytes.set_uint16_le buf (off + 2) port;
+  Bytes.set_uint16_le buf (off + 4) plen;
+  Bytes.set_uint16_le buf (off + 6) 0;
+  let ok = Ip.send t.ip ~dst ~proto:Ip.proto_udp payload in
   if ok then t.s_sent <- t.s_sent + 1;
   ok
+
+let send t ?src_port ~dst ~port payload =
+  (* Application hand-off: one charged copy into a headroomed buffer,
+     then the zero-copy path down the stack. *)
+  Clock.charge t.machine.Machine.clock
+    (Cost.copy_cycles (Clock.cost t.machine.Machine.clock)
+       ~bytes:(Bytes.length payload));
+  send_pkt t ?src_port ~dst ~port (Pkt.of_payload payload)
 
 let max_payload t ~dst =
   Ip.mtu_toward t.ip dst |> Option.map (fun m -> m - header_bytes)

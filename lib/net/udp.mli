@@ -10,7 +10,12 @@ type datagram = {
   src : Ip.addr;
   src_port : int;
   dst_port : int;
-  payload : Bytes.t;
+  payload : Pkt.t;
+  (** A view of the frame the NIC received — the UDP header (and the
+      IP/link headers below it) sit consumed in its headroom, so an
+      endpoint can push response headers and echo the buffer back
+      without copying. Read-only otherwise; use {!Pkt.contents} to
+      keep the data past the handler. *)
 }
 
 val header_bytes : int
@@ -36,6 +41,16 @@ val encode_datagram : src_port:int -> dst_port:int -> Bytes.t -> Bytes.t
 
 val send :
   t -> ?src_port:int -> dst:Ip.addr -> port:int -> Bytes.t -> bool
+(** Application hand-off: one charged copy of [payload] into a fresh
+    headroomed buffer, then the zero-copy path. The caller keeps
+    ownership of [payload]. *)
+
+val send_pkt :
+  t -> ?src_port:int -> dst:Ip.addr -> port:int -> Pkt.t -> bool
+(** Zero-copy send: the UDP header is pushed into the packet's
+    headroom and the same buffer descends the stack. The packet is
+    consumed — do not touch it after the call. Echo servers pass the
+    received {!datagram} payload back here directly. *)
 
 val max_payload : t -> dst:Ip.addr -> int option
 

@@ -58,12 +58,12 @@ let test_filter_matches_real_traffic () =
       (Bytes.of_string "query") in
   let frame = Ip.encode_frame ~src:1 ~dst:2 ~proto:Ip.proto_udp datagram in
   check bool "matches port 53" true
-    (Pkt_filter.run c (Pkt_filter.match_udp_port ~port:53) frame);
+    (Pkt_filter.run_view c (Pkt_filter.match_udp_port ~port:53) frame);
   check bool "rejects port 80" false
-    (Pkt_filter.run c (Pkt_filter.match_udp_port ~port:80) frame);
+    (Pkt_filter.run_view c (Pkt_filter.match_udp_port ~port:80) frame);
   let tcp_frame = Ip.encode_frame ~src:1 ~dst:2 ~proto:Ip.proto_tcp datagram in
   check bool "rejects TCP" false
-    (Pkt_filter.run c (Pkt_filter.match_udp_port ~port:53) tcp_frame)
+    (Pkt_filter.run_view c (Pkt_filter.match_udp_port ~port:53) tcp_frame)
 
 let test_filter_interpretation_costs () =
   (* Section 2: "interpretation overhead can limit performance" — the
@@ -72,7 +72,7 @@ let test_filter_interpretation_costs () =
   let frame = Ip.encode_frame ~src:1 ~dst:2 ~proto:Ip.proto_udp
       (Udp.encode_datagram ~src_port:9 ~dst_port:53 Bytes.empty) in
   let program = Pkt_filter.match_udp_port ~port:53 in
-  let spent = Clock.stamp c (fun () -> ignore (Pkt_filter.run c program frame)) in
+  let spent = Clock.stamp c (fun () -> ignore (Pkt_filter.run_view c program frame)) in
   check int "per-instruction cost model"
     (List.length program * Pkt_filter.instruction_cost) spent;
   check bool "costlier than a compiled guard" true

@@ -54,6 +54,51 @@ let test_pkt_peek_copy () =
   ignore (Pkt.pull p 3);
   check int "copy unaffected" 6 (Pkt.length q)
 
+let test_pkt_push_uses_headroom () =
+  (* Transmit-side shape: headers land in reserved headroom without
+     moving the payload or reallocating the backing buffer. *)
+  let p = Pkt.of_payload ~headroom:16 (Bytes.of_string "data") in
+  let backing_before, _, _ = Pkt.view p in
+  Pkt.push p (Bytes.of_string "udp.....");
+  Pkt.push p (Bytes.of_string "ip...");
+  let backing_after, off, len = Pkt.view p in
+  check bool "no realloc while headroom lasts" true
+    (backing_before == backing_after);
+  check int "headroom consumed" 3 (Pkt.headroom p);
+  check int "offset tracks pushes" 3 off;
+  check int "window covers headers + payload" 17 len;
+  check string "wire image" "ip...udp.....data" (Pkt.to_string p)
+
+let test_pkt_drop_is_zero_copy () =
+  (* Receive-side shape: consuming a header advances the view over the
+     same backing buffer, and the dropped header stays reusable as
+     headroom for a response. *)
+  let frame = Bytes.of_string "HDRpayload" in
+  let p = Pkt.of_frame frame in
+  Pkt.drop p 3;
+  let backing, off, _ = Pkt.view p in
+  check bool "still the NIC's buffer" true (backing == frame);
+  check int "view advanced" 3 off;
+  check int "dropped header became headroom" 3 (Pkt.headroom p);
+  check string "payload" "payload" (Pkt.to_string p);
+  Pkt.push p (Bytes.of_string "RSP");
+  check string "echo reuses the consumed header's bytes" "RSPpayload"
+    (Pkt.to_string p)
+
+let test_pkt_sub_aliases () =
+  let p = Pkt.of_string "abcdef" in
+  let v = Pkt.sub p ~pos:2 ~len:3 in
+  check string "sub view" "cde" (Pkt.to_string v);
+  Pkt.set_u8 v 0 (Char.code 'X');
+  check string "write through the view is visible" "abXdef" (Pkt.to_string p)
+
+let test_pkt_headroom_exhaustion_reallocs () =
+  let p = Pkt.of_payload ~headroom:2 (Bytes.of_string "tail") in
+  Pkt.push p (Bytes.of_string "a-very-long-header:");
+  check string "push survived exhaustion" "a-very-long-header:tail"
+    (Pkt.to_string p);
+  check bool "fresh headroom after the realloc" true (Pkt.headroom p > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Addresses                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -95,9 +140,9 @@ let test_udp_delivery_by_port () =
   let _, a, b = two_hosts () in
   let port9 = ref [] and port5 = ref [] in
   ignore (Udp.listen b.Host.udp ~port:9 ~installer:"nine"
-            (fun d -> port9 := Bytes.to_string d.Udp.payload :: !port9));
+            (fun d -> port9 := Pkt.to_string d.Udp.payload :: !port9));
   ignore (Udp.listen b.Host.udp ~port:5 ~installer:"five"
-            (fun d -> port5 := Bytes.to_string d.Udp.payload :: !port5));
+            (fun d -> port5 := Pkt.to_string d.Udp.payload :: !port5));
   in_strand [ a; b ] a (fun () ->
     check bool "send 9" true
       (Udp.send a.Host.udp ~dst:addr_b ~port:9 (Bytes.of_string "to-nine"));
@@ -112,8 +157,9 @@ let test_udp_echo_rtt () =
   let sim, a, b = two_hosts () in
   (* Echo server: a SPIN extension handling packets in the kernel. *)
   ignore (Udp.listen b.Host.udp ~port:7 ~installer:"echo" (fun d ->
-    ignore (Udp.send b.Host.udp ~src_port:7 ~dst:d.Udp.src ~port:d.Udp.src_port
-              d.Udp.payload)));
+    (* Zero-copy echo: response headers overwrite the request's. *)
+    ignore (Udp.send_pkt b.Host.udp ~src_port:7 ~dst:d.Udp.src
+              ~port:d.Udp.src_port d.Udp.payload)));
   let rtt = ref 0. in
   ignore (Udp.listen a.Host.udp ~port:7070 ~installer:"client" (fun _ ->
     rtt := Clock.now_us (Sim.clock sim)));
@@ -137,7 +183,7 @@ let test_udp_loopback () =
   let _, a, b = two_hosts () in
   let got = ref None in
   ignore (Udp.listen a.Host.udp ~port:4 ~installer:"self"
-            (fun d -> got := Some (Bytes.to_string d.Udp.payload)));
+            (fun d -> got := Some (Pkt.to_string d.Udp.payload)));
   in_strand [ a; b ] a (fun () ->
     ignore (Udp.send a.Host.udp ~dst:addr_a ~port:4 (Bytes.of_string "hi me")));
   check (option string) "local destinations loop back" (Some "hi me") !got
@@ -410,7 +456,7 @@ let test_forward_udp () =
               ~port:d.Udp.src_port (Bytes.of_string "pong"))));
   let reply = ref None in
   ignore (Udp.listen client.Host.udp ~port:5555 ~installer:"cl" (fun d ->
-    reply := Some (Bytes.to_string d.Udp.payload, d.Udp.src)));
+    reply := Some (Pkt.to_string d.Udp.payload, d.Udp.src)));
   in_strand [ client; fwd; server ] client (fun () ->
     ignore (Udp.send client.Host.udp ~src_port:5555 ~dst:addr_c ~port:9000
               (Bytes.of_string "ping")));
@@ -576,6 +622,12 @@ let () =
         [
           test_case "push/pull" `Quick test_pkt_push_pull;
           test_case "peek and copy" `Quick test_pkt_peek_copy;
+          test_case "push writes into headroom" `Quick
+            test_pkt_push_uses_headroom;
+          test_case "drop is zero-copy" `Quick test_pkt_drop_is_zero_copy;
+          test_case "sub aliases" `Quick test_pkt_sub_aliases;
+          test_case "headroom exhaustion reallocs" `Quick
+            test_pkt_headroom_exhaustion_reallocs;
         ] );
       ( "ip",
         [

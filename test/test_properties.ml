@@ -232,6 +232,55 @@ let prop_pkt_push_pull_identity =
           (List.rev headers) in
       pulled = headers && Pkt.to_string p = payload)
 
+(* Receive-path shape: a packet whose view sits at a random offset in
+   its backing buffer (consumed headers in headroom) still roundtrips
+   header pushes and pulls exactly, and the payload never moves. *)
+let prop_pkt_roundtrip_at_random_offset =
+  QCheck2.Test.make ~name:"packet push/pull roundtrips at random offsets"
+    ~count:200
+    QCheck2.Gen.(triple (string_size (int_range 0 64))
+                   (string_size (int_range 0 256))
+                   (list_size (int_range 0 4) (string_size (int_range 1 24))))
+    (fun (consumed, payload, headers) ->
+      let p = Pkt.of_frame (Bytes.of_string (consumed ^ payload)) in
+      Pkt.drop p (String.length consumed);
+      List.iter (fun h -> Pkt.push p (Bytes.of_string h)) headers;
+      let pulled =
+        List.rev_map
+          (fun h -> Bytes.to_string (Pkt.pull p (String.length h)))
+          (List.rev headers) in
+      pulled = headers && Pkt.to_string p = payload)
+
+(* Sub-views alias the backing buffer; [copy] isolates. *)
+let prop_pkt_view_aliases_copy_isolates =
+  QCheck2.Test.make ~name:"packet views alias, copies do not" ~count:200
+    QCheck2.Gen.(string_size (int_range 1 128))
+    (fun s ->
+      let p = Pkt.of_string s in
+      let n = Pkt.length p in
+      let pos = (n - 1) / 2 in
+      let len = n - pos in
+      let v = Pkt.sub p ~pos ~len in
+      let c = Pkt.copy v in
+      let before = Pkt.get_u8 v 0 in
+      Pkt.set_u8 v 0 ((before + 1) land 0xff);
+      Pkt.get_u8 p pos = ((before + 1) land 0xff)   (* write seen via p *)
+      && Pkt.get_u8 c 0 = before                    (* copy untouched *)
+      && Pkt.length c = len)
+
+(* Pushing past the reserved headroom must not fail — it falls back to
+   one realloc and the packet still reads back exactly. *)
+let prop_pkt_headroom_exhaustion_reallocs =
+  QCheck2.Test.make ~name:"packet headroom exhaustion falls back to realloc"
+    ~count:200
+    QCheck2.Gen.(triple (int_range 0 8) (string_size (int_range 0 64))
+                   (list_size (int_range 1 6) (string_size (int_range 1 40))))
+    (fun (headroom, payload, headers) ->
+      let p = Pkt.of_payload ~headroom (Bytes.of_string payload) in
+      List.iter (fun h -> Pkt.push p (Bytes.of_string h)) headers;
+      let expect = String.concat "" (List.rev headers @ [ payload ]) in
+      Pkt.length p = String.length expect && Pkt.to_string p = expect)
+
 (* ------------------------------------------------------------------ *)
 (* IP addresses roundtrip                                             *)
 (* ------------------------------------------------------------------ *)
@@ -256,6 +305,9 @@ let () =
             prop_dispatcher_uninstall_complete;
             prop_virt_regions_disjoint;
             prop_pkt_push_pull_identity;
+            prop_pkt_roundtrip_at_random_offset;
+            prop_pkt_view_aliases_copy_isolates;
+            prop_pkt_headroom_exhaustion_reallocs;
             prop_ip_addr_roundtrip;
           ] );
     ]
