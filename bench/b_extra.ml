@@ -121,14 +121,14 @@ let web_fixture () =
   let client = Host.create sim ~name:"client" ~addr:addr_a in
   ignore (Host.wire client server ~kind:Nic.Lance);
   let disk = Machine.add_disk ~blocks:65536 server.Host.machine in
-  let bc = Spin_fs.Block_cache.create server.Host.machine server.Host.sched disk in
+  let bc = Spin_fs.Block_cache.create ~phys:server.Host.phys server.Host.machine server.Host.sched disk in
   let cache = ref None in
   ignore (Sched.spawn server.Host.sched ~name:"setup" (fun () ->
     let fs = Spin_fs.Simple_fs.format bc ~blocks:65536 () in
     Spin_fs.Simple_fs.create fs ~name:"index.html";
     Spin_fs.Simple_fs.write fs ~name:"index.html"
       (Bytes.of_string (String.make 2048 'x'));
-    let c = Spin_fs.File_cache.create fs in
+    let c = Spin_fs.File_cache.create ~phys:server.Host.phys fs in
     ignore (Http.create server.Host.machine server.Host.sched server.Host.tcp c);
     cache := Some c));
   Host.run_all [ client; server ];

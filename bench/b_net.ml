@@ -345,10 +345,10 @@ let figure5 () =
   ignore (Forward.create host.Host.ip ~proto:Ip.proto_udp ~port:9000
             ~to_:addr_b);
   let disk = Machine.add_disk ~blocks:16384 host.Host.machine in
-  let bc = Spin_fs.Block_cache.create host.Host.machine host.Host.sched disk in
+  let bc = Spin_fs.Block_cache.create ~phys:host.Host.phys host.Host.machine host.Host.sched disk in
   ignore (Sched.spawn host.Host.sched ~name:"setup" (fun () ->
     let fs = Spin_fs.Simple_fs.format bc ~blocks:16384 () in
-    let cache = Spin_fs.File_cache.create fs in
+    let cache = Spin_fs.File_cache.create ~phys:host.Host.phys fs in
     ignore (Http.create host.Host.machine host.Host.sched host.Host.tcp cache);
     ignore (Video.create_server host ~fs ~netif:nic ~port:5004)));
   Host.run_all [ host; peer ];

@@ -108,19 +108,19 @@ let parse_file path =
   top ();
   List.rev !results
 
-(* The gated rows: every Table 5 latency metric in the reference.
-   Bandwidths and the load-ramp numbers are recorded for trending but
-   not gated — they are throughput-shaped and noisier. *)
+(* The gated rows: every Table 5 latency metric, and the reclaim-path
+   latencies of the [mem] pressure workload. Bandwidths, counts and
+   the load-ramp numbers are recorded for trending but not gated —
+   they are throughput-shaped and noisier. *)
 let gated m =
-  m.experiment = "table5"
-  && String.length m.name >= 7
-  && (let has_sub sub =
-        let n = String.length sub in
-        let rec at i =
-          i + n <= String.length m.name
-          && (String.sub m.name i n = sub || at (i + 1)) in
-        at 0 in
-      has_sub "latency")
+  let has_sub sub =
+    let n = String.length sub in
+    let rec at i =
+      i + n <= String.length m.name
+      && (String.sub m.name i n = sub || at (i + 1)) in
+    at 0 in
+  (m.experiment = "table5" && has_sub "latency")
+  || (m.experiment = "mem" && has_sub "reclaim p")
 
 let () =
   match Sys.argv with

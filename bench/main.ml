@@ -25,6 +25,7 @@ let experiments = [
   ("gc", "automatic storage management (5.5)", B_extra.gc_impact);
   ("web", "web server latency (5.4)", B_extra.web);
   ("load", "HTTP load scaling over the zero-copy path (5.4)", B_load.run);
+  ("mem", "memory pressure and reclamation (5.2)", B_mem.run);
   ("ablation", "design-choice ablations", B_ablation.run);
   ("bechamel", "host-time simulation costs", B_bechamel.run);
 ]

@@ -83,7 +83,7 @@ let video_cmd clients seconds =
   let sink = Host.create sim ~name:"sink" ~addr:addr_b in
   let nic, _ = Host.wire server sink ~kind:Nic.T3 in
   let disk = Machine.add_disk ~blocks:65536 server.Host.machine in
-  let bc = Spin_fs.Block_cache.create server.Host.machine server.Host.sched disk in
+  let bc = Spin_fs.Block_cache.create ~phys:server.Host.phys server.Host.machine server.Host.sched disk in
   let v = ref None in
   ignore (Sched.spawn server.Host.sched ~name:"setup" (fun () ->
     let fs = Spin_fs.Simple_fs.format bc ~blocks:65536 () in

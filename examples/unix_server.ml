@@ -29,7 +29,9 @@ let () =
   print_endline "== UNIX server on SPIN ==";
   let k = Kernel.boot ~name:"unix-server" () in
   let disk = Machine.add_disk ~blocks:16384 k.Kernel.machine in
-  let bc = Block_cache.create k.Kernel.machine k.Kernel.sched disk in
+  let bc =
+    Block_cache.create ~phys:k.Kernel.vm.Spin_vm.Vm.phys k.Kernel.machine
+      k.Kernel.sched disk in
 
   (* --- address spaces: fork with copy-on-write ------------------- *)
   let mgr = Addr_space.create_manager k.Kernel.vm in

@@ -31,7 +31,7 @@ let () =
 
   (* Server extensions: file-system reader + sender + multicast. *)
   let disk = Machine.add_disk ~blocks:65536 server_host.Host.machine in
-  let bc = Spin_fs.Block_cache.create server_host.Host.machine
+  let bc = Spin_fs.Block_cache.create ~phys:server_host.Host.phys server_host.Host.machine
       server_host.Host.sched disk in
   let server = ref None in
   ignore (Sched.spawn server_host.Host.sched ~name:"video-setup" (fun () ->

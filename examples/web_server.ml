@@ -24,7 +24,7 @@ let addr_client = Ip.addr_of_quad 10 0 0 2
 
 let setup_fs host =
   let disk = Machine.add_disk ~blocks:65536 host.Host.machine in
-  let bc = Spin_fs.Block_cache.create host.Host.machine host.Host.sched disk in
+  let bc = Spin_fs.Block_cache.create ~phys:host.Host.phys host.Host.machine host.Host.sched disk in
   let out = ref None in
   ignore (Sched.spawn host.Host.sched ~name:"mkfs" (fun () ->
     let fs = Spin_fs.Simple_fs.format bc ~blocks:65536 () in
@@ -80,7 +80,7 @@ let () =
   let client = Host.create sim ~name:"client" ~addr:addr_client in
   ignore (Host.wire server client ~kind:Nic.Lance);
   let fs = setup_fs server in
-  let cache = Spin_fs.File_cache.create fs in
+  let cache = Spin_fs.File_cache.create ~phys:server.Host.phys fs in
   let http = Http.create server.Host.machine server.Host.sched server.Host.tcp cache in
 
   let report label times =
@@ -106,8 +106,8 @@ let () =
   let st = Spin_fs.File_cache.stats cache in
   Printf.printf
     "object cache: %d hits, %d misses, %d large bypasses, %d bytes held\n"
-    st.Spin_fs.File_cache.hits st.Spin_fs.File_cache.misses
-    st.Spin_fs.File_cache.large_bypasses st.Spin_fs.File_cache.cached_bytes;
+    st.Spin_fs.Cache_stats.hits st.Spin_fs.Cache_stats.misses
+    (Spin_fs.File_cache.large_bypasses cache) st.Spin_fs.Cache_stats.bytes_cached;
   Printf.printf "HTTP totals: %d requests, %d OK\n"
     (Http.stats http).Http.requests (Http.stats http).Http.ok;
   print_endline "done."

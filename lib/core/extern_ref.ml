@@ -9,10 +9,12 @@ let app t = t.app
 
 let externalize t tag v = Spin_dstruct.Idtable.insert t.table (Univ.pack tag v)
 
-let recover t tag i =
+let internalize t tag i =
   match Spin_dstruct.Idtable.lookup t.table i with
   | None -> None
   | Some u -> Univ.unpack tag u
+
+let recover = internalize
 
 let release t i = Spin_dstruct.Idtable.remove t.table i
 

@@ -2,9 +2,9 @@
 
     User-level code cannot be assumed type safe, so a kernel service
     never hands it a pointer; it hands an index into a
-    per-application table of type-safe in-kernel references. Recovery
-    checks both the index and the tag under which the reference was
-    externalized. *)
+    per-application table of type-safe in-kernel references.
+    Internalization checks both the index and the tag under which the
+    reference was externalized. *)
 
 type t
 (** One table per application. *)
@@ -17,10 +17,14 @@ val externalize : t -> 'a Univ.tag -> 'a -> int
 (** Stores the reference, returning the external index to pass to
     user space. *)
 
-val recover : t -> 'a Univ.tag -> int -> 'a option
+val internalize : t -> 'a Univ.tag -> int -> 'a option
 (** [None] for stale indices, forged indices, and tag mismatches
-    (an index externalized as one resource type cannot be recovered
-    as another). *)
+    (an index externalized as one resource type cannot be
+    internalized as another). *)
+
+val recover : t -> 'a Univ.tag -> int -> 'a option
+[@@ocaml.deprecated "use Extern_ref.internalize (paper section 3.1)"]
+(** The pre-rename name of {!internalize}; one release of grace. *)
 
 val release : t -> int -> unit
 

@@ -1,10 +1,14 @@
 module Machine = Spin_machine.Machine
 module Disk = Spin_machine.Disk_dev
 module Intr = Spin_machine.Intr
-module Clock = Spin_machine.Clock
-module Cost = Spin_machine.Cost
+module Addr = Spin_machine.Addr
 module Sched = Spin_sched.Sched
 module Lru = Spin_dstruct.Lru
+module Capability = Spin_core.Capability
+module Dispatcher = Spin_core.Dispatcher
+module Phys_addr = Spin_vm.Phys_addr
+
+let blocks_per_page = Addr.page_size / Disk.block_size
 
 type pending = {
   strand : Spin_sched.Strand.t;
@@ -12,22 +16,57 @@ type pending = {
   mutable complete : bool;
 }
 
+(* One physical page caches a [blocks_per_page]-aligned group of
+   blocks; [valid] is the bitmask of slots actually filled. *)
+type entry = {
+  page : Phys_addr.page;
+  mutable valid : int;
+}
+
 type t = {
   machine : Machine.t;
   sched : Sched.t;
   disk : Disk.t;
-  cache : (int, Bytes.t) Lru.t;
+  phys : Phys_addr.t;
+  owner : string;
+  cache : (int, entry) Lru.t;             (* block group -> page *)
   pending : (int, pending) Hashtbl.t;     (* block -> waiter *)
   mutable hits : int;
   mutable misses : int;
+  mutable reclaims : int;
+  mutable degraded : int;
 }
 
-let create ?(capacity_blocks = 2048) machine sched disk =
+let coldest_page t =
+  let last = ref None in
+  Lru.iter (fun _ e -> last := Some e.page) t.cache;
+  match !last with
+  | Some p -> p
+  | None -> assert false (* handler guarded on a non-empty cache *)
+
+(* The reclamation protocol chose one of our pages; drop whatever
+   entry held it (the service frees the frames itself). *)
+let forget t page =
+  let key = ref None in
+  Lru.iter (fun k e -> if Capability.equal e.page page then key := Some k)
+    t.cache;
+  match !key with
+  | Some k ->
+    Lru.remove t.cache k;                 (* no on_evict: page is going *)
+    t.reclaims <- t.reclaims + 1
+  | None -> ()
+
+let create ?(capacity_blocks = 2048) ?(owner = "BlockCache") ~phys
+    machine sched disk =
+  let capacity_pages = max 1 (capacity_blocks / blocks_per_page) in
   let t = {
-    machine; sched; disk;
-    cache = Lru.create ~capacity:capacity_blocks ();
+    machine; sched; disk; phys; owner;
+    cache =
+      Lru.create
+        ~on_evict:(fun _ e -> Phys_addr.deallocate phys e.page)
+        ~capacity:capacity_pages ();
     pending = Hashtbl.create 32;
-    hits = 0; misses = 0;
+    hits = 0; misses = 0; reclaims = 0; degraded = 0;
   } in
   Intr.register machine.Machine.intr ~line:(Disk.line disk) (fun () ->
     let rec drain () =
@@ -47,11 +86,20 @@ let create ?(capacity_blocks = 2048) machine sched disk =
          | None -> ());
         drain () in
     drain ());
+  (* Volunteer under memory pressure: when the chosen candidate is
+     already one of our pages, substitute the coldest one instead so
+     the hot end of the cache survives. *)
+  ignore
+    (Dispatcher.install_exn (Phys_addr.reclaim_event phys)
+       ~installer:owner
+       ~guard:(fun candidate ->
+         Lru.length t.cache > 0
+         && (match Phys_addr.page_owner candidate with
+             | Some o -> String.equal o owner
+             | None -> false))
+       (fun _candidate -> coldest_page t));
+  Phys_addr.add_invalidate phys (forget t);
   t
-
-let charge_copy t =
-  Clock.charge t.machine.Machine.clock
-    ((Disk.block_size / 8) * t.machine.Machine.cost.Cost.copy_per_word)
 
 let wait_for t block submit =
   let p = { strand = Sched.self t.sched; data = None; complete = false } in
@@ -69,17 +117,50 @@ let disk_read t block =
   | Some data -> data
   | None -> Bytes.make Disk.block_size '\000'
 
+let group_of block = block / blocks_per_page
+let slot_of block = block mod blocks_per_page
+let slot_off block = slot_of block * Disk.block_size
+
 let read t ~block =
-  match Lru.find t.cache block with
-  | Some data ->
-    t.hits <- t.hits + 1;
-    charge_copy t;
-    Bytes.copy data
+  let group = group_of block in
+  let bit = 1 lsl slot_of block in
+  (* Miss path for a group we hold no page for: read the block, then
+     try to take a page; under hopeless pressure serve uncached. *)
+  let fill_new () =
+    let data = disk_read t block in
+    (match Phys_addr.allocate t.phys ~owner:t.owner ~bytes:Addr.page_size with
+     | page ->
+       Phys_addr.touch t.phys page;
+       Phys_addr.fill t.phys page ~off:(slot_off block) data;
+       Lru.add t.cache group { page; valid = bit }
+     | exception Phys_addr.Out_of_memory -> t.degraded <- t.degraded + 1);
+    data in
+  match Lru.find t.cache group with
+  | Some e when Capability.is_valid e.page ->
+    if e.valid land bit <> 0 then begin
+      t.hits <- t.hits + 1;
+      Phys_addr.touch t.phys e.page;
+      (* The hand-off copy out of cache memory — the only charge. *)
+      Phys_addr.read_bytes t.phys e.page ~off:(slot_off block)
+        ~len:Disk.block_size
+    end
+    else begin
+      (* The page is resident but this slot was never filled. *)
+      t.misses <- t.misses + 1;
+      let data = disk_read t block in
+      Phys_addr.touch t.phys e.page;
+      Phys_addr.fill t.phys e.page ~off:(slot_off block) data;
+      e.valid <- e.valid lor bit;
+      data
+    end
+  | Some _ ->
+    (* Lost the page behind our back; treat as a cold miss. *)
+    Lru.remove t.cache group;
+    t.misses <- t.misses + 1;
+    fill_new ()
   | None ->
     t.misses <- t.misses + 1;
-    let data = disk_read t block in
-    Lru.add t.cache block (Bytes.copy data);
-    data
+    fill_new ()
 
 let read_uncached t ~block =
   t.misses <- t.misses + 1;
@@ -92,14 +173,29 @@ let write_block t block data =
 
 let write t ~block data =
   write_block t block data;
-  if Lru.mem t.cache block then Lru.add t.cache block (Bytes.copy data)
+  match Lru.peek t.cache (group_of block) with
+  | Some e when Capability.is_valid e.page ->
+    Phys_addr.fill t.phys e.page ~off:(slot_off block) data;
+    e.valid <- e.valid lor (1 lsl slot_of block)
+  | Some _ -> Lru.remove t.cache (group_of block)
+  | None -> ()
 
 let write_uncached t ~block data =
-  Lru.remove t.cache block;
+  (match Lru.peek t.cache (group_of block) with
+   | Some e -> e.valid <- e.valid land lnot (1 lsl slot_of block)
+   | None -> ());
   write_block t block data
 
-let flush t = Lru.clear t.cache
+let flush t =
+  (* [Lru.clear] skips the eviction callback; return the pages by
+     hand. *)
+  Lru.iter (fun _ e -> Phys_addr.deallocate t.phys e.page) t.cache;
+  Lru.clear t.cache
 
-let hits t = t.hits
+let stats t =
+  { Cache_stats.hits = t.hits;
+    misses = t.misses;
+    bytes_cached = Lru.length t.cache * Addr.page_size;
+    reclaims = t.reclaims }
 
-let misses t = t.misses
+let degraded t = t.degraded

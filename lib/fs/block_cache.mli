@@ -1,5 +1,13 @@
 (** The buffer cache: synchronous block I/O for strand-context code,
-    with an LRU cache of recently used blocks.
+    with an LRU cache of recently used blocks held in physical pages.
+
+    Cached data lives in {!Spin_vm.Phys_addr.page} capabilities, one
+    8 KB page per aligned group of blocks, so the cache participates
+    in the reclamation protocol: under memory pressure it volunteers
+    its coldest page (when one of its own pages was picked anyway),
+    and a reclaimed page simply turns the next read of its blocks
+    into a miss. Copies are charged only at the hand-off from cache
+    memory to the caller.
 
     Reads and writes block the calling strand on the disk when they
     miss; cached reads cost only the memory copy. Writes are
@@ -12,10 +20,15 @@ type t
 
 val create :
   ?capacity_blocks:int ->
+  ?owner:string ->
+  phys:Spin_vm.Phys_addr.t ->
   Spin_machine.Machine.t -> Spin_sched.Sched.t -> Spin_machine.Disk_dev.t ->
   t
-(** Default capacity: 2048 blocks (1 MB). Registers the disk's
-    completion interrupt handler. *)
+(** Default capacity: 2048 blocks (1 MB of pages). Registers the
+    disk's completion interrupt handler, a volunteer handler on the
+    physical service's [Reclaim] event, and an invalidate callback.
+    [owner] names this cache's page allocations (default
+    ["BlockCache"]). *)
 
 val read : t -> block:int -> Bytes.t
 (** One block; a private copy. Must run in strand context on a miss. *)
@@ -25,14 +38,18 @@ val read_uncached : t -> block:int -> Bytes.t
     SPIN web server runs on). *)
 
 val write : t -> block:int -> Bytes.t -> unit
-(** Write-through; updates the cache copy unless the block was never
-    cached. *)
+(** Write-through; updates the cached page when the block's group is
+    resident. *)
 
 val write_uncached : t -> block:int -> Bytes.t -> unit
 
 val flush : t -> unit
-(** Drop every cached block. *)
+(** Drop every cached block and return the pages. *)
 
-val hits : t -> int
+val stats : t -> Cache_stats.t
+(** [bytes_cached] counts whole resident pages; [reclaims] counts
+    pages lost to memory pressure. *)
 
-val misses : t -> int
+val degraded : t -> int
+(** Reads served uncached because no page could be had even after
+    reclamation. *)

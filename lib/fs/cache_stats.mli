@@ -1,0 +1,32 @@
+(** The one cache-statistics vocabulary.
+
+    Every cache in the tree ({!Block_cache}, {!File_cache}) reports
+    through this record, and {!S} is the signature a cache implements
+    so consumers — [Monitor] gauges, the benchmarks — need only one
+    shape. [reclaims] counts entries lost to the physical address
+    service's memory-pressure reclamation, as opposed to ordinary
+    capacity eviction. *)
+
+type t = {
+  hits : int;
+  misses : int;
+  bytes_cached : int;           (** page-granular resident bytes *)
+  reclaims : int;               (** entries torn down under pressure *)
+}
+
+module type S = sig
+  type cache
+
+  val stats : cache -> t
+end
+
+val zero : t
+
+val lookups : t -> int
+(** [hits + misses]. *)
+
+val hit_rate : t -> float
+(** Hits per lookup in [0, 1]; [0.] before any lookup. *)
+
+val to_string : t -> string
+(** One-line rendering for reports and examples. *)

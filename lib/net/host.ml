@@ -4,11 +4,14 @@ module Nic = Spin_machine.Nic
 module Link = Spin_machine.Link
 module Dispatcher = Spin_core.Dispatcher
 module Sched = Spin_sched.Sched
+module Phys_addr = Spin_vm.Phys_addr
+module Reclaim_policy = Spin_vm.Reclaim_policy
 
 type t = {
   machine : Machine.t;
   dispatcher : Dispatcher.t;
   sched : Sched.t;
+  phys : Phys_addr.t;
   ip : Ip.t;
   icmp : Icmp.t;
   udp : Udp.t;
@@ -18,17 +21,19 @@ type t = {
   addr : Ip.addr;
 }
 
-let create sim ~name ~addr =
-  let machine = Machine.create_on sim ~name () in
+let create ?mem_mb sim ~name ~addr =
+  let machine = Machine.create_on sim ?mem_mb ~name () in
   let dispatcher = Dispatcher.create machine.Machine.clock in
   let sched = Sched.create sim dispatcher in
+  let phys = Phys_addr.create machine dispatcher in
+  ignore (Reclaim_policy.install_second_chance phys);
   let ip = Ip.create machine dispatcher in
   let icmp = Icmp.create dispatcher ip in
   let udp = Udp.create machine dispatcher ip in
   let tcp = Tcp.create machine sched dispatcher ip in
   let am = Active_msg.create machine dispatcher ip in
   let rpc = Rpc.create machine sched am in
-  { machine; dispatcher; sched; ip; icmp; udp; tcp; am; rpc; addr }
+  { machine; dispatcher; sched; phys; ip; icmp; udp; tcp; am; rpc; addr }
 
 let netif_name kind =
   match kind with

@@ -8,6 +8,7 @@ type t = {
   machine : Spin_machine.Machine.t;
   dispatcher : Spin_core.Dispatcher.t;
   sched : Spin_sched.Sched.t;
+  phys : Spin_vm.Phys_addr.t;   (** page allocation for this host's caches *)
   ip : Ip.t;
   icmp : Icmp.t;
   udp : Udp.t;
@@ -17,7 +18,12 @@ type t = {
   addr : Ip.addr;
 }
 
-val create : Spin_machine.Sim.t -> name:string -> addr:Ip.addr -> t
+val create :
+  ?mem_mb:int -> Spin_machine.Sim.t -> name:string -> addr:Ip.addr -> t
+(** [mem_mb] bounds the host's physical memory (the [mem] pressure
+    workload runs its server small). The host's physical address
+    service comes up with the second-chance replacement policy
+    installed. *)
 
 val wire :
   ?optimized:bool -> ?latency_us:float ->

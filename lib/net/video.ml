@@ -31,7 +31,7 @@ let default_send server (payload, _seq) =
   0
 
 let create_server host ~fs ~netif ~port =
-  let cache = File_cache.create fs in
+  let cache = File_cache.create ~phys:host.Host.phys fs in
   let rec server =
     lazy
       { host; fs; cache; netif; port;

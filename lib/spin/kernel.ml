@@ -13,6 +13,7 @@ module Symbol = Spin_core.Symbol
 module Ty = Spin_core.Ty
 module Univ = Spin_core.Univ
 module Translation = Spin_vm.Translation
+module Phys_addr = Spin_vm.Phys_addr
 
 type t = {
   machine : Machine.t;
@@ -50,6 +51,15 @@ let quarantine_event_tag
 let restart_event_tag
   : (Supervisor.restart, unit) Dispatcher.event Univ.tag =
   Univ.tag ~name:"Supervisor.RestartEvent" ()
+
+let reclaim_event_tag
+  : (Phys_addr.page, Phys_addr.page) Dispatcher.event Univ.tag =
+  Univ.tag ~name:"PhysAddr.Reclaim" ()
+
+let select_victim_event_tag
+  : (Phys_addr.victim_request, Phys_addr.page option) Dispatcher.event
+      Univ.tag =
+  Univ.tag ~name:"PhysAddr.SelectVictim" ()
 
 let publish t ~name ?authorize domain =
   Nameserver.register t.nameserver ~name ?authorize domain;
@@ -142,9 +152,22 @@ let boot ?(mem_mb = 64) ?(name = "spin") () =
         (event_ty "Supervisor" "ExtensionRestarted",
          Univ.pack restart_event_tag (Supervisor.restarted_event supervisor));
       ] in
+  (* Memory pressure is extensible the same way: services import
+     Reclaim to volunteer pages, SelectVictim to replace the paging
+     policy (section 5.2). *)
+  let physaddr_domain =
+    Kdomain.create_from_module ~name:"PhysAddr"
+      ~exports:[
+        (event_ty "PhysAddr" "Reclaim",
+         Univ.pack reclaim_event_tag (Phys_addr.reclaim_event vm.Vm.phys));
+        (event_ty "PhysAddr" "SelectVictim",
+         Univ.pack select_victim_event_tag
+           (Phys_addr.select_victim_event vm.Vm.phys));
+      ] in
   publish t ~name:"StrandService" strand_domain;
   publish t ~name:"TranslationService" translation_domain;
   publish t ~name:"SupervisorService" supervisor_domain;
+  publish t ~name:"PhysAddrService" physaddr_domain;
   t
 
 let trace t = Spin_machine.Trace.of_clock t.machine.Machine.clock

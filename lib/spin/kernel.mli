@@ -49,6 +49,18 @@ val restart_event_tag :
   (Supervisor.restart, unit) Spin_core.Dispatcher.event
     Spin_core.Univ.tag
 
+val reclaim_event_tag :
+  (Spin_vm.Phys_addr.page, Spin_vm.Phys_addr.page)
+    Spin_core.Dispatcher.event Spin_core.Univ.tag
+(** The [PhysAddrService] export a service imports to volunteer pages
+    of lesser importance under memory pressure (section 5.2). *)
+
+val select_victim_event_tag :
+  (Spin_vm.Phys_addr.victim_request, Spin_vm.Phys_addr.page option)
+    Spin_core.Dispatcher.event Spin_core.Univ.tag
+(** The replaceable page-replacement policy event; install a handler
+    to override the default second-chance selector. *)
+
 val trace : t -> Spin_machine.Trace.t
 (** The kernel's tracer — the one every subsystem on this machine's
     clock records into. Disabled (and free beyond one bool check per

@@ -61,6 +61,20 @@ let watch_supervisor t sup =
   gauge t ~name:"supervisor.quarantines"
     (fun () -> (Supervisor.stats sup).Supervisor.s_quarantines)
 
+let watch_mem t phys =
+  let module P = Spin_vm.Phys_addr in
+  gauge t ~name:"mem.total_pages" (fun () -> P.total_pages phys);
+  gauge t ~name:"mem.free_pages" (fun () -> P.free_pages phys);
+  gauge t ~name:"mem.reclaims" (fun () -> P.reclaims phys);
+  gauge t ~name:"mem.oom_failures" (fun () -> P.oom_failures phys)
+
+let watch_cache t ~name sample =
+  let module C = Spin_fs.Cache_stats in
+  gauge t ~name:(name ^ ".hits") (fun () -> (sample ()).C.hits);
+  gauge t ~name:(name ^ ".misses") (fun () -> (sample ()).C.misses);
+  gauge t ~name:(name ^ ".bytes_cached") (fun () -> (sample ()).C.bytes_cached);
+  gauge t ~name:(name ^ ".reclaims") (fun () -> (sample ()).C.reclaims)
+
 let watch_trace t tracer =
   if not (List.memq tracer t.tracers) then
     t.tracers <- t.tracers @ [ tracer ]

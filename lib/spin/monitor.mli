@@ -39,6 +39,15 @@ val watch_supervisor : t -> Supervisor.t -> unit
 (** Gauges on the supervisor's fault, restart, and quarantine
     totals. *)
 
+val watch_mem : t -> Spin_vm.Phys_addr.t -> unit
+(** Gauges on the physical address service: total and free pages,
+    reclaims, and allocation failures. *)
+
+val watch_cache :
+  t -> name:string -> (unit -> Spin_fs.Cache_stats.t) -> unit
+(** Gauges ([name].hits/.misses/.bytes_cached/.reclaims) over any
+    cache that reports through {!Spin_fs.Cache_stats}. *)
+
 val gauges : t -> (string * int) list
 (** Registered gauges with their current samples. *)
 

@@ -1,0 +1,63 @@
+module Sched = Spin_sched.Sched
+
+type t = {
+  sched : Sched.t;
+  phys : Phys_addr.t;
+  low_water : int;
+  high_water : int;
+  interval_us : float;
+  mutable sources : (string * (unit -> bool)) list;
+  mutable running : bool;
+  mutable released : int;
+  mutable scans : int;
+}
+
+let create ?low_water ?high_water ?(interval_us = 200.) sched phys =
+  let total = Phys_addr.total_pages phys in
+  let low =
+    match low_water with Some l -> l | None -> max 1 (total / 16) in
+  let high =
+    match high_water with Some h -> h | None -> max (low + 1) (2 * low) in
+  if low < 1 || high <= low then invalid_arg "Pageout.create: water marks";
+  { sched; phys; low_water = low; high_water = high; interval_us;
+    sources = []; running = false; released = 0; scans = 0 }
+
+let add_source t ~name f = t.sources <- t.sources @ [ (name, f) ]
+
+(* Ask each source in turn for one page; fall back to forcing the
+   reclamation protocol directly. *)
+let release_one t =
+  let rec first = function
+    | [] -> Phys_addr.force_reclaim t.phys <> None
+    | (_, f) :: rest -> f () || first rest in
+  first t.sources
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    ignore
+      (Sched.spawn t.sched ~name:"pageout" (fun () ->
+           while t.running do
+             if Phys_addr.free_pages t.phys < t.low_water then begin
+               t.scans <- t.scans + 1;
+               let keep_going = ref true in
+               while
+                 !keep_going && Phys_addr.free_pages t.phys < t.high_water
+               do
+                 if release_one t then t.released <- t.released + 1
+                 else keep_going := false
+               done
+             end;
+             Sched.sleep_us t.sched t.interval_us
+           done))
+  end
+
+let stop t = t.running <- false
+
+let released t = t.released
+
+let scans t = t.scans
+
+let low_water t = t.low_water
+
+let high_water t = t.high_water

@@ -19,6 +19,7 @@ type backed_page = {
 
 type region_entry = {
   ctx_id : int;
+  ctx : Translation.context;
   region : Virt_addr.region;
   pages : backed_page array;
 }
@@ -125,6 +126,29 @@ let create vm sched ~disk =
            (find_page t (Translation.context_id f.Translation.ctx)
               f.Translation.va))
        (handle_fault t));
+  (* Reclamation can take one of our frames out from under us. The
+     translation service already unmapped it; here we save its
+     contents to backing store (fire-and-forget write, nobody waits)
+     and forget the frame so the next touch refaults instead of
+     spinning on a stale capability. *)
+  Phys_addr.add_invalidate vm.Vm.phys (fun page ->
+      List.iter
+        (fun e ->
+          Array.iter
+            (fun bp ->
+              match bp.frame with
+              | Some p when Spin_core.Capability.equal p page ->
+                let run = Phys_addr.page_run page in
+                let data =
+                  Phys_mem.read_bytes t.vm.Vm.machine.Machine.mem
+                    ~pa:(Addr.pa_of_page run.Phys_addr.first_pfn)
+                    ~len:Addr.page_size in
+                Disk.submit_write t.disk ~block:bp.block data;
+                bp.written <- true;
+                bp.frame <- None
+              | _ -> ())
+            e.pages)
+        t.regions);
   t
 
 let make_pageable t ctx vaddr =
@@ -137,7 +161,8 @@ let make_pageable t ctx vaddr =
       { block; frame = None; written = false }) in
   Translation.attach_region ctx region;
   t.regions <-
-    { ctx_id = Translation.context_id ctx; region; pages } :: t.regions
+    { ctx_id = Translation.context_id ctx; ctx; region; pages }
+    :: t.regions
 
 let evict t ctx ~va =
   match find_page t (Translation.context_id ctx) va with
@@ -167,6 +192,21 @@ let evict t ctx ~va =
        bp.frame <- None;
        t.pageouts <- t.pageouts + 1;
        true)
+
+(* Write back and release the first resident page found, oldest
+   region first: the pageout daemon's source. Strand context only. *)
+let evict_any t =
+  let rec in_entry e i =
+    i < Array.length e.pages
+    && (match e.pages.(i).frame with
+        | Some _ ->
+          evict t e.ctx
+            ~va:(e.region.Virt_addr.va + (i * Addr.page_size))
+        | None -> in_entry e (i + 1)) in
+  let rec scan = function
+    | [] -> false
+    | e :: rest -> in_entry e 0 || scan rest in
+  scan (List.rev t.regions)
 
 let resident t ctx ~va =
   match find_page t (Translation.context_id ctx) va with

@@ -23,6 +23,11 @@ val evict : t -> Translation.context -> va:int -> bool
 (** Write the page out (if dirty) and drop its frame; [false] when the
     page is not resident or not managed here. *)
 
+val evict_any : t -> bool
+(** Write back and release one resident page (oldest region first);
+    [false] when nothing is resident. The pageout daemon's
+    {!Pageout.add_source} source. Strand context only. *)
+
 val resident : t -> Translation.context -> va:int -> bool
 
 val faults_served : t -> int

@@ -4,9 +4,17 @@
     capability for the memory, never a frame number — a physical page
     "is not a nameable entity" outside the service. Allocation takes
     attributes expressing machine-specific preferences (page color for
-    cache placement, contiguity). When memory runs low the service
-    raises the [PhysAddr.Reclaim] event; a handler may volunteer an
-    alternative page of lesser importance. *)
+    cache placement, contiguity).
+
+    When memory runs low the service runs the reclamation protocol
+    (section 5.2): the [PhysAddr.SelectVictim] event picks a victim —
+    the default policy is FIFO, {!Reclaim_policy} installs second
+    chance, and a domain may install its own selector the way [Sched]
+    replacements work — then the [PhysAddr.Reclaim] event gives
+    services of lesser importance a chance to volunteer an alternative
+    page (the caches volunteer their coldest), and finally every
+    registered invalidate callback tears down mappings and cached
+    state before the frames return to the free pool. *)
 
 type t
 
@@ -26,6 +34,12 @@ val default_attrib : attrib
 
 type page = run Spin_core.Capability.t
 
+type victim_request = {
+  requester : string;           (** owner string of the failed allocation *)
+  needed_pages : int;
+}
+(** Argument of the [SelectVictim] event. *)
+
 exception Out_of_memory
 
 val create :
@@ -34,31 +48,95 @@ val create :
 
 val allocate : ?attrib:attrib -> t -> owner:string -> bytes:int -> page
 (** Allocates enough frames to cover [bytes]. When the free pool is
-    exhausted, raises the Reclaim event to find a victim before
-    giving up with {!Out_of_memory}. *)
+    exhausted, runs the reclamation protocol to find victims before
+    giving up with {!Out_of_memory}. Re-entrant allocation from a
+    reclaim handler does not recurse: it fails straight to
+    {!Out_of_memory}. *)
 
 val deallocate : t -> page -> unit
 (** Returns the frames and revokes the capability. Idempotent. *)
 
 val reclaim_event : t -> (page, page) Spin_core.Dispatcher.event
-(** [Reclaim] carries the candidate page; handlers may return an
-    alternative. *)
+(** [Reclaim] carries the chosen candidate page; a handler may return
+    an alternative it would rather give up (only pages this service
+    still tracks are accepted; anything else falls back to the
+    candidate). *)
+
+val select_victim_event :
+  t -> (victim_request, page option) Spin_core.Dispatcher.event
+(** [SelectVictim] is the replaceable page-replacement policy: given
+    the pressured request, return the page to evict ([None] when
+    nothing is left to give). The last applicable handler wins, so a
+    later-installed policy overrides the default FIFO primary. *)
+
+val add_invalidate : t -> (page -> unit) -> unit
+(** Registers a callback run (in registration order) on every page
+    being reclaimed, while its capability is still valid: the
+    translation service unmaps it, caches drop the entry. *)
 
 val set_invalidate : t -> (page -> unit) -> unit
-(** Installed by the translation service: invalidate any mappings to
-    a page being reclaimed. *)
+(** Historical name of {!add_invalidate}; it has always been additive
+    across services, so both append. *)
 
 val force_reclaim : t -> page option
-(** Reclaims one victim page now (for tests and memory pressure).
-    The returned page has been invalidated and freed. *)
+(** Reclaims one victim page now (for tests and the pageout daemon).
+    The returned page has been invalidated and freed; [None] when no
+    live page remains (idempotent at exhaustion). *)
+
+val set_reclaim_enabled : t -> bool -> unit
+(** When disabled, allocation failure raises {!Out_of_memory}
+    immediately (the ablation baseline for the [mem] workload). *)
+
+val reclaim_enabled : t -> bool
 
 val total_pages : t -> int
 
 val free_pages : t -> int
 
+val reclaims : t -> int
+(** Pages reclaimed since boot. *)
+
+val oom_failures : t -> int
+(** Allocations that raised {!Out_of_memory}. *)
+
+val live_pages : t -> page list
+(** Live allocations, newest first. Policy handlers walk this. *)
+
 val page_run : page -> run
 (** Sibling-service access to the frame numbers. Raises
     [Capability.Revoked] on a dead capability. *)
+
+val page_owner : page -> string option
+(** Owner string of a live page, [None] once revoked. *)
+
+(** {2 Reference bits}
+
+    Second-chance and LRU-ish policies need per-page use information;
+    the service keeps one reference bit per frame. Allocation leaves
+    pages unreferenced; holders call {!touch} on access. *)
+
+val touch : t -> page -> unit
+
+val referenced : t -> page -> bool
+
+val clear_referenced : t -> page -> unit
+
+(** {2 Page contents}
+
+    The caches keep their data in physical pages, not private
+    buffers; copies are charged only at true hand-off points. *)
+
+val read_bytes : t -> page -> off:int -> len:int -> Bytes.t
+(** Copy out of the page run, charging the hardware copy cost — the
+    hand-off from cache memory to the requesting domain. *)
+
+val write_bytes : t -> page -> off:int -> Bytes.t -> unit
+(** Copy into the page run, charging the copy cost. *)
+
+val fill : t -> page -> off:int -> Bytes.t -> unit
+(** Device-side fill (DMA discipline): stores bytes into the run
+    without a charged copy, the way the NIC writes frames. Used when
+    the data was already paid for at its source (disk transfer). *)
 
 val zero : t -> page -> unit
 (** Zero-fill the pages (charging the copy cost). *)

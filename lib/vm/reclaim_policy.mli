@@ -1,0 +1,32 @@
+(** Replaceable page-replacement policy.
+
+    Policies are ordinary dispatcher handlers on the physical address
+    service's [SelectVictim] event, so replacing the policy works the
+    way replacing [Sched] does: install a later handler and the
+    last-result-wins combine makes it authoritative. {!Vm.create} and
+    the network hosts install {!install_second_chance} as the system
+    default; an extension can narrow a policy to its own allocations
+    with {!install_for_domain}. *)
+
+val select_second_chance :
+  Phys_addr.t -> Phys_addr.victim_request -> Phys_addr.page option
+(** The bare selector, exposed for tests and for composing custom
+    policies; prefer {!install_second_chance}. *)
+
+val install_second_chance :
+  ?installer:string ->
+  Phys_addr.t ->
+  (Phys_addr.victim_request, Phys_addr.page option) Spin_core.Dispatcher.handler
+(** Classic clock/second-chance over the service's live list, oldest
+    first: a referenced page loses its bit and is skipped once; the
+    first unreferenced page is the victim; when every page was
+    referenced the oldest goes. *)
+
+val install_for_domain :
+  Phys_addr.t ->
+  domain:string ->
+  (Phys_addr.victim_request -> Phys_addr.page option) ->
+  (Phys_addr.victim_request, Phys_addr.page option) Spin_core.Dispatcher.handler
+(** Installs [select] guarded to requests whose allocations come from
+    [domain] (the allocation's [owner] string), overriding the global
+    policy for that domain only. *)

@@ -76,7 +76,7 @@ let create ?(costs = default_costs) machine dispatcher phys =
   } in
   (* The translation service ultimately invalidates any mappings to a
      reclaimed page (paper, section 4.1). *)
-  Phys_addr.set_invalidate phys (fun page ->
+  Phys_addr.add_invalidate phys (fun page ->
     let run = Phys_addr.page_run page in
     for pfn = run.Phys_addr.first_pfn
       to run.Phys_addr.first_pfn + run.Phys_addr.npages - 1 do

@@ -11,6 +11,7 @@ type t = {
 
 let create ?trans_costs machine dispatcher =
   let phys = Phys_addr.create machine dispatcher in
+  ignore (Reclaim_policy.install_second_chance phys);
   let virt = Virt_addr.create machine in
   let trans = Translation.create ?costs:trans_costs machine dispatcher phys in
   { machine; dispatcher; phys; virt; trans }

@@ -62,7 +62,11 @@ let test_extern_ref_roundtrip () =
   let tag : string Univ.tag = Univ.tag ~name:"PhysAddr.T" () in
   let tbl = Extern_ref.create ~app:"dbase" in
   let i = Extern_ref.externalize tbl tag "page-7" in
-  check (option string) "recover" (Some "page-7") (Extern_ref.recover tbl tag i);
+  check (option string) "internalize" (Some "page-7")
+    (Extern_ref.internalize tbl tag i);
+  (* The pre-rename name still answers, one release of grace. *)
+  (let[@warning "-3"] recovered = Extern_ref.recover tbl tag i in
+   check (option string) "deprecated recover alias" (Some "page-7") recovered);
   check int "live" 1 (Extern_ref.live tbl)
 
 let test_extern_ref_forgery () =
@@ -70,17 +74,19 @@ let test_extern_ref_forgery () =
   let other : string Univ.tag = Univ.tag ~name:"VirtAddr.T" () in
   let tbl = Extern_ref.create ~app:"dbase" in
   let i = Extern_ref.externalize tbl tag "page-7" in
-  check (option string) "forged index" None (Extern_ref.recover tbl tag (i + 1000));
-  check (option string) "wrong resource type" None (Extern_ref.recover tbl other i);
+  check (option string) "forged index" None
+    (Extern_ref.internalize tbl tag (i + 1000));
+  check (option string) "wrong resource type" None
+    (Extern_ref.internalize tbl other i);
   Extern_ref.release tbl i;
-  check (option string) "stale index" None (Extern_ref.recover tbl tag i);
+  check (option string) "stale index" None (Extern_ref.internalize tbl tag i);
   check int "live after release" 0 (Extern_ref.live tbl)
 
 let test_extern_ref_per_app_isolation () =
   let tag : int Univ.tag = Univ.tag ~name:"Strand.T" () in
   let a = Extern_ref.create ~app:"a" and b = Extern_ref.create ~app:"b" in
   let i = Extern_ref.externalize a tag 5 in
-  check (option int) "other app's table" None (Extern_ref.recover b tag i)
+  check (option int) "other app's table" None (Extern_ref.internalize b tag i)
 
 (* ------------------------------------------------------------------ *)
 (* Object files and domains                                           *)

@@ -441,14 +441,14 @@ let test_http_degrades_when_generator_quarantined () =
   let sup = Supervisor.create sim server.Host.dispatcher in
   let disk = Machine.add_disk ~blocks:16384 server.Host.machine in
   let bc =
-    Spin_fs.Block_cache.create server.Host.machine server.Host.sched disk in
+    Spin_fs.Block_cache.create ~phys:server.Host.phys server.Host.machine server.Host.sched disk in
   let http = ref None in
   ignore (Sched.spawn server.Host.sched ~name:"setup" (fun () ->
     let fs = Spin_fs.Simple_fs.format bc ~blocks:16384 () in
     Spin_fs.Simple_fs.create fs ~name:"index.html";
     Spin_fs.Simple_fs.write fs ~name:"index.html"
       (Bytes.of_string "<h1>static</h1>");
-    let cache = Spin_fs.File_cache.create fs in
+    let cache = Spin_fs.File_cache.create ~phys:server.Host.phys fs in
     let h = Http.create ~dispatcher:server.Host.dispatcher
         server.Host.machine server.Host.sched server.Host.tcp cache in
     Http.set_fallback h (Bytes.of_string "<h1>degraded</h1>");

@@ -8,18 +8,23 @@ module Disk = Spin_machine.Disk_dev
 module Clock = Spin_machine.Clock
 module Dispatcher = Spin_core.Dispatcher
 module Sched = Spin_sched.Sched
+module Phys_addr = Spin_vm.Phys_addr
 
 (* Everything runs in strand context; this helper boots a machine and
-   runs the body as a kernel thread. *)
+   runs the body as a kernel thread. The caches are page-backed, so
+   the fixture also brings up the physical address service with the
+   production replacement policy. *)
 let with_fs_machine body =
   let m = Machine.create ~name:"fstest" ~mem_mb:4 () in
   let d = Dispatcher.create m.Machine.clock in
   let sched = Sched.create m.Machine.sim d in
+  let phys = Phys_addr.create m d in
+  ignore (Spin_vm.Reclaim_policy.install_second_chance phys);
   let disk = Machine.add_disk ~blocks:8192 m in
-  let cache = Block_cache.create m sched disk in
+  let cache = Block_cache.create ~phys m sched disk in
   let failure = ref None in
   ignore (Sched.spawn sched ~name:"fs-test" (fun () ->
-    try body m sched disk cache with e -> failure := Some e));
+    try body m sched disk cache phys with e -> failure := Some e));
   Sched.run sched;
   match !failure with Some e -> raise e | None -> ()
 
@@ -28,27 +33,29 @@ let with_fs_machine body =
 (* ------------------------------------------------------------------ *)
 
 let test_block_cache_roundtrip () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     let data = Bytes.make Disk.block_size 'z' in
     Block_cache.write cache ~block:7 data;
     check bytes "read back" data (Block_cache.read cache ~block:7))
 
 let test_block_cache_hits () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     ignore (Block_cache.read cache ~block:3);      (* miss *)
     ignore (Block_cache.read cache ~block:3);      (* hit *)
     ignore (Block_cache.read cache ~block:3);      (* hit *)
-    check int "one miss" 1 (Block_cache.misses cache);
-    check int "two hits" 2 (Block_cache.hits cache))
+    let st = Block_cache.stats cache in
+    check int "one miss" 1 st.Cache_stats.misses;
+    check int "two hits" 2 st.Cache_stats.hits;
+    check bool "pages resident" true (st.Cache_stats.bytes_cached > 0))
 
 let test_block_cache_uncached_bypasses () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     ignore (Block_cache.read_uncached cache ~block:9);
     ignore (Block_cache.read_uncached cache ~block:9);
-    check int "no hits" 0 (Block_cache.hits cache))
+    check int "no hits" 0 (Block_cache.stats cache).Cache_stats.hits)
 
 let test_block_cache_hit_is_fast () =
-  with_fs_machine (fun m _ _ cache ->
+  with_fs_machine (fun m _ _ cache _ ->
     ignore (Block_cache.read cache ~block:5);
     let hit = Clock.stamp m.Machine.clock (fun () ->
       ignore (Block_cache.read cache ~block:5)) in
@@ -57,12 +64,31 @@ let test_block_cache_hit_is_fast () =
     check bool "hit under 10us" true
       (Spin_machine.Cost.cycles_to_us m.Machine.cost hit < 10.))
 
+let test_block_cache_survives_reclaim () =
+  with_fs_machine (fun _ _ _ cache phys ->
+    let data = Bytes.make Disk.block_size 'q' in
+    Block_cache.write cache ~block:11 data;
+    ignore (Block_cache.read cache ~block:11);     (* miss: now cached *)
+    ignore (Block_cache.read cache ~block:11);     (* hit *)
+    (* Pressure takes the cache's page... *)
+    check bool "a page was reclaimed" true
+      (Phys_addr.force_reclaim phys <> None);
+    check int "cache observed the loss" 1
+      (Block_cache.stats cache).Cache_stats.reclaims;
+    check int "nothing resident" 0
+      (Block_cache.stats cache).Cache_stats.bytes_cached;
+    (* ...and the next read simply refetches from disk. *)
+    check bytes "data intact after reclaim" data
+      (Block_cache.read cache ~block:11);
+    ignore (Block_cache.read cache ~block:11);
+    check int "cache works again" 2 (Block_cache.stats cache).Cache_stats.hits)
+
 (* ------------------------------------------------------------------ *)
 (* Simple_fs                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let test_fs_create_write_read () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     Simple_fs.create fs ~name:"hello.txt";
     Simple_fs.write fs ~name:"hello.txt" (Bytes.of_string "hello, disk");
@@ -71,7 +97,7 @@ let test_fs_create_write_read () =
     check int "size" 11 (Simple_fs.size fs ~name:"hello.txt"))
 
 let test_fs_large_file_indirect () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     Simple_fs.create fs ~name:"big";
     (* Past the direct blocks (12 * 512 = 6144 bytes). *)
@@ -80,7 +106,7 @@ let test_fs_large_file_indirect () =
     check bytes "indirect blocks round-trip" data (Simple_fs.read fs ~name:"big"))
 
 let test_fs_max_file_size_enforced () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     Simple_fs.create fs ~name:"huge";
     check bool "max is 70KB" true (Simple_fs.max_file_bytes = 71680);
@@ -91,7 +117,7 @@ let test_fs_max_file_size_enforced () =
      with Simple_fs.Fs_error Simple_fs.File_too_large -> ()))
 
 let test_fs_append () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     Simple_fs.create fs ~name:"log";
     Simple_fs.append fs ~name:"log" (Bytes.of_string "one ");
@@ -100,7 +126,7 @@ let test_fs_append () =
       (Bytes.to_string (Simple_fs.read fs ~name:"log")))
 
 let test_fs_read_range () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     Simple_fs.create fs ~name:"f";
     Simple_fs.write fs ~name:"f" (Bytes.of_string "0123456789");
@@ -110,7 +136,7 @@ let test_fs_read_range () =
       (Bytes.to_string (Simple_fs.read_range fs ~name:"f" ~off:8 ~len:10)))
 
 let test_fs_errors () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     (try ignore (Simple_fs.read fs ~name:"ghost"); fail "expected error"
      with Simple_fs.Fs_error Simple_fs.No_such_file -> ());
@@ -121,7 +147,7 @@ let test_fs_errors () =
      with Simple_fs.Fs_error Simple_fs.Name_too_long -> ()))
 
 let test_fs_delete_frees_space () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     Simple_fs.create fs ~name:"tmp";
     (* The root directory grew by a block on create; measure from
@@ -135,7 +161,7 @@ let test_fs_delete_frees_space () =
     check (list string) "directory empty" [] (Simple_fs.list_files fs))
 
 let test_fs_many_files_listed () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     let names = List.init 20 (Printf.sprintf "file%02d") in
     List.iter (fun name ->
@@ -148,7 +174,7 @@ let test_fs_many_files_listed () =
         (Bytes.to_string (Simple_fs.read fs ~name))) names)
 
 let test_fs_persists_across_mount () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     Simple_fs.create fs ~name:"stable";
     Simple_fs.write fs ~name:"stable" (Bytes.of_string "persisted");
@@ -161,7 +187,7 @@ let test_fs_persists_across_mount () =
       (Simple_fs.free_blocks fs) (Simple_fs.free_blocks fs2))
 
 let test_fs_mount_rejects_garbage () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache _ ->
     (try ignore (Simple_fs.mount cache); fail "expected mount failure"
      with Simple_fs.Fs_error Simple_fs.No_such_file -> ()))
 
@@ -170,38 +196,38 @@ let test_fs_mount_rejects_garbage () =
 (* ------------------------------------------------------------------ *)
 
 let test_file_cache_small_files_cached () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache phys ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     Simple_fs.create fs ~name:"small";
     Simple_fs.write fs ~name:"small" (Bytes.of_string "tiny object");
-    let fc = File_cache.create fs in
+    let fc = File_cache.create ~phys fs in
     (match File_cache.fetch fc ~name:"small" with
      | Some data -> check string "first fetch" "tiny object" (Bytes.to_string data)
      | None -> fail "missing");
     ignore (File_cache.fetch fc ~name:"small");
     let st = File_cache.stats fc in
-    check int "one miss then one hit" 1 st.File_cache.hits;
-    check int "misses" 1 st.File_cache.misses)
+    check int "one miss then one hit" 1 st.Cache_stats.hits;
+    check int "misses" 1 st.Cache_stats.misses)
 
 let test_file_cache_large_files_bypass () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache phys ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     Simple_fs.create fs ~name:"large";
     Simple_fs.write fs ~name:"large" (Bytes.create 70_000);
-    let fc = File_cache.create fs in
+    let fc = File_cache.create ~phys fs in
     ignore (File_cache.fetch fc ~name:"large");
     ignore (File_cache.fetch fc ~name:"large");
     let st = File_cache.stats fc in
-    check int "no cache traffic" 0 (st.File_cache.hits + st.File_cache.misses);
-    check int "both bypassed" 2 st.File_cache.large_bypasses;
-    check int "nothing held" 0 st.File_cache.cached_bytes)
+    check int "no cache traffic" 0 (Cache_stats.lookups st);
+    check int "both bypassed" 2 (File_cache.large_bypasses fc);
+    check int "nothing held" 0 st.Cache_stats.bytes_cached)
 
 let test_file_cache_hit_avoids_disk () =
-  with_fs_machine (fun m _ disk cache ->
+  with_fs_machine (fun m _ disk cache phys ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     Simple_fs.create fs ~name:"obj";
     Simple_fs.write fs ~name:"obj" (Bytes.create 4_000);
-    let fc = File_cache.create fs in
+    let fc = File_cache.create ~phys fs in
     ignore (File_cache.fetch fc ~name:"obj");
     let reads_before = Disk.reads disk in
     let spent = Clock.stamp m.Machine.clock (fun () ->
@@ -211,24 +237,24 @@ let test_file_cache_hit_avoids_disk () =
       (Spin_machine.Cost.cycles_to_us m.Machine.cost spent < 200.))
 
 let test_file_cache_byte_budget () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache phys ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     let names = List.init 6 (Printf.sprintf "f%d") in
     List.iter (fun name ->
       Simple_fs.create fs ~name;
       Simple_fs.write fs ~name (Bytes.create 10_000)) names;
-    let fc = File_cache.create ~capacity_bytes:30_000 fs in
+    let fc = File_cache.create ~capacity_bytes:30_000 ~phys fs in
     List.iter (fun name -> ignore (File_cache.fetch fc ~name)) names;
     let st = File_cache.stats fc in
-    check bool "budget respected" true (st.File_cache.cached_bytes <= 30_000);
-    check bool "something cached" true (st.File_cache.cached_bytes > 0))
+    check bool "budget respected" true (st.Cache_stats.bytes_cached <= 30_000);
+    check bool "something cached" true (st.Cache_stats.bytes_cached > 0))
 
 let test_file_cache_invalidate () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache phys ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
     Simple_fs.create fs ~name:"f";
     Simple_fs.write fs ~name:"f" (Bytes.of_string "v1");
-    let fc = File_cache.create fs in
+    let fc = File_cache.create ~phys fs in
     ignore (File_cache.fetch fc ~name:"f");
     Simple_fs.write fs ~name:"f" (Bytes.of_string "v2");
     File_cache.invalidate fc ~name:"f";
@@ -237,10 +263,53 @@ let test_file_cache_invalidate () =
      | None -> fail "missing"))
 
 let test_file_cache_missing_file () =
-  with_fs_machine (fun _ _ _ cache ->
+  with_fs_machine (fun _ _ _ cache phys ->
     let fs = Simple_fs.format cache ~blocks:8192 () in
-    let fc = File_cache.create fs in
+    let fc = File_cache.create ~phys fs in
     check bool "none for ghosts" true (File_cache.fetch fc ~name:"ghost" = None))
+
+let test_file_cache_survives_reclaim () =
+  with_fs_machine (fun _ _ _ cache phys ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"obj";
+    let data = Bytes.init 5_000 (fun i -> Char.chr (i land 0xff)) in
+    Simple_fs.write fs ~name:"obj" data;
+    let fc = File_cache.create ~phys fs in
+    ignore (File_cache.fetch fc ~name:"obj");
+    (* Drain every live page — block-cache metadata pages go first,
+       eventually the file cache's entry is torn down too. *)
+    while Phys_addr.force_reclaim phys <> None do () done;
+    check bool "entry was reclaimed" true
+      ((File_cache.stats fc).Cache_stats.reclaims >= 1);
+    check int "nothing held" 0 (File_cache.stats fc).Cache_stats.bytes_cached;
+    (* The object refetches on the next request. *)
+    (match File_cache.fetch fc ~name:"obj" with
+     | Some got -> check bytes "contents intact" data got
+     | None -> fail "missing after reclaim");
+    check int "refetch was a miss" 2 (File_cache.stats fc).Cache_stats.misses)
+
+let test_caches_degrade_when_reclaim_disabled () =
+  with_fs_machine (fun _ _ _ cache phys ->
+    let fs = Simple_fs.format cache ~blocks:8192 () in
+    Simple_fs.create fs ~name:"obj";
+    let data = Bytes.make 3_000 'd' in
+    Simple_fs.write fs ~name:"obj" data;
+    let fc = File_cache.create ~phys fs in
+    (* A hog grabs the whole free pool with reclamation off; the
+       caches must keep serving, just without pages. *)
+    Phys_addr.set_reclaim_enabled phys false;
+    (try
+       while true do
+         ignore
+           (Phys_addr.allocate phys ~owner:"hog"
+              ~bytes:Spin_machine.Addr.page_size)
+       done
+     with Phys_addr.Out_of_memory -> ());
+    (match File_cache.fetch fc ~name:"obj" with
+     | Some got -> check bytes "served uncached" data got
+     | None -> fail "missing under pressure");
+    check bool "file cache degraded" true (File_cache.degraded fc >= 1);
+    check bool "oom was counted" true (Phys_addr.oom_failures phys >= 1))
 
 let () =
   Alcotest.run "spin_fs"
@@ -251,6 +320,7 @@ let () =
           test_case "hit accounting" `Quick test_block_cache_hits;
           test_case "uncached bypass" `Quick test_block_cache_uncached_bypasses;
           test_case "hits are fast" `Quick test_block_cache_hit_is_fast;
+          test_case "survives reclaim" `Quick test_block_cache_survives_reclaim;
         ] );
       ( "simple_fs",
         [
@@ -273,5 +343,8 @@ let () =
           test_case "byte budget" `Quick test_file_cache_byte_budget;
           test_case "invalidate" `Quick test_file_cache_invalidate;
           test_case "missing file" `Quick test_file_cache_missing_file;
+          test_case "survives reclaim" `Quick test_file_cache_survives_reclaim;
+          test_case "degrades without reclaim" `Quick
+            test_caches_degrade_when_reclaim_disabled;
         ] );
     ]

@@ -49,14 +49,14 @@ let build_world () =
   ignore via_server;
   (* Server-side storage and services. *)
   let disk = Machine.add_disk ~blocks:65536 server.Host.machine in
-  let bc = Spin_fs.Block_cache.create server.Host.machine server.Host.sched disk in
+  let bc = Spin_fs.Block_cache.create ~phys:server.Host.phys server.Host.machine server.Host.sched disk in
   let out = ref None in
   ignore (Sched.spawn server.Host.sched ~name:"setup" (fun () ->
     let fs = Spin_fs.Simple_fs.format bc ~blocks:65536 () in
     Spin_fs.Simple_fs.create fs ~name:"index.html";
     Spin_fs.Simple_fs.write fs ~name:"index.html"
       (Bytes.of_string (String.make 1500 'w'));
-    let cache = Spin_fs.File_cache.create fs in
+    let cache = Spin_fs.File_cache.create ~phys:server.Host.phys fs in
     let http = Http.create server.Host.machine server.Host.sched server.Host.tcp cache in
     let video = Video.create_server server ~fs ~netif:server_nic ~port:5004 in
     Video.load_frames video ~count:5 ~frame_bytes:6_000;
@@ -145,7 +145,7 @@ let test_mixed_workload () =
        .Dispatcher.handler_failures);
   (* The object cache held the small page and served hits. *)
   let cs = Spin_fs.File_cache.stats w.cache in
-  check bool "cache hits accrued" true (cs.Spin_fs.File_cache.hits >= 3);
+  check bool "cache hits accrued" true (cs.Spin_fs.Cache_stats.hits >= 3);
   (* Time moved: this all took simulated milliseconds, not zero. *)
   check bool "virtual time advanced" true (Clock.now_us w.clock > 100_000.)
 

@@ -185,12 +185,12 @@ let test_http_bad_request () =
   let client = Host.create sim ~name:"c" ~addr:addr_a in
   ignore (Host.wire client server ~kind:Nic.Lance);
   let disk = Machine.add_disk ~blocks:16384 server.Host.machine in
-  let bc = Spin_fs.Block_cache.create server.Host.machine server.Host.sched disk in
+  let bc = Spin_fs.Block_cache.create ~phys:server.Host.phys server.Host.machine server.Host.sched disk in
   let http = ref None in
   ignore (Sched.spawn server.Host.sched ~name:"setup" (fun () ->
     let fs = Spin_fs.Simple_fs.format bc ~blocks:16384 () in
     http := Some (Http.create server.Host.machine server.Host.sched server.Host.tcp
-                    (Spin_fs.File_cache.create fs))));
+                    (Spin_fs.File_cache.create ~phys:server.Host.phys fs))));
   Host.run_all [ client; server ];
   let response = ref "" in
   in_strand [ client; server ] client (fun () ->
@@ -211,7 +211,7 @@ let test_video_send_packet_stacking () =
   let sink = Host.create sim ~name:"sink" ~addr:addr_b in
   let nic, _ = Host.wire server sink ~kind:Nic.T3 in
   let disk = Machine.add_disk ~blocks:16384 server.Host.machine in
-  let bc = Spin_fs.Block_cache.create server.Host.machine server.Host.sched disk in
+  let bc = Spin_fs.Block_cache.create ~phys:server.Host.phys server.Host.machine server.Host.sched disk in
   let v = ref None in
   ignore (Sched.spawn server.Host.sched ~name:"setup" (fun () ->
     let fs = Spin_fs.Simple_fs.format bc ~blocks:16384 () in

@@ -505,7 +505,7 @@ let http_fixture () =
   let client = Host.create sim ~name:"client" ~addr:addr_a in
   ignore (Host.wire client server ~kind:Nic.Lance);
   let disk = Machine.add_disk ~blocks:16384 server.Host.machine in
-  let bc = Spin_fs.Block_cache.create server.Host.machine server.Host.sched disk in
+  let bc = Spin_fs.Block_cache.create ~phys:server.Host.phys server.Host.machine server.Host.sched disk in
   (sim, client, server, bc)
 
 let http_get client server_addr path =
@@ -532,7 +532,7 @@ let test_http_serves_cached_file () =
     Spin_fs.Simple_fs.create fs ~name:"index.html";
     Spin_fs.Simple_fs.write fs ~name:"index.html"
       (Bytes.of_string "<h1>SPIN</h1>");
-    let cache = Spin_fs.File_cache.create fs in
+    let cache = Spin_fs.File_cache.create ~phys:server.Host.phys fs in
     http := Some (Http.create server.Host.machine server.Host.sched server.Host.tcp cache)));
   Host.run_all [ client; server ];
   let body = ref None in
@@ -555,7 +555,7 @@ let test_http_404 () =
   let http = ref None in
   ignore (Sched.spawn server.Host.sched ~name:"setup" (fun () ->
     let fs = Spin_fs.Simple_fs.format bc ~blocks:16384 () in
-    let cache = Spin_fs.File_cache.create fs in
+    let cache = Spin_fs.File_cache.create ~phys:server.Host.phys fs in
     http := Some (Http.create server.Host.machine server.Host.sched server.Host.tcp cache)));
   Host.run_all [ client; server ];
   let body = ref None in
@@ -574,7 +574,7 @@ let test_http_cache_hit_faster_than_miss () =
     let fs = Spin_fs.Simple_fs.format bc ~blocks:16384 () in
     Spin_fs.Simple_fs.create fs ~name:"obj";
     Spin_fs.Simple_fs.write fs ~name:"obj" (Bytes.create 8_000);
-    let cache = Spin_fs.File_cache.create fs in
+    let cache = Spin_fs.File_cache.create ~phys:server.Host.phys fs in
     ignore (Http.create server.Host.machine server.Host.sched server.Host.tcp cache)));
   Host.run_all [ client; server ];
   let first = ref 0. and second = ref 0. in

@@ -21,7 +21,7 @@ let fixture () =
   let client = Host.create sim ~name:"nfs-client" ~addr:addr_client in
   ignore (Host.wire server client ~kind:Nic.Fore_atm);
   let disk = Machine.add_disk ~blocks:16384 server.Host.machine in
-  let bc = Spin_fs.Block_cache.create server.Host.machine server.Host.sched disk in
+  let bc = Spin_fs.Block_cache.create ~phys:server.Host.phys server.Host.machine server.Host.sched disk in
   let srv = ref None in
   ignore (Sched.spawn server.Host.sched ~name:"setup" (fun () ->
     let fs = Spin_fs.Simple_fs.format bc ~blocks:16384 () in

@@ -74,8 +74,9 @@ let prop_fs_matches_model =
       let m = Machine.create ~name:"p" ~mem_mb:4 () in
       let d = Dispatcher.create m.Machine.clock in
       let sched = Sched.create m.Machine.sim d in
+      let phys = Spin_vm.Phys_addr.create m d in
       let disk = Machine.add_disk ~blocks:8192 m in
-      let cache = Spin_fs.Block_cache.create m sched disk in
+      let cache = Spin_fs.Block_cache.create ~phys m sched disk in
       let good = ref true in
       ignore (Sched.spawn sched ~name:"fs" (fun () ->
         let fs = Simple_fs.format cache ~blocks:8192 () in

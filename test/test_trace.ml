@@ -251,13 +251,13 @@ let test_http_request_traced_across_layers () =
   ignore (Host.wire client server ~kind:Nic.Lance);
   let disk = Machine.add_disk ~blocks:16384 server.Host.machine in
   let bc =
-    Spin_fs.Block_cache.create server.Host.machine server.Host.sched disk in
+    Spin_fs.Block_cache.create ~phys:server.Host.phys server.Host.machine server.Host.sched disk in
   ignore (Sched.spawn server.Host.sched ~name:"setup" (fun () ->
     let fs = Spin_fs.Simple_fs.format bc ~blocks:16384 () in
     Spin_fs.Simple_fs.create fs ~name:"index.html";
     Spin_fs.Simple_fs.write fs ~name:"index.html"
       (Bytes.of_string "<h1>traced</h1>");
-    let cache = Spin_fs.File_cache.create fs in
+    let cache = Spin_fs.File_cache.create ~phys:server.Host.phys fs in
     ignore (Http.create ~dispatcher:server.Host.dispatcher
               server.Host.machine server.Host.sched server.Host.tcp cache)));
   Host.run_all [ client; server ];

@@ -77,6 +77,93 @@ let test_phys_out_of_memory () =
     ignore (Phys_addr.allocate vm.Vm.phys ~owner:"hog"
               ~bytes:((total + 1) * Addr.page_size)))
 
+let test_phys_reclaim_reentrancy () =
+  (* Regression: a Reclaim handler that itself allocates must see a
+     clean Out_of_memory while reclamation is in progress, never
+     recurse back into the protocol. *)
+  let _, _, vm = boot () in
+  let phys = vm.Vm.phys in
+  let total = Phys_addr.free_pages phys in
+  let _hog =
+    Phys_addr.allocate phys ~owner:"hog" ~bytes:(total * Addr.page_size) in
+  let saw_clean_oom = ref false in
+  ignore (Dispatcher.install_exn (Phys_addr.reclaim_event phys)
+            ~installer:"evil" (fun candidate ->
+              (match
+                 Phys_addr.allocate phys ~owner:"evil" ~bytes:Addr.page_size
+               with
+               | _ -> ()
+               | exception Phys_addr.Out_of_memory -> saw_clean_oom := true);
+              candidate));
+  let extra = Phys_addr.allocate phys ~owner:"app" ~bytes:Addr.page_size in
+  check bool "nested allocation got a clean Out_of_memory" true !saw_clean_oom;
+  check bool "outer allocation still served" true (Capability.is_valid extra);
+  check int "one reclamation, not a recursive storm" 1 (Phys_addr.reclaims phys);
+  check int "the nested failure was counted" 1 (Phys_addr.oom_failures phys)
+
+let test_phys_second_chance_order () =
+  (* Vm.create installs the second-chance policy: a referenced page
+     survives one sweep at the cost of its bit; the oldest
+     unreferenced page goes first. *)
+  let _, _, vm = boot () in
+  let phys = vm.Vm.phys in
+  let a = Phys_addr.allocate phys ~owner:"t" ~bytes:Addr.page_size in
+  let b = Phys_addr.allocate phys ~owner:"t" ~bytes:Addr.page_size in
+  let c = Phys_addr.allocate phys ~owner:"t" ~bytes:Addr.page_size in
+  Phys_addr.touch phys a;
+  let victim_is expect = function
+    | Some v -> Capability.equal v expect
+    | None -> false in
+  check bool "a spared; b is the oldest unreferenced" true
+    (victim_is b (Phys_addr.force_reclaim phys));
+  check bool "a's bit was consumed: a goes next" true
+    (victim_is a (Phys_addr.force_reclaim phys));
+  check bool "then c" true (victim_is c (Phys_addr.force_reclaim phys));
+  check bool "nothing live: force_reclaim declines" true
+    (Phys_addr.force_reclaim phys = None);
+  check bool "and declines again (idempotent)" true
+    (Phys_addr.force_reclaim phys = None);
+  check int "exactly three reclaims recorded" 3 (Phys_addr.reclaims phys)
+
+let test_phys_invalidate_chain () =
+  (* add_invalidate is a chain, not a slot: every subscriber sees the
+     victim while its capability is still valid. *)
+  let _, _, vm = boot () in
+  let phys = vm.Vm.phys in
+  let p = Phys_addr.allocate phys ~owner:"t" ~bytes:Addr.page_size in
+  let first = ref None and second = ref 0 in
+  Phys_addr.add_invalidate phys (fun victim ->
+    first := Some (Capability.is_valid victim && Capability.equal victim p));
+  Phys_addr.add_invalidate phys (fun _ -> incr second);
+  ignore (Phys_addr.force_reclaim phys);
+  check (option bool) "first subscriber saw the live victim" (Some true) !first;
+  check int "second subscriber also ran" 1 !second;
+  check bool "frames really went back" false (Capability.is_valid p)
+
+let test_phys_domain_policy () =
+  (* A per-domain policy overrides the global second-chance selector
+     for that domain's allocations only. *)
+  let _, _, vm = boot () in
+  let phys = vm.Vm.phys in
+  let total = Phys_addr.free_pages phys in
+  let old = Phys_addr.allocate phys ~owner:"t" ~bytes:Addr.page_size in
+  let young =
+    Phys_addr.allocate phys ~owner:"t" ~bytes:((total - 1) * Addr.page_size) in
+  (* The video domain prefers sacrificing the youngest allocation. *)
+  ignore (Reclaim_policy.install_for_domain phys ~domain:"video"
+            (fun _ -> Some young));
+  let p = Phys_addr.allocate phys ~owner:"video" ~bytes:Addr.page_size in
+  check bool "domain policy chose the young run" false
+    (Capability.is_valid young);
+  check bool "the old page survived" true (Capability.is_valid old);
+  Phys_addr.deallocate phys p;
+  (* Another domain still gets the global policy: the oldest goes. *)
+  let fill = Phys_addr.allocate phys ~owner:"t"
+      ~bytes:(Phys_addr.free_pages phys * Addr.page_size) in
+  let q = Phys_addr.allocate phys ~owner:"app" ~bytes:Addr.page_size in
+  check bool "global policy took the oldest" false (Capability.is_valid old);
+  ignore fill; ignore q
+
 (* ------------------------------------------------------------------ *)
 (* Virt_addr                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -391,6 +478,70 @@ let test_pager_takes_disk_time () =
   check bool "disk latency visible" true (Clock.now_us m.Machine.clock > 10_000.)
 
 (* ------------------------------------------------------------------ *)
+(* Pageout daemon                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pageout_low_water () =
+  let m, vm, sched, _ = boot_with_sched () in
+  let phys = vm.Vm.phys in
+  let total = Phys_addr.total_pages phys in
+  (* Drive the pool under the low-water mark with hog allocations. *)
+  let hogs = ref [] in
+  for _ = 1 to total - 4 do
+    hogs :=
+      Phys_addr.allocate phys ~owner:"hog" ~bytes:Addr.page_size :: !hogs
+  done;
+  let pd =
+    Pageout.create ~low_water:8 ~high_water:16 ~interval_us:50. sched phys in
+  Pageout.start pd;
+  Sched.run sched
+    ~until:(fun () ->
+      Phys_addr.free_pages phys >= Pageout.high_water pd
+      || Clock.now_us m.Machine.clock > 1_000_000.);
+  Pageout.stop pd;
+  Sched.run sched;                            (* drain the daemon strand *)
+  check bool "daemon released pages" true (Pageout.released pd > 0);
+  check bool "pool recovered past high water" true
+    (Phys_addr.free_pages phys >= Pageout.high_water pd);
+  check bool "it scanned at least once" true (Pageout.scans pd >= 1)
+
+let test_pageout_pager_source () =
+  (* The daemon asks registered sources (the pager's write-back
+     eviction) before forcing the reclamation protocol. *)
+  let m, vm, sched, disk = boot_with_sched () in
+  let phys = vm.Vm.phys in
+  let pager = Pager.create vm sched ~disk in
+  let ctx = Translation.create_context vm.Vm.trans ~owner:"app" in
+  let vaddr = Virt_addr.allocate vm.Vm.virt ~asid:(Translation.context_id ctx)
+      ~owner:"app" ~bytes:(4 * Addr.page_size) in
+  Pager.make_pageable pager ctx vaddr;
+  let va0 = (Virt_addr.region vaddr).Virt_addr.va in
+  let pd =
+    Pageout.create ~low_water:8 ~high_water:10 ~interval_us:50. sched phys in
+  Pageout.add_source pd ~name:"pager" (fun () -> Pager.evict_any pager);
+  ignore (Sched.spawn sched ~name:"app" (fun () ->
+    Cpu.set_context m.Machine.cpu (Some (Translation.mmu_context ctx));
+    for i = 0 to 3 do
+      Cpu.store_word m.Machine.cpu ~va:(va0 + (i * Addr.page_size))
+        (Int64.of_int (i + 1))
+    done;
+    (* Leave the pool just under the low-water mark. *)
+    let spare = Phys_addr.free_pages phys - 6 in
+    for _ = 1 to spare do
+      ignore (Phys_addr.allocate phys ~owner:"hog" ~bytes:Addr.page_size)
+    done;
+    Pageout.start pd));
+  Sched.run sched
+    ~until:(fun () ->
+      Pager.pageouts pager > 0
+      || Clock.now_us m.Machine.clock > 1_000_000.);
+  Pageout.stop pd;
+  Sched.run sched;
+  check bool "daemon paged out through the source" true
+    (Pager.pageouts pager > 0);
+  check bool "the daemon accounted the release" true (Pageout.released pd > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Vm_ext (Table 4 extension)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -450,6 +601,12 @@ let () =
           test_case "contiguous attribute" `Quick test_phys_contiguous;
           test_case "reclaim event with volunteer" `Quick test_phys_reclaim_event;
           test_case "out of memory" `Quick test_phys_out_of_memory;
+          test_case "reclaim handler re-entrancy" `Quick
+            test_phys_reclaim_reentrancy;
+          test_case "second-chance victim order" `Quick
+            test_phys_second_chance_order;
+          test_case "invalidate chain" `Quick test_phys_invalidate_chain;
+          test_case "per-domain policy" `Quick test_phys_domain_policy;
         ] );
       ( "virt_addr",
         [
@@ -485,6 +642,11 @@ let () =
         [
           test_case "demand paging roundtrip" `Quick test_pager_demand_paging;
           test_case "refault pays disk latency" `Quick test_pager_takes_disk_time;
+        ] );
+      ( "pageout",
+        [
+          test_case "low-water daemon" `Quick test_pageout_low_water;
+          test_case "pager as release source" `Quick test_pageout_pager_source;
         ] );
       ( "vm_ext",
         [
