@@ -298,6 +298,44 @@ let trace_overhead () =
   Report.metric ~name:"fast path, tracer off" ~unit_:"host-us" off;
   Report.metric ~name:"fast path, tracer on" ~unit_:"host-us" on_
 
+(* ------------------------------------------------------------------ *)
+(* Ablation 6: schedule-fuzzing hooks when fuzzing is off             *)
+(* ------------------------------------------------------------------ *)
+
+(* The fuzzer's instrumentation (selector, probes, the preemption
+   clock hook) must be free when not fuzzing: a kernel that had a
+   fuzzer attached and detached runs the same workload in exactly the
+   same virtual time as one that never saw a fuzzer. *)
+let fuzz_overhead () =
+  Report.header "Ablation: schedule-fuzzing hooks, fuzzing disabled";
+  let workload ~fuzzed =
+    let k = Kernel.boot ~name:"abl8" () in
+    let fz =
+      if fuzzed then Some (Kernel.attach_fuzz ~seed:1 k) else None in
+    (match fz with Some fz -> Spin_sched.Sched_fuzz.detach fz | None -> ());
+    let clock = k.Kernel.machine.Machine.clock in
+    let v0 = Clock.now clock in
+    for i = 1 to 4 do
+      ignore (Kernel.spawn k ~name:(Printf.sprintf "w%d" i) (fun () ->
+        for _ = 1 to 25 do
+          Spin_sched.Sched.yield k.Kernel.sched;
+          Spin_sched.Sched.sleep_us k.Kernel.sched 2.0
+        done))
+    done;
+    Kernel.run k;
+    Clock.now clock - v0 in
+  let plain = workload ~fuzzed:false in
+  let detached = workload ~fuzzed:true in
+  Printf.printf "  virtual cycles, 4 strands x 25 yield+sleep rounds:\n";
+  Printf.printf "    never attached:      %10d\n" plain;
+  Printf.printf "    attached, detached:  %10d  %s\n" detached
+    (if plain = detached then "(equal: disabled fuzzing is free)"
+     else "(MISMATCH: fuzz hooks perturbed the schedule!)");
+  Report.metric ~name:"fuzz off, never attached" ~unit_:"cycles"
+    (float_of_int plain);
+  Report.metric ~name:"fuzz off, detached" ~unit_:"cycles"
+    (float_of_int detached)
+
 let run () =
   colocation ();
   fast_path ();
@@ -305,4 +343,5 @@ let run () =
   indexed_dispatch ();
   little_language ();
   gc_pause ();
-  trace_overhead ()
+  trace_overhead ();
+  fuzz_overhead ()

@@ -1,0 +1,177 @@
+(* Schedule-fuzzing soak: the HTTP fixture of the load experiment plus
+   sleepers and kthread synchronization, run under Sched_fuzz's random
+   scheduler — one freshly built fixture per seed, so a seed names one
+   schedule exactly.
+
+     dune exec bench/main.exe -- fuzz --seeds 200
+     dune exec bench/main.exe -- fuzz --replay 17
+
+   A campaign runs seeds 1..N and exits nonzero on the first seed with
+   invariant violations, after writing fuzz-artifacts/failing-seed.txt
+   and a Chrome trace of the deterministic replay. *)
+
+module Sched = Spin_sched.Sched
+module Strand = Spin_sched.Strand
+module Kthread = Spin_sched.Kthread
+module Sched_fuzz = Spin_sched.Sched_fuzz
+module Clock = Spin_machine.Clock
+module Machine = Spin_machine.Machine
+module Trace = Spin_machine.Trace
+open Spin_net
+
+(* Set by the main.exe argument parser. *)
+let seeds = ref 50
+let replay = ref None
+
+let artifact_dir = "fuzz-artifacts"
+
+(* The per-host input strands park forever waiting for packets; being
+   blocked at quiescence is their job, not a lost wakeup. *)
+let daemon s =
+  let name = s.Strand.name in
+  let suffix = "-input" in
+  let n = String.length name and k = String.length suffix in
+  n >= k && String.sub name (n - k) k = suffix
+
+let attach_host ~seed host =
+  Sched_fuzz.attach
+    ~cpu:host.Host.machine.Machine.cpu
+    ~dispatcher:host.Host.dispatcher
+    ~seed host.Host.sched
+
+(* One seed = one schedule of this workload: 4 HTTP client loops
+   against the in-kernel server, timed sleepers on the server, and a
+   mutex/condvar producer-consumer pair on the client. *)
+let run_seed ~seed ~traced =
+  let clock, client, server = B_extra.web_fixture () in
+  let tr = Trace.of_clock clock in
+  if traced then Trace.enable tr;
+  (* Distinct streams per host; both derived from the seed alone. *)
+  let fz_client = attach_host ~seed client in
+  let fz_server = attach_host ~seed:(seed lxor 0x5F3759DF) server in
+  for c = 1 to 4 do
+    ignore (Sched.spawn client.Host.sched
+              ~name:(Printf.sprintf "fuzz-client-%d" c) (fun () ->
+      for _ = 1 to 5 do B_extra.http_get clock client done))
+  done;
+  for i = 1 to 3 do
+    ignore (Sched.spawn server.Host.sched
+              ~name:(Printf.sprintf "fuzz-sleeper-%d" i) (fun () ->
+      for _ = 1 to 5 do
+        Sched.sleep_us server.Host.sched (7.5 *. float_of_int i);
+        Sched.yield server.Host.sched
+      done))
+  done;
+  let mutex = Kthread.Mutex.create () in
+  let cond = Kthread.Condition.create () in
+  let queue = Queue.create () in
+  let consumed = ref 0 in
+  let items = 20 in
+  ignore (Sched.spawn client.Host.sched ~name:"fuzz-producer" (fun () ->
+    for i = 1 to items do
+      Kthread.Mutex.with_lock client.Host.sched mutex (fun () ->
+        Queue.add i queue;
+        Kthread.Condition.signal client.Host.sched cond);
+      Sched.yield client.Host.sched
+    done));
+  for c = 1 to 2 do
+    ignore (Sched.spawn client.Host.sched
+              ~name:(Printf.sprintf "fuzz-consumer-%d" c) (fun () ->
+      let continue = ref true in
+      while !continue do
+        Kthread.Mutex.with_lock client.Host.sched mutex (fun () ->
+          while Queue.is_empty queue && !consumed < items do
+            Kthread.Condition.wait client.Host.sched mutex cond
+          done;
+          if Queue.is_empty queue then continue := false
+          else begin
+            ignore (Queue.pop queue);
+            incr consumed;
+            if !consumed >= items then
+              Kthread.Condition.broadcast client.Host.sched cond
+          end)
+      done))
+  done;
+  Host.run_all [ client; server ];
+  Sched_fuzz.check_quiescence ~exempt:daemon fz_client;
+  Sched_fuzz.check_quiescence ~exempt:daemon fz_server;
+  if !consumed <> items then
+    (* The workload itself lost work — count it with the violations. *)
+    Printf.printf "  seed %d: consumer finished %d/%d items\n" seed !consumed
+      items;
+  let violations =
+    Sched_fuzz.violations fz_client @ Sched_fuzz.violations fz_server in
+  let stats = [ Sched_fuzz.stats fz_client; Sched_fuzz.stats fz_server ] in
+  Sched_fuzz.detach fz_client;
+  Sched_fuzz.detach fz_server;
+  (violations, stats, tr)
+
+let write_artifacts ~seed violations =
+  (try Sys.mkdir artifact_dir 0o755 with Sys_error _ -> ());
+  let seed_file = Filename.concat artifact_dir "failing-seed.txt" in
+  let oc = open_out seed_file in
+  Printf.fprintf oc "seed %d\nreplay: dune exec bench/main.exe -- fuzz --replay %d\n\n"
+    seed seed;
+  List.iter (fun v -> Printf.fprintf oc "%s\n" v) violations;
+  close_out oc;
+  (* The schedule is a pure function of the seed: re-run it traced and
+     keep the Chrome timeline of the failing interleaving. *)
+  let _, _, tr = run_seed ~seed ~traced:true in
+  let trace_file =
+    Filename.concat artifact_dir (Printf.sprintf "seed-%d.trace.json" seed) in
+  let oc = open_out trace_file in
+  output_string oc (Trace.to_chrome_json tr);
+  close_out oc;
+  Printf.printf "  artifacts: %s, %s\n" seed_file trace_file
+
+let report_seed ~seed (violations, stats, _) =
+  let total =
+    List.fold_left (fun a s -> a + s.Sched_fuzz.violations) 0 stats in
+  if total > 0 then begin
+    Printf.printf "  seed %d: %d violation(s)\n" seed total;
+    List.iter (fun v -> Printf.printf "    %s\n" v) violations
+  end;
+  total
+
+let run () =
+  Report.header "Schedule fuzzing (seeded, deterministic replay)";
+  match !replay with
+  | Some seed ->
+    Printf.printf "  replaying seed %d\n" seed;
+    let result = run_seed ~seed ~traced:false in
+    let bad = report_seed ~seed result in
+    if bad = 0 then Printf.printf "  seed %d: clean\n" seed
+    else begin
+      write_artifacts ~seed (let v, _, _ = result in v);
+      Report.write_json ();
+      exit 1
+    end
+  | None ->
+    let n = !seeds in
+    let decisions = ref 0 and injected = ref 0 in
+    let failed = ref None in
+    let s = ref 1 in
+    while !failed = None && !s <= n do
+      let seed = !s in
+      let (violations, stats, _) as result = run_seed ~seed ~traced:false in
+      List.iter
+        (fun st ->
+          decisions := !decisions + st.Sched_fuzz.decisions;
+          injected := !injected + st.Sched_fuzz.injected_preempts)
+        stats;
+      if report_seed ~seed result > 0 then failed := Some (seed, violations);
+      incr s
+    done;
+    let ran = !s - 1 in
+    Printf.printf
+      "  %d seed(s): %d scheduling decisions, %d injected preemptions\n"
+      ran !decisions !injected;
+    Report.metric ~name:"seeds run" ~unit_:"count" (float_of_int ran);
+    Report.metric ~name:"scheduling decisions" ~unit_:"count"
+      (float_of_int !decisions);
+    (match !failed with
+     | None -> Printf.printf "  no invariant violations\n"
+     | Some (seed, violations) ->
+       write_artifacts ~seed violations;
+       Report.write_json ();
+       exit 1)

@@ -27,6 +27,7 @@ let experiments = [
   ("load", "HTTP load scaling over the zero-copy path (5.4)", B_load.run);
   ("mem", "memory pressure and reclamation (5.2)", B_mem.run);
   ("ablation", "design-choice ablations", B_ablation.run);
+  ("fuzz", "schedule fuzzing with seeded replay", B_fuzz.run);
   ("bechamel", "host-time simulation costs", B_bechamel.run);
 ]
 
@@ -35,8 +36,10 @@ let usage () =
   print_endline "experiments:";
   List.iter (fun (name, desc, _) -> Printf.printf "  %-12s %s\n" name desc)
     experiments;
-  print_endline "  all          every experiment except bechamel";
-  print_endline "  --json FILE  also write measured metrics to FILE"
+  print_endline "  all          every experiment except bechamel and fuzz";
+  print_endline "  --json FILE  also write measured metrics to FILE";
+  print_endline "  --seeds N    fuzz: run seeds 1..N (default 50)";
+  print_endline "  --replay S   fuzz: replay one seed deterministically"
 
 let run_one (name, _, f) =
   Report.experiment name;
@@ -44,7 +47,8 @@ let run_one (name, _, f) =
 
 let run_all () =
   List.iter
-    (fun ((name, _, _) as e) -> if name <> "bechamel" then run_one e)
+    (fun ((name, _, _) as e) ->
+      if name <> "bechamel" && name <> "fuzz" then run_one e)
     experiments
 
 let () =
@@ -52,7 +56,22 @@ let () =
     | "--json" :: path :: rest -> Report.set_json path; parse rest
     | "--json" :: [] ->
       print_endline "--json needs a file argument"; usage (); exit 1
-    | args -> args in
+    | "--seeds" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n > 0 -> B_fuzz.seeds := n; parse rest
+       | Some _ | None ->
+         print_endline "--seeds needs a positive integer"; usage (); exit 1)
+    | "--seeds" :: [] ->
+      print_endline "--seeds needs an integer argument"; usage (); exit 1
+    | "--replay" :: s :: rest ->
+      (match int_of_string_opt s with
+       | Some s -> B_fuzz.replay := Some s; parse rest
+       | None ->
+         print_endline "--replay needs an integer seed"; usage (); exit 1)
+    | "--replay" :: [] ->
+      print_endline "--replay needs a seed argument"; usage (); exit 1
+    | arg :: rest -> arg :: parse rest
+    | [] -> [] in
   (match parse (List.tl (Array.to_list Sys.argv)) with
    | [] | [ "all" ] -> run_all ()
    | [ "help" ] | [ "--help" ] -> usage ()

@@ -43,6 +43,7 @@ type t = {
   deferred : (unit -> unit) Queue.t;
   mutable registry : registration list;   (* reverse declaration order *)
   mutable on_fault : (fault -> unit) option;
+  mutable on_violation : (string -> unit) option;
   mutable next_handler_id : int;
 }
 
@@ -51,6 +52,7 @@ and registration = {
   reg_owner : string;
   reg_installers : unit -> string list;
   reg_remove : string -> int;
+  reg_audit : (string -> unit) -> unit;
 }
 
 type ('a, 'r) handler = {
@@ -73,6 +75,7 @@ type stats = {
   guard_rejections : int;
   aborted : int;
   handler_failures : int;
+  stale_skips : int;
 }
 
 type 'a decision =
@@ -103,12 +106,16 @@ type ('a, 'r) event = {
      is a flag flip), so [Hashtbl.length indexed] counts buckets ever
      used, not live handlers — the fast-path guard must not use it. *)
   mutable n_indexed_active : int;
+  (* Dispatches currently iterating this event's handler list; the
+     invariant audit requires 0 at quiescence. *)
+  mutable in_flight : int;
   mutable s_raises : int;
   mutable s_fast : int;
   mutable s_invocations : int;
   mutable s_guard_rejections : int;
   mutable s_aborted : int;
   mutable s_failed : int;
+  mutable s_stale_skips : int;
 }
 
 exception No_handler of string
@@ -116,13 +123,18 @@ exception No_handler of string
 let create ?(costs = default_costs) clock =
   { clock; costs; tracer = Trace.of_clock clock; spawn = None;
     deferred = Queue.create (); registry = [];
-    on_fault = None; next_handler_id = 0 }
+    on_fault = None; on_violation = None; next_handler_id = 0 }
 
 let tracer t = t.tracer
 
 let set_async_spawn t f = t.spawn <- Some f
 
 let set_fault_handler t f = t.on_fault <- Some f
+
+let set_violation_hook t f = t.on_violation <- f
+
+let report_violation t msg =
+  match t.on_violation with Some f -> f msg | None -> ()
 
 let fresh_handler_id t =
   let id = t.next_handler_id in
@@ -164,9 +176,10 @@ let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary defau
     { e_name = name; e_owner = owner; e_ty = ty; disp = t; combine; auth;
       index; indexed = Hashtbl.create 8;
       allow_remove; default_handler; primary_active = true; extra = [];
-      n_indexed_active = 0;
+      n_indexed_active = 0; in_flight = 0;
       s_raises = 0; s_fast = 0; s_invocations = 0;
-      s_guard_rejections = 0; s_aborted = 0; s_failed = 0 } in
+      s_guard_rejections = 0; s_aborted = 0; s_failed = 0;
+      s_stale_skips = 0 } in
   let reg_installers () =
     let primary = if e.primary_active then [ owner ] else [] in
     primary @ List.filter_map
@@ -192,8 +205,36 @@ let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary defau
           !b)
       e.indexed;
     !removed in
+  (* Structural-coherence audit, type-erased so the checkers can sweep
+     every event: stale inactive handlers in the linear list, a drifted
+     active-indexed count (the fast-path guard feeds on it), or a
+     dispatch recorded as still in flight all indicate handler-list
+     mutation went around the safe paths. *)
+  let reg_audit report =
+    List.iter
+      (fun h ->
+        if not h.active then
+          report
+            (Printf.sprintf
+               "%s: inactive handler from %s lingers in the handler list"
+               name h.installer))
+      e.extra;
+    let live =
+      Hashtbl.fold
+        (fun _ b acc ->
+          acc + List.length (List.filter (fun h -> h.active) !b))
+        e.indexed 0 in
+    if live <> e.n_indexed_active then
+      report
+        (Printf.sprintf "%s: indexed-active count %d disagrees with recount %d"
+           name e.n_indexed_active live);
+    if e.in_flight <> 0 then
+      report
+        (Printf.sprintf "%s: %d raise(s) still marked in flight at audit"
+           name e.in_flight) in
   t.registry <-
-    { reg_name = name; reg_owner = owner; reg_installers; reg_remove }
+    { reg_name = name; reg_owner = owner; reg_installers; reg_remove;
+      reg_audit }
     :: t.registry;
   e
 
@@ -299,8 +340,15 @@ let guards_pass e h arg =
       end in
   eval h.guards
 
+(* The thunk runs after the raise returns — on a freshly spawned strand
+   or at the next [flush_deferred] — so the handler can be uninstalled
+   (or its whole domain quarantined) in between. Re-check [active] at
+   run time: dispatching to a dead handler would resurrect exactly the
+   extension the supervisor evicted. *)
 let run_async e h arg =
-  let thunk () = ignore (h.fn arg) in
+  let thunk () =
+    if h.active then ignore (h.fn arg)
+    else e.s_stale_skips <- e.s_stale_skips + 1 in
   match e.disp.spawn with
   | Some spawn -> spawn thunk
   | None -> Queue.add thunk e.disp.deferred
@@ -326,6 +374,14 @@ let report_fault e h kind ~removed =
    as a direct procedure call's would. *)
 let run_sync e h arg acc =
   let clock = e.disp.clock in
+  (* Checker probe: every synchronous invocation funnels through here,
+     so an inactive handler reaching this point means some dispatch
+     path skipped the active filter — report it to the concurrency
+     checkers rather than fail silently. *)
+  if not h.active && h != e.default_handler then
+    report_violation e.disp
+      (Printf.sprintf "%s: invoking inactive handler from %s"
+         e.e_name h.installer);
   e.s_invocations <- e.s_invocations + 1;
   let invoke () =
     if h == e.default_handler then Some (h.fn arg)
@@ -369,6 +425,15 @@ let raise_event e arg =
   let costs = e.disp.costs in
   let tr = e.disp.tracer in
   e.s_raises <- e.s_raises + 1;
+  (* The handler list is snapshotted below ([active_handlers] and the
+     bucket filter build fresh lists), and every retirement site flips
+     [active] before unlinking, so mutation during the dispatch — a
+     handler uninstalling its neighbor, a supervisor sweep triggered by
+     an earlier handler's fault — is honored by the per-handler
+     [active] checks without corrupting the iteration. [in_flight]
+     records the dispatch for the invariant audit. *)
+  e.in_flight <- e.in_flight + 1;
+  Fun.protect ~finally:(fun () -> e.in_flight <- e.in_flight - 1) @@ fun () ->
   match active_handlers e with
   | [ h ] when h.guards = [] && not h.async && h.bound = None
             && e.n_indexed_active = 0 ->
@@ -460,7 +525,10 @@ let stats e = {
   guard_rejections = e.s_guard_rejections;
   aborted = e.s_aborted;
   handler_failures = e.s_failed;
+  stale_skips = e.s_stale_skips;
 }
+
+let audit t report = List.iter (fun r -> r.reg_audit report) t.registry
 
 let topology t =
   List.rev_map

@@ -88,6 +88,27 @@ val set_fault_handler : t -> (fault -> unit) -> unit
     report; the primary implementation is trusted and its exceptions
     propagate to the raiser. *)
 
+(** {2 Concurrency invariant probes}
+
+    Hooks for the schedule-fuzzing checkers ({!Spin_sched.Sched_fuzz}
+    installs them): structural invariants of the handler lists are
+    verified without perturbing dispatch. *)
+
+val set_violation_hook : t -> (string -> unit) option -> unit
+(** Installs (or clears) the invariant-violation sink. The dispatcher
+    reports through it when an internal invariant breaks — e.g. an
+    inactive (uninstalled or quarantined) handler reaching an
+    invocation site, which means a dispatch path skipped the
+    active-handler filter. Charges no virtual cycles. *)
+
+val audit : t -> (string -> unit) -> unit
+(** Sweeps every declared event and reports structural violations:
+    inactive handlers lingering in a linear handler list, an
+    active-indexed count that disagrees with a recount of the index
+    buckets (the fast-path guard feeds on that count), or dispatches
+    still marked in flight at a quiescent point. Cheap enough to run
+    after every test; the fuzzer runs it at every scheduling point. *)
+
 val flush_deferred : t -> int
 (** Runs handlers deferred while no spawn hook was installed; returns
     how many ran. *)
@@ -228,6 +249,11 @@ type stats = {
       failure is isolated to the extension (paper, section 4.3).
       Primary-handler exceptions propagate (the default implementation
       is trusted). *)
+  stale_skips : int;
+  (** asynchronous handler invocations skipped because the handler was
+      uninstalled (or its domain quarantined) between the raise and the
+      deferred thunk running — the dispatch-during-uninstall race,
+      detected and resolved in the handler's disfavor. *)
 }
 
 val stats : ('a, 'r) event -> stats

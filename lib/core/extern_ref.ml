@@ -14,8 +14,6 @@ let internalize t tag i =
   | None -> None
   | Some u -> Univ.unpack tag u
 
-let recover = internalize
-
 let release t i = Spin_dstruct.Idtable.remove t.table i
 
 let live t = Spin_dstruct.Idtable.length t.table

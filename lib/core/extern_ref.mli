@@ -22,10 +22,6 @@ val internalize : t -> 'a Univ.tag -> int -> 'a option
     (an index externalized as one resource type cannot be
     internalized as another). *)
 
-val recover : t -> 'a Univ.tag -> int -> 'a option
-[@@ocaml.deprecated "use Extern_ref.internalize (paper section 3.1)"]
-(** The pre-rename name of {!internalize}; one release of grace. *)
-
 val release : t -> int -> unit
 
 val live : t -> int

@@ -11,7 +11,7 @@ module Phys_addr = Spin_vm.Phys_addr
 let blocks_per_page = Addr.page_size / Disk.block_size
 
 type pending = {
-  strand : Spin_sched.Strand.t;
+  mutable waiters : Spin_sched.Strand.t list;
   mutable data : Bytes.t option;
   mutable complete : bool;
 }
@@ -30,7 +30,7 @@ type t = {
   phys : Phys_addr.t;
   owner : string;
   cache : (int, entry) Lru.t;             (* block group -> page *)
-  pending : (int, pending) Hashtbl.t;     (* block -> waiter *)
+  pending : (int, pending) Hashtbl.t;     (* block -> in-flight I/O + waiters *)
   mutable hits : int;
   mutable misses : int;
   mutable reclaims : int;
@@ -82,7 +82,7 @@ let create ?(capacity_blocks = 2048) ?(owner = "BlockCache") ~phys
            Hashtbl.remove t.pending block;
            p.data <- data;
            p.complete <- true;
-           Sched.unblock sched p.strand
+           List.iter (Sched.unblock sched) p.waiters
          | None -> ());
         drain () in
     drain ());
@@ -102,9 +102,21 @@ let create ?(capacity_blocks = 2048) ?(owner = "BlockCache") ~phys
   t
 
 let wait_for t block submit =
-  let p = { strand = Sched.self t.sched; data = None; complete = false } in
-  Hashtbl.replace t.pending block p;
-  submit ();
+  (* Single-flight per block: concurrent waiters join the in-flight
+     request instead of overwriting each other's registration (which
+     left every waiter but the last blocked forever — the lost wakeup
+     the schedule fuzzer finds). *)
+  let p =
+    match Hashtbl.find_opt t.pending block with
+    | Some p ->
+      p.waiters <- Sched.self t.sched :: p.waiters;
+      p
+    | None ->
+      let p = { waiters = [ Sched.self t.sched ]; data = None;
+                complete = false } in
+      Hashtbl.replace t.pending block p;
+      submit ();
+      p in
   (* Wakeups can be spurious (e.g. the caller is a protocol thread
      that network interrupts also unblock): wait for completion. *)
   while not p.complete do
@@ -112,10 +124,13 @@ let wait_for t block submit =
   done;
   p.data
 
-let disk_read t block =
+let rec disk_read t block =
   match wait_for t block (fun () -> Disk.submit_read t.disk ~block ~count:1) with
   | Some data -> data
-  | None -> Bytes.make Disk.block_size '\000'
+  | None ->
+    (* Joined an in-flight write's completion (which carries no data):
+       that I/O is done now, so a fresh read of our own will submit. *)
+    disk_read t block
 
 let group_of block = block / blocks_per_page
 let slot_of block = block mod blocks_per_page
@@ -128,12 +143,21 @@ let read t ~block =
      try to take a page; under hopeless pressure serve uncached. *)
   let fill_new () =
     let data = disk_read t block in
-    (match Phys_addr.allocate t.phys ~owner:t.owner ~bytes:Addr.page_size with
-     | page ->
-       Phys_addr.touch t.phys page;
-       Phys_addr.fill t.phys page ~off:(slot_off block) data;
-       Lru.add t.cache group { page; valid = bit }
-     | exception Phys_addr.Out_of_memory -> t.degraded <- t.degraded + 1);
+    (* Re-check after the wait: a concurrent reader of the same group
+       may have cached it while we slept; a second Lru.add would leak
+       its page (replacement bypasses the eviction callback). *)
+    (match Lru.find t.cache group with
+     | Some e when Capability.is_valid e.page ->
+       Phys_addr.touch t.phys e.page;
+       Phys_addr.fill t.phys e.page ~off:(slot_off block) data;
+       e.valid <- e.valid lor bit
+     | Some _ | None ->
+       (match Phys_addr.allocate t.phys ~owner:t.owner ~bytes:Addr.page_size with
+        | page ->
+          Phys_addr.touch t.phys page;
+          Phys_addr.fill t.phys page ~off:(slot_off block) data;
+          Lru.add t.cache group { page; valid = bit }
+        | exception Phys_addr.Out_of_memory -> t.degraded <- t.degraded + 1));
     data in
   match Lru.find t.cache group with
   | Some e when Capability.is_valid e.page ->

@@ -13,9 +13,14 @@ type t = {
   mutable mode : mode;
   mutable ctx : Mmu.context option;
   mutable handler : (trap -> int) option;
+  mutable trap_entries : int;
+  mutable trap_exits : int;
+  mutable trap_depth : int;
 }
 
-let create clock mmu = { clock; mmu; mode = Kernel; ctx = None; handler = None }
+let create clock mmu =
+  { clock; mmu; mode = Kernel; ctx = None; handler = None;
+    trap_entries = 0; trap_exits = 0; trap_depth = 0 }
 
 let clock t = t.clock
 
@@ -25,18 +30,28 @@ let mode t = t.mode
 
 let set_trap_handler t h = t.handler <- Some h
 
+(* Entry and exit costs are charged symmetrically: the return-from-trap
+   sequence (mode restore, pipeline drain) executes whether the handler
+   returns or raises, so the exit charge lives in the finally block
+   alongside the mode restore. A handler that raises used to skip it,
+   which undercharged every fault path that aborts. *)
 let trap t tr =
   match t.handler with
   | None -> raise (Unhandled_trap tr)
   | Some handler ->
     let cost = Clock.cost t.clock in
     Clock.charge t.clock cost.Cost.trap_entry;
+    t.trap_entries <- t.trap_entries + 1;
+    t.trap_depth <- t.trap_depth + 1;
     let saved = t.mode in
     t.mode <- Kernel;
-    let result =
-      Fun.protect ~finally:(fun () -> t.mode <- saved) (fun () -> handler tr) in
-    Clock.charge t.clock cost.Cost.trap_exit;
-    result
+    Fun.protect
+      ~finally:(fun () ->
+        t.mode <- saved;
+        t.trap_depth <- t.trap_depth - 1;
+        t.trap_exits <- t.trap_exits + 1;
+        Clock.charge t.clock cost.Cost.trap_exit)
+      (fun () -> handler tr)
 
 let syscall t ~number ~args = trap t (Syscall { number; args })
 
@@ -116,3 +131,12 @@ let copy_to_user t ~va src =
       loop (va + chunk) (off + chunk) (remaining - chunk)
     end in
   loop va 0 len
+
+type trap_stats = {
+  entries : int;
+  exits : int;
+  depth : int;
+}
+
+let trap_stats t =
+  { entries = t.trap_entries; exits = t.trap_exits; depth = t.trap_depth }

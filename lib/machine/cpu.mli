@@ -33,7 +33,20 @@ val set_trap_handler : t -> (trap -> int) -> unit
 
 val trap : t -> trap -> int
 (** Takes a trap: charges entry cost, runs the handler in kernel mode,
-    charges exit cost. *)
+    charges exit cost. Entry and exit are charged symmetrically even
+    when the handler raises — the exception propagates after the
+    return-from-trap cost is paid. *)
+
+type trap_stats = {
+  entries : int;   (** trap entries charged since boot *)
+  exits : int;     (** trap exits charged since boot *)
+  depth : int;     (** currently nested traps (0 when quiescent) *)
+}
+
+val trap_stats : t -> trap_stats
+(** Entry/exit accounting for the concurrency invariant checkers:
+    outside an in-flight trap, [entries = exits] must hold — an
+    imbalance means some path skipped the return-from-trap charge. *)
 
 val syscall : t -> number:int -> args:int array -> int
 (** Issues a system call trap from the current mode. *)

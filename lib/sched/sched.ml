@@ -30,7 +30,11 @@ type stats = {
   spawned : int;
   completed : int;
   failed : int;
+  redundant_unblocks : int;
+  dead_unblocks : int;
 }
+
+type selector = Strand.t list -> Strand.t option
 
 type t = {
   sim : Sim.t;
@@ -42,16 +46,37 @@ type t = {
   pending_wakeups : (int, unit) Hashtbl.t;  (* unblocks that raced a block *)
   mutable slice_start : int;
   mutable preempt_requested : bool;
+  (* Scheduler-replacement extension point (paper, section 5.2): when
+     installed, the selector picks the next strand from the runnable
+     set instead of the default highest-priority-FIFO scan. *)
+  mutable selector : selector option;
+  mutable probe : (unit -> unit) option;  (* runs at every scheduling point *)
+  mutable on_violation : (string -> unit) option;
   mutable s_switches : int;
   mutable s_preempt : int;
   mutable s_spawned : int;
   mutable s_completed : int;
   mutable s_failed : int;
+  mutable s_redundant_unblocks : int;
+  mutable s_dead_unblocks : int;
 }
 
 let owner_name = "GlobalSched"
 
+let report_violation t msg =
+  match t.on_violation with Some f -> f msg | None -> ()
+
 let enqueue t s =
+  (* Double enqueue would strand a stale node in the run queue (the
+     handle in [qnode] is overwritten); every enqueue site guards on
+     state, so reaching here queued is an invariant break. *)
+  if s.Strand.qnode <> None then begin
+    report_violation t
+      (Printf.sprintf "double enqueue of %s" (Strand.to_string s));
+    (match s.Strand.qnode with
+     | Some node -> Dllist.remove t.queues.(s.Strand.priority) node
+     | None -> ())
+  end;
   s.Strand.state <- Strand.Runnable;
   s.Strand.qnode <- Some (Dllist.push_back t.queues.(s.Strand.priority) s)
 
@@ -95,7 +120,14 @@ let default_unblock t s =
        interrupt handler woke it early): remember the wakeup so the
        suspension returns immediately instead of losing it. *)
     Hashtbl.replace t.pending_wakeups s.Strand.id ()
-  | Strand.Runnable | Strand.Dead -> ()
+  | Strand.Runnable -> t.s_redundant_unblocks <- t.s_redundant_unblocks + 1
+  | Strand.Dead ->
+    (* Waking the dead is a use-after-free in spirit: some package
+       kept a strand reference past its lifetime (e.g. an uncancelled
+       timer). Harmless here, but the fuzzer flags it. *)
+    t.s_dead_unblocks <- t.s_dead_unblocks + 1;
+    report_violation t
+      (Printf.sprintf "unblock raised on dead strand %s" (Strand.to_string s))
 
 let create ?(params = default_params) sim dispatcher =
   let clock = Sim.clock sim in
@@ -115,8 +147,9 @@ let create ?(params = default_params) sim dispatcher =
          queues = Array.init (Strand.max_priority + 1) (fun _ -> Dllist.create ());
          current = None; pending_wakeups = Hashtbl.create 16;
          slice_start = 0; preempt_requested = false;
+         selector = None; probe = None; on_violation = None;
          s_switches = 0; s_preempt = 0; s_spawned = 0; s_completed = 0;
-         s_failed = 0 }) in
+         s_failed = 0; s_redundant_unblocks = 0; s_dead_unblocks = 0 }) in
   let t = Lazy.force t in
   (* Quantum accounting: request preemption when the slice expires. *)
   Clock.add_hook clock (fun clock ->
@@ -154,6 +187,16 @@ let self t =
   | Some s -> s
   | None -> invalid_arg "Sched.self: not in strand context"
 
+let runnable_strands t =
+  let acc = ref [] in
+  for p = 0 to Strand.max_priority do
+    (* Build high-priority-first, FIFO within a priority level. *)
+    List.iter
+      (fun s -> if s.Strand.state = Strand.Runnable then acc := s :: !acc)
+      (Dllist.to_list t.queues.(Strand.max_priority - p))
+  done;
+  List.rev !acc
+
 let next_runnable t =
   let rec scan p =
     if p < 0 then None
@@ -163,9 +206,34 @@ let next_runnable t =
         s.Strand.qnode <- None;
         if s.Strand.state = Strand.Runnable then Some s else scan p
       | None -> scan (p - 1) in
-  scan Strand.max_priority
+  match t.selector with
+  | None -> scan Strand.max_priority
+  | Some select ->
+    (* Replaced scheduler: the selector sees the whole runnable set
+       (in default scan order) and picks any member. Picks outside the
+       set are invariant breaks; fall back to the default policy. *)
+    (match runnable_strands t with
+     | [] -> scan Strand.max_priority   (* prunes any stale entries *)
+     | candidates ->
+       (match select candidates with
+        | None -> scan Strand.max_priority
+        | Some s ->
+          if s.Strand.state = Strand.Runnable && s.Strand.qnode <> None
+          then (dequeue t s; Some s)
+          else begin
+            report_violation t
+              (Printf.sprintf "selector picked non-runnable strand %s"
+                 (Strand.to_string s));
+            scan Strand.max_priority
+          end))
 
 let finish t s outcome =
+  (* The strand is leaving for good: unlink it from the run queue (a
+     block/unblock race while it ran can leave it queued) and drop any
+     raced wakeup, or the queue retains a dead strand and the next
+     occupant of this id inherits a spurious wakeup. *)
+  dequeue t s;
+  Hashtbl.remove t.pending_wakeups s.Strand.id;
   s.Strand.state <- Strand.Dead;
   (match outcome with
    | Coro.Failed e ->
@@ -214,6 +282,11 @@ let execute t s =
   match outcome with
   | Coro.Done | Coro.Failed _ -> finish t s outcome
   | Coro.Suspended Coro.Yielded ->
+    (* A wakeup recorded while the strand ran is satisfied by it
+       staying runnable (and void if it was blocked after the wakeup):
+       drop it, or the entry goes stale and short-circuits an
+       unrelated later block. *)
+    Hashtbl.remove t.pending_wakeups s.Strand.id;
     if s.Strand.state = Strand.Running then enqueue t s
     (* else: someone blocked it while it was being preempted *)
   | Coro.Suspended Coro.Blocked ->
@@ -225,6 +298,9 @@ let execute t s =
       s.Strand.state <- Strand.Blocked
 
 let step t =
+  (* Scheduling point: checkers observe the quiescent-between-slices
+     state here (no strand is Running). *)
+  (match t.probe with Some f -> f () | None -> ());
   match next_runnable t with
   | Some s -> execute t s; true
   | None -> false
@@ -254,11 +330,15 @@ let sleep_us t us =
   let s = self t in
   let deadline =
     Clock.now t.clock + Cost.us_to_cycles (Clock.cost t.clock) us in
-  ignore (Sim.after_us t.sim us (fun () -> unblock t s));
+  let timer = Sim.after_us t.sim us (fun () -> unblock t s) in
   (* Tolerate spurious wakeups: sleep again until the deadline. *)
   while Clock.now t.clock < deadline do
     block_current t
-  done
+  done;
+  (* A spurious wakeup whose resumption costs carry the clock past the
+     deadline exits the loop with the timer still pending; cancel it
+     so it cannot fire at [s] after [s] has moved on (or died). *)
+  Sim.cancel t.sim timer
 
 let preempt_point t =
   if t.preempt_requested then begin
@@ -291,7 +371,55 @@ let stats t = {
   spawned = t.s_spawned;
   completed = t.s_completed;
   failed = t.s_failed;
+  redundant_unblocks = t.s_redundant_unblocks;
+  dead_unblocks = t.s_dead_unblocks;
 }
 
 let runnable_count t =
   Array.fold_left (fun acc q -> acc + Dllist.length q) 0 t.queues
+
+(* Extension points for schedule exploration (Sched_fuzz). *)
+
+let set_selector t sel = t.selector <- sel
+
+let set_schedule_probe t probe = t.probe <- probe
+
+let set_violation_hook t hook = t.on_violation <- hook
+
+let request_preempt t = t.preempt_requested <- true
+
+let pending_wakeup_count t = Hashtbl.length t.pending_wakeups
+
+let audit t report =
+  (* Run-queue membership: every queued strand is Runnable with a live
+     back-pointer, and no strand is queued twice. *)
+  let seen = Hashtbl.create 16 in
+  Array.iteri
+    (fun p q ->
+      List.iter
+        (fun s ->
+          if Hashtbl.mem seen s.Strand.id then
+            report (Printf.sprintf "strand %s queued twice" (Strand.to_string s));
+          Hashtbl.replace seen s.Strand.id ();
+          if s.Strand.state <> Strand.Runnable then
+            report (Printf.sprintf "%s strand %s in run queue"
+                      (Strand.state_to_string s.Strand.state)
+                      (Strand.to_string s));
+          if s.Strand.qnode = None then
+            report (Printf.sprintf "queued strand %s has no queue node"
+                      (Strand.to_string s));
+          if s.Strand.priority <> p then
+            report (Printf.sprintf "strand %s queued at priority %d"
+                      (Strand.to_string s) p))
+        (Dllist.to_list q))
+    t.queues;
+  (* Raced-wakeup entries exist only for Running strands; with no
+     strand running, a surviving entry is a leak. *)
+  (match t.current with
+   | Some _ -> ()
+   | None ->
+     Hashtbl.iter
+       (fun id () ->
+         report (Printf.sprintf
+                   "stale pending wakeup for strand id %d at scheduling point" id))
+       t.pending_wakeups)

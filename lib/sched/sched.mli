@@ -111,8 +111,62 @@ type stats = {
   spawned : int;
   completed : int;
   failed : int;
+  redundant_unblocks : int;
+      (** unblocks of already-runnable strands (benign, but noisy
+          wakeup protocols show up here) *)
+  dead_unblocks : int;
+      (** unblocks of dead strands — a strand reference kept past its
+          lifetime (also reported through the violation hook) *)
 }
 
 val stats : t -> stats
 
 val runnable_count : t -> int
+
+(** {2 Schedule exploration and invariant checking}
+
+    The paper's replaceable-scheduler interface (section 5.2), plus
+    the probes {!Sched_fuzz} uses to explore interleavings and check
+    concurrency invariants. All hooks charge no virtual cycles and
+    default to [None], so an un-instrumented kernel behaves (and
+    costs) exactly as before. *)
+
+type selector = Strand.t list -> Strand.t option
+(** Receives the runnable set in default scan order (highest priority
+    first, FIFO within a priority level) and picks the strand to run
+    next. Returning [None] defers to the default policy. *)
+
+val set_selector : t -> selector option -> unit
+(** Installs (or clears) a replacement scheduling policy. Picking a
+    strand outside the runnable set is reported as a violation and
+    falls back to the default scan. *)
+
+val runnable_strands : t -> Strand.t list
+(** The runnable set, in the order a selector would see it. *)
+
+val set_schedule_probe : t -> (unit -> unit) option -> unit
+(** Runs at every scheduling point, before the next strand is chosen
+    (so no strand is running when it fires): the place to run
+    {!audit}-style checkers during fuzzing. *)
+
+val set_violation_hook : t -> (string -> unit) option -> unit
+(** Sink for scheduler invariant breaks: double enqueue, a selector
+    picking a non-runnable strand, an unblock raised on a dead
+    strand. *)
+
+val request_preempt : t -> unit
+(** Flags the running strand for preemption at its next preemption
+    point — what the quantum-expiry clock hook does; the fuzzer calls
+    it from its own clock hook to force switches at charge
+    boundaries. *)
+
+val pending_wakeup_count : t -> int
+(** Raced block/unblock wakeups currently recorded. Non-zero is only
+    legal while a strand is running; at a scheduling point it means a
+    wakeup leaked. *)
+
+val audit : t -> (string -> unit) -> unit
+(** Structural invariant sweep: run-queue membership (queued strands
+    are Runnable, linked, at their own priority, and queued once) and
+    pending-wakeup staleness at quiescent points. Reports each
+    violation; cheap enough to run after every test. *)

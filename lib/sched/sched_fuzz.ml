@@ -1,0 +1,170 @@
+module Clock = Spin_machine.Clock
+module Sim = Spin_machine.Sim
+module Cpu = Spin_machine.Cpu
+module Dispatcher = Spin_core.Dispatcher
+
+let owner = "SchedFuzz"
+
+(* SplitMix64: tiny, full-period, and stable across platforms, so a
+   seed names the same schedule everywhere. No global state — replay
+   depends on nothing but the seed and the workload. *)
+type rng = { mutable rs : int64 }
+
+let rng_next r =
+  r.rs <- Int64.add r.rs 0x9E3779B97F4A7C15L;
+  let z = r.rs in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rng_below r n =
+  if n <= 1 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (rng_next r) 1)
+                       (Int64.of_int n))
+
+type stats = {
+  seed : int;
+  decisions : int;           (* scheduling choices made by the selector *)
+  injected_preempts : int;   (* preemptions forced at charge boundaries *)
+  violations : int;
+}
+
+type t = {
+  sched : Sched.t;
+  clock : Clock.t;
+  sim : Sim.t;
+  cpu : Cpu.t option;
+  dispatcher : Dispatcher.t option;
+  rng : rng;
+  fz_seed : int;
+  mean_period : int;
+  mutable enabled : bool;
+  mutable next_preempt : int;
+  mutable n_decisions : int;
+  mutable n_injected : int;
+  mutable n_violations : int;
+  violation_log : string Queue.t;            (* capped at [max_log] *)
+  strands : (int, Strand.t) Hashtbl.t;       (* every strand ever seen *)
+  mutable trackers :
+    ((Strand.t, unit) Dispatcher.event * (Strand.t, unit) Dispatcher.handler)
+    list;
+}
+
+let max_log = 100
+
+let record t msg =
+  t.n_violations <- t.n_violations + 1;
+  if Queue.length t.violation_log < max_log then
+    Queue.add (Printf.sprintf "[cycle %d] %s" (Clock.now t.clock) msg)
+      t.violation_log
+
+let audit_now t =
+  Sched.audit t.sched (fun m -> record t ("sched: " ^ m));
+  match t.dispatcher with
+  | Some d -> Dispatcher.audit d (fun m -> record t ("dispatcher: " ^ m))
+  | None -> ()
+
+let schedule_next_preempt t =
+  t.next_preempt <-
+    Clock.now t.clock + 1 + rng_below t.rng (2 * t.mean_period)
+
+let attach ?cpu ?dispatcher ?(mean_period = 2_000) ~seed sched =
+  let t = {
+    sched; clock = Sched.clock sched; sim = Sched.sim sched;
+    cpu; dispatcher;
+    rng = { rs = Int64.of_int seed };
+    fz_seed = seed; mean_period;
+    enabled = true; next_preempt = 0;
+    n_decisions = 0; n_injected = 0; n_violations = 0;
+    violation_log = Queue.create ();
+    strands = Hashtbl.create 64;
+    trackers = [];
+  } in
+  (* Track the strand population through the paper's strand events:
+     every strand that runs raises Resume, every sleeper raises Block,
+     so the lost-wakeup checker knows who could be stranded. *)
+  let track s = Hashtbl.replace t.strands s.Strand.id s in
+  let ev = Sched.events sched in
+  t.trackers <-
+    [ (ev.Sched.resume, Dispatcher.install_exn ev.Sched.resume ~installer:owner track);
+      (ev.Sched.block, Dispatcher.install_exn ev.Sched.block ~installer:owner track) ];
+  (* Random schedule: replace the policy, not the mechanism. *)
+  Sched.set_selector sched
+    (Some (fun candidates ->
+       t.n_decisions <- t.n_decisions + 1;
+       Some (List.nth candidates (rng_below t.rng (List.length candidates)))));
+  Sched.set_violation_hook sched (Some (fun m -> record t ("sched: " ^ m)));
+  (match dispatcher with
+   | Some d ->
+     Dispatcher.set_violation_hook d (Some (fun m -> record t ("dispatcher: " ^ m)))
+   | None -> ());
+  Sched.set_schedule_probe sched (Some (fun () -> audit_now t));
+  schedule_next_preempt t;
+  (* Preemption injection: every Clock.charge boundary is a potential
+     interrupt; fire one whenever the random deadline passes. The hook
+     only reads a flag when disabled and never charges cycles. *)
+  Clock.add_hook t.clock (fun clock ->
+    if t.enabled && Clock.now clock >= t.next_preempt then begin
+      t.n_injected <- t.n_injected + 1;
+      Sched.request_preempt sched;
+      schedule_next_preempt t
+    end);
+  t
+
+let detach t =
+  t.enabled <- false;
+  Sched.set_selector t.sched None;
+  Sched.set_schedule_probe t.sched None;
+  Sched.set_violation_hook t.sched None;
+  (match t.dispatcher with
+   | Some d -> Dispatcher.set_violation_hook d None
+   | None -> ());
+  List.iter (fun (e, h) -> Dispatcher.uninstall e h) t.trackers;
+  t.trackers <- []
+
+let check_quiescence ?(exempt = fun _ -> false) t =
+  audit_now t;
+  if Sched.runnable_count t.sched > 0 then
+    record t "quiescence check ran with runnable strands"
+  else begin
+    let blocked =
+      Hashtbl.fold
+        (fun _ s acc ->
+          if s.Strand.state = Strand.Blocked then s :: acc else acc)
+        t.strands [] in
+    (* Lost wakeup: a strand still blocked when nothing can ever wake
+       it — no runnable strand, no pending device/timer event. Exempt
+       daemons (packet-receive loops, pageout) block forever by
+       design. *)
+    if Sim.pending t.sim = 0 then
+      List.iter
+        (fun s ->
+          if not (exempt s) then
+            record t
+              (Printf.sprintf
+                 "lost wakeup: %s blocked at quiescence with nothing pending"
+                 (Strand.to_string s)))
+        blocked;
+    (* Trap accounting balances once nothing is suspended mid-trap. *)
+    match t.cpu with
+    | Some cpu when blocked = [] ->
+      let ts = Cpu.trap_stats cpu in
+      if ts.Cpu.entries <> ts.Cpu.exits then
+        record t
+          (Printf.sprintf "unbalanced trap accounting: %d entries, %d exits"
+             ts.Cpu.entries ts.Cpu.exits)
+    | Some _ | None -> ()
+  end
+
+let stats t = {
+  seed = t.fz_seed;
+  decisions = t.n_decisions;
+  injected_preempts = t.n_injected;
+  violations = t.n_violations;
+}
+
+let seed t = t.fz_seed
+
+let violations t = List.of_seq (Queue.to_seq t.violation_log)

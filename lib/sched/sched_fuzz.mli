@@ -1,0 +1,66 @@
+(** Deterministic schedule fuzzing with seeded replay.
+
+    The whole simulation is virtual-time deterministic, so the only
+    nondeterminism worth exploring is the schedule itself. This module
+    explores it the way the paper replaces the global scheduler
+    (section 5.2): it installs a {!Sched.selector} that picks the next
+    runnable strand with a seeded PRNG, and a clock hook that forces
+    preemption at random {!Spin_machine.Clock.charge} boundaries — so
+    every charged instruction is a potential interrupt point.
+
+    A seed fully names a schedule: running the same workload under the
+    same seed replays the identical interleaving (and the identical
+    trace), so a failing seed from a fuzzing campaign is a
+    deterministic regression test.
+
+    While fuzzing, invariant checkers run at every scheduling point:
+    - run-queue membership and double-enqueue ({!Sched.audit}, plus
+      the scheduler's violation hook);
+    - dispatcher handler-list structure — inactive handlers lingering,
+      index counts, in-flight balance
+      ({!Spin_core.Dispatcher.audit});
+    - at quiescence: lost wakeups (a strand blocked with nothing left
+      to wake it) and trap entry/exit cost balance
+      ({!Spin_machine.Cpu.trap_stats}). *)
+
+type t
+
+val attach :
+  ?cpu:Spin_machine.Cpu.t ->
+  ?dispatcher:Spin_core.Dispatcher.t ->
+  ?mean_period:int ->
+  seed:int ->
+  Sched.t -> t
+(** Installs the fuzzing scheduler and checkers on a kernel. [cpu] and
+    [dispatcher] enable the trap-balance and handler-list checkers.
+    [mean_period] is the average gap, in cycles, between injected
+    preemptions (default 2000 — about 25 forced switches per default
+    quantum). Attach one fuzzer per kernel, freshly built per seed. *)
+
+val detach : t -> unit
+(** Uninstalls the selector, probes, violation hooks, and tracking
+    handlers. The kernel reverts to the default scheduler with zero
+    virtual-time impact (the remaining clock hook reads one flag and
+    charges nothing). *)
+
+val check_quiescence : ?exempt:(Strand.t -> bool) -> t -> unit
+(** Run after {!Sched.run} drains: audits the scheduler and
+    dispatcher, reports any non-exempt strand still blocked with no
+    pending simulator event (a lost wakeup), and checks trap
+    accounting balance. [exempt] marks daemon strands that block
+    forever by design. *)
+
+type stats = {
+  seed : int;
+  decisions : int;           (** scheduling choices made by the selector *)
+  injected_preempts : int;   (** preemptions forced at charge boundaries *)
+  violations : int;
+}
+
+val stats : t -> stats
+
+val seed : t -> int
+
+val violations : t -> string list
+(** Chronological violation reports (capped at 100; {!stats} has the
+    true count), each prefixed with the virtual cycle it fired at. *)

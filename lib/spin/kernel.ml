@@ -199,6 +199,10 @@ let load_extension t obj =
 
 let extension_count t = List.length t.extensions
 
+let attach_fuzz ?mean_period ~seed t =
+  Spin_sched.Sched_fuzz.attach ~cpu:t.machine.Machine.cpu
+    ~dispatcher:t.dispatcher ?mean_period ~seed t.sched
+
 let run ?until t = Sched.run ?until t.sched
 
 let spawn t ?priority ~name body = Sched.spawn t.sched ?priority ~name body

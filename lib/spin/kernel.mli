@@ -105,6 +105,14 @@ val load_extension :
 
 val extension_count : t -> int
 
+val attach_fuzz :
+  ?mean_period:int -> seed:int -> t -> Spin_sched.Sched_fuzz.t
+(** Installs the schedule fuzzer ({!Spin_sched.Sched_fuzz}) on this
+    kernel's scheduler, dispatcher, and CPU: random strand selection
+    under the given seed, preemption injection at charge boundaries,
+    and the concurrency invariant checkers. Attach to a freshly booted
+    kernel, one per seed, so replaying a seed replays its schedule. *)
+
 val run : ?until:(unit -> bool) -> t -> unit
 (** Drive the kernel's scheduler and device events. *)
 

@@ -61,6 +61,14 @@ let watch_supervisor t sup =
   gauge t ~name:"supervisor.quarantines"
     (fun () -> (Supervisor.stats sup).Supervisor.s_quarantines)
 
+let watch_fuzz t fz =
+  let module F = Spin_sched.Sched_fuzz in
+  gauge t ~name:"fuzz.seed" (fun () -> (F.stats fz).F.seed);
+  gauge t ~name:"fuzz.decisions" (fun () -> (F.stats fz).F.decisions);
+  gauge t ~name:"fuzz.injected_preempts"
+    (fun () -> (F.stats fz).F.injected_preempts);
+  gauge t ~name:"fuzz.violations" (fun () -> (F.stats fz).F.violations)
+
 let watch_mem t phys =
   let module P = Spin_vm.Phys_addr in
   gauge t ~name:"mem.total_pages" (fun () -> P.total_pages phys);

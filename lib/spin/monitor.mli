@@ -39,6 +39,11 @@ val watch_supervisor : t -> Supervisor.t -> unit
 (** Gauges on the supervisor's fault, restart, and quarantine
     totals. *)
 
+val watch_fuzz : t -> Spin_sched.Sched_fuzz.t -> unit
+(** Gauges on a schedule-fuzzing run: the seed in play, scheduling
+    decisions made, preemptions injected, and invariant violations
+    found. *)
+
 val watch_mem : t -> Spin_vm.Phys_addr.t -> unit
 (** Gauges on the physical address service: total and free pages,
     reclaims, and allocation failures. *)

@@ -64,9 +64,6 @@ let test_extern_ref_roundtrip () =
   let i = Extern_ref.externalize tbl tag "page-7" in
   check (option string) "internalize" (Some "page-7")
     (Extern_ref.internalize tbl tag i);
-  (* The pre-rename name still answers, one release of grace. *)
-  (let[@warning "-3"] recovered = Extern_ref.recover tbl tag i in
-   check (option string) "deprecated recover alias" (Some "page-7") recovered);
   check int "live" 1 (Extern_ref.live tbl)
 
 let test_extern_ref_forgery () =
@@ -417,6 +414,70 @@ let test_dispatch_async_deferred () =
   check int "one deferred" 1 (Dispatcher.flush_deferred d);
   check bool "ran at flush" true !ran
 
+let test_dispatch_async_uninstall_before_flush () =
+  (* Regression: an async handler uninstalled (or quarantined) between
+     the raise and the deferred thunk running still executed — dispatch
+     after uninstall. The thunk must re-check liveness at run time. *)
+  let _, d = mk_dispatcher () in
+  let ran = ref false in
+  let e = Dispatcher.declare d ~name:"Ev" ~owner:"M"
+      ~combine:(fun _ -> ()) (fun _ -> ()) in
+  let h = Dispatcher.install_exn e ~installer:"bg" ~async:true
+      (fun _ -> ran := true) in
+  Dispatcher.raise_event e ();
+  Dispatcher.uninstall e h;
+  ignore (Dispatcher.flush_deferred d);
+  check bool "uninstalled handler must not run" false !ran;
+  check int "skip recorded" 1 (Dispatcher.stats e).Dispatcher.stale_skips
+
+let test_dispatch_uninstall_during_raise () =
+  (* A handler that evicts its whole domain mid-dispatch (what a
+     quarantine sweep does) must not corrupt the iteration: later
+     handlers of the evicted domain are skipped, others still run. *)
+  let _, d = mk_dispatcher () in
+  let order = ref [] in
+  let e = Dispatcher.declare d ~name:"Ev" ~owner:"M"
+      ~combine:(fun _ -> ()) (fun _ -> order := "primary" :: !order) in
+  let violations = ref [] in
+  Dispatcher.set_violation_hook d (Some (fun m -> violations := m :: !violations));
+  let _ = Dispatcher.install_exn e ~installer:"evictor"
+      (fun _ ->
+        order := "evictor" :: !order;
+        ignore (Dispatcher.uninstall_installer d ~installer:"victim")) in
+  let _ = Dispatcher.install_exn e ~installer:"victim"
+      (fun _ -> order := "victim" :: !order) in
+  let _ = Dispatcher.install_exn e ~installer:"bystander"
+      (fun _ -> order := "bystander" :: !order) in
+  Dispatcher.raise_event e ();
+  check (list string) "victim skipped, bystander still runs"
+    [ "primary"; "evictor"; "bystander" ] (List.rev !order);
+  check (list string) "no invariant violations" [] !violations;
+  let reports = ref [] in
+  Dispatcher.audit d (fun m -> reports := m :: !reports);
+  check (list string) "audit clean after mid-dispatch eviction" [] !reports
+
+let test_dispatch_audit_clean_after_churn () =
+  let _, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Ev" ~owner:"M"
+      ~combine:(fun _ -> ()) ~index:(fun x -> x) (fun (_ : int) -> ()) in
+  let hs =
+    List.init 8 (fun i ->
+      Dispatcher.install_exn e ~installer:(Printf.sprintf "s%d" i)
+        ~guard:(fun x -> x = i) (fun _ -> ())) in
+  List.iteri
+    (fun i _ ->
+      match Dispatcher.install_indexed e ~installer:"idx" ~key:i (fun _ -> ())
+      with
+      | Ok _ -> ()
+      | Error _ -> fail "indexed install")
+    hs;
+  List.iter (fun h -> Dispatcher.uninstall e h) hs;
+  ignore (Dispatcher.uninstall_installer d ~installer:"idx");
+  for i = 0 to 7 do Dispatcher.raise_event e i done;
+  let reports = ref [] in
+  Dispatcher.audit d (fun m -> reports := m :: !reports);
+  check (list string) "audit clean after install/uninstall churn" [] !reports
+
 let test_dispatch_async_spawn_hook () =
   let _, d = mk_dispatcher () in
   let spawned = ref 0 in
@@ -579,6 +640,12 @@ let () =
           test_case "no handler" `Quick test_dispatch_no_handler;
           test_case "result combination" `Quick test_dispatch_combiner;
           test_case "async defers" `Quick test_dispatch_async_deferred;
+          test_case "async skips uninstalled handler" `Quick
+            test_dispatch_async_uninstall_before_flush;
+          test_case "uninstall during raise is safe" `Quick
+            test_dispatch_uninstall_during_raise;
+          test_case "audit clean after churn" `Quick
+            test_dispatch_audit_clean_after_churn;
           test_case "async spawn hook" `Quick test_dispatch_async_spawn_hook;
           test_case "bounded handler aborts" `Quick test_dispatch_bounded_abort;
           test_case "bounded handler within budget" `Quick test_dispatch_bounded_within;

@@ -83,6 +83,30 @@ let test_block_cache_survives_reclaim () =
     ignore (Block_cache.read cache ~block:11);
     check int "cache works again" 2 (Block_cache.stats cache).Cache_stats.hits)
 
+(* Regression: concurrent readers of the same in-flight block used to
+   overwrite each other's pending registration, so the completion
+   interrupt woke only the last to register and the rest slept forever.
+   Needs its own fixture — [with_fs_machine] runs the body as a single
+   strand, and this bug only exists between strands. *)
+let test_block_cache_concurrent_same_block () =
+  let m = Machine.create ~name:"fstest" ~mem_mb:4 () in
+  let d = Dispatcher.create m.Machine.clock in
+  let sched = Sched.create m.Machine.sim d in
+  let phys = Phys_addr.create m d in
+  ignore (Spin_vm.Reclaim_policy.install_second_chance phys);
+  let disk = Machine.add_disk ~blocks:8192 m in
+  let cache = Block_cache.create ~phys m sched disk in
+  let completed = ref 0 in
+  for i = 1 to 3 do
+    ignore (Sched.spawn sched ~name:(Printf.sprintf "reader-%d" i) (fun () ->
+      ignore (Block_cache.read cache ~block:42);
+      incr completed))
+  done;
+  Sched.run sched;
+  check int "all readers woken" 3 !completed;
+  (* One request in flight, everyone joined it. *)
+  check int "single disk read" 1 (Disk.reads disk)
+
 (* ------------------------------------------------------------------ *)
 (* Simple_fs                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -321,6 +345,8 @@ let () =
           test_case "uncached bypass" `Quick test_block_cache_uncached_bypasses;
           test_case "hits are fast" `Quick test_block_cache_hit_is_fast;
           test_case "survives reclaim" `Quick test_block_cache_survives_reclaim;
+          test_case "concurrent same-block readers" `Quick
+            test_block_cache_concurrent_same_block;
         ] );
       ( "simple_fs",
         [

@@ -203,6 +203,30 @@ let test_cpu_syscall_costs () =
   check int "trap entry+exit charged"
     (Cost.alpha_133.Cost.trap_entry + Cost.alpha_133.Cost.trap_exit) spent
 
+exception Handler_bug
+
+let test_cpu_trap_cost_symmetric_on_raise () =
+  (* Regression: when the trap handler raises, the exit-path cycles
+     were never charged (and the mode was still restored by the same
+     protect), so a faulting trap cost less than a clean one. *)
+  let m = fresh () in
+  let cpu = m.Machine.cpu in
+  Cpu.set_trap_handler cpu (function
+    | Cpu.Syscall _ -> raise Handler_bug
+    | _ -> -1);
+  let before = Clock.now m.Machine.clock in
+  (try
+     ignore (Cpu.syscall cpu ~number:7 ~args:[||]);
+     Alcotest.fail "expected the handler's exception"
+   with Handler_bug -> ());
+  let spent = Clock.now m.Machine.clock - before in
+  check int "entry and exit both charged despite the raise"
+    (Cost.alpha_133.Cost.trap_entry + Cost.alpha_133.Cost.trap_exit) spent;
+  let ts = Cpu.trap_stats cpu in
+  check int "one entry" 1 ts.Cpu.entries;
+  check int "one exit" 1 ts.Cpu.exits;
+  check int "depth rebalanced" 0 ts.Cpu.depth
+
 let test_cpu_unhandled_trap () =
   let m = fresh () in
   (try
@@ -512,6 +536,8 @@ let () =
       ( "cpu",
         [
           Alcotest.test_case "syscall trap costs" `Quick test_cpu_syscall_costs;
+          Alcotest.test_case "trap cost symmetric when handler raises" `Quick
+            test_cpu_trap_cost_symmetric_on_raise;
           Alcotest.test_case "unhandled trap raises" `Quick test_cpu_unhandled_trap;
           Alcotest.test_case "fault and resume" `Quick test_cpu_fault_resume;
           Alcotest.test_case "unresolved fault raises" `Quick test_cpu_unresolved_fault_raises;

@@ -286,6 +286,144 @@ let prop_pkt_headroom_exhaustion_reallocs =
 (* IP addresses roundtrip                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Run-queue structures: the scheduler's FIFO-within-priority         *)
+(* contract rests on these                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Dllist = Spin_dstruct.Dllist
+module Pqueue = Spin_dstruct.Pqueue
+
+(* Dllist against a functional deque model: any interleaving of
+   pushes, pops and mid-list removals leaves the same sequence. *)
+let prop_dllist_matches_model =
+  let open QCheck2.Gen in
+  let op_gen =
+    frequency
+      [ (3, map (fun v -> `Push_back v) (int_range 0 99));
+        (2, map (fun v -> `Push_front v) (int_range 0 99));
+        (2, pure `Pop_front);
+        (1, pure `Pop_back);
+        (2, map (fun i -> `Remove i) (int_range 0 30)) ] in
+  QCheck2.Test.make ~name:"dllist agrees with a deque model" ~count:200
+    (list_size (int_range 1 60) op_gen)
+    (fun ops ->
+      let dl = Dllist.create () in
+      (* The model holds the node handles in deque order, so removal
+         targets a specific node even when values repeat. *)
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push_back v -> model := !model @ [ Dllist.push_back dl v ]
+          | `Push_front v -> model := Dllist.push_front dl v :: !model
+          | `Pop_front ->
+            (match Dllist.pop_front dl, !model with
+             | Some v, m :: rest when v = Dllist.value m -> model := rest
+             | None, [] -> ()
+             | _ -> failwith "pop_front diverged")
+          | `Pop_back ->
+            (match Dllist.pop_back dl, List.rev !model with
+             | Some v, m :: rest when v = Dllist.value m ->
+               model := List.rev rest
+             | None, [] -> ()
+             | _ -> failwith "pop_back diverged")
+          | `Remove i ->
+            if !model <> [] then begin
+              let n = List.nth !model (i mod List.length !model) in
+              Dllist.remove dl n;
+              model := List.filter (fun m -> m != n) !model
+            end)
+        ops;
+      Dllist.to_list dl = List.map Dllist.value !model
+      && Dllist.length dl = List.length !model)
+
+(* Pqueue pops in cmp order no matter how adds and handle-removals
+   interleave. *)
+let prop_pqueue_pops_sorted =
+  let open QCheck2.Gen in
+  QCheck2.Test.make ~name:"pqueue pops nondecreasing under removals" ~count:200
+    (pair (list_size (int_range 1 40) (int_range 0 9))
+       (list_size (int_range 0 10) (int_range 0 30)))
+    (fun (adds, removes) ->
+      let q = Pqueue.create ~cmp:compare in
+      let entries = List.map (fun v -> Pqueue.add q v) adds in
+      List.iter
+        (fun i ->
+          let live = List.filter Pqueue.mem entries in
+          if live <> [] then
+            Pqueue.remove q (List.nth live (i mod List.length live)))
+        removes;
+      let live = List.length (List.filter Pqueue.mem entries) in
+      let rec drain acc =
+        match Pqueue.pop q with
+        | Some v -> drain (v :: acc)
+        | None -> List.rev acc in
+      let popped = drain [] in
+      popped = List.sort compare popped && List.length popped = live)
+
+(* The scheduler's candidate list — what the fuzz selector chooses
+   from — is priority-descending and FIFO within each level, for any
+   spawn order. *)
+let prop_runnable_strands_ordered =
+  let open QCheck2.Gen in
+  QCheck2.Test.make ~name:"runnable set is priority-desc, FIFO within level"
+    ~count:100
+    (list_size (int_range 1 20) (int_range 0 Spin_sched.Strand.max_priority))
+    (fun priorities ->
+      let m = Machine.create ~name:"prop" ~mem_mb:4 () in
+      let d = Dispatcher.create m.Machine.clock in
+      let s = Sched.create m.Machine.sim d in
+      let spawned =
+        List.mapi
+          (fun i priority ->
+            Sched.spawn s ~priority ~name:(Printf.sprintf "p%d" i) (fun () -> ()))
+          priorities in
+      let got = Sched.runnable_strands s in
+      let expected =
+        (* Stable sort keeps spawn order inside each priority level. *)
+        List.stable_sort
+          (fun a b ->
+            compare b.Spin_sched.Strand.priority a.Spin_sched.Strand.priority)
+          spawned in
+      List.map (fun st -> st.Spin_sched.Strand.id) got
+      = List.map (fun st -> st.Spin_sched.Strand.id) expected)
+
+(* One seed names one schedule: a fuzzed run re-executed with the
+   same seed emits the identical trace event sequence. *)
+let prop_fuzz_seed_replays_identically =
+  QCheck2.Test.make ~name:"fuzz seed determines the whole schedule" ~count:12
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let observe () =
+        let m = Machine.create ~name:"prop" ~mem_mb:4 () in
+        let d = Dispatcher.create m.Machine.clock in
+        let s = Sched.create m.Machine.sim d in
+        let tr = Spin_machine.Trace.of_clock m.Machine.clock in
+        Spin_machine.Trace.enable tr;
+        let fz =
+          Spin_sched.Sched_fuzz.attach ~cpu:m.Machine.cpu ~dispatcher:d
+            ~mean_period:200 ~seed s in
+        for i = 1 to 4 do
+          ignore (Sched.spawn s ~name:(Printf.sprintf "w%d" i) (fun () ->
+            for _ = 1 to 5 do
+              Clock.charge m.Machine.clock (50 * i);
+              Sched.yield s;
+              Sched.sleep_us s (float_of_int i *. 1.5)
+            done))
+        done;
+        Sched.run s;
+        let st = Spin_sched.Sched_fuzz.stats fz in
+        Spin_sched.Sched_fuzz.detach fz;
+        ( List.map
+            (fun r ->
+              (r.Spin_machine.Trace.ts, r.Spin_machine.Trace.cat,
+               r.Spin_machine.Trace.name))
+            (Spin_machine.Trace.records tr),
+          st.Spin_sched.Sched_fuzz.decisions,
+          st.Spin_sched.Sched_fuzz.injected_preempts ) in
+      observe () = observe ())
+
 let prop_ip_addr_roundtrip =
   QCheck2.Test.make ~name:"ip address quad/string roundtrip" ~count:200
     QCheck2.Gen.(quad (int_range 0 255) (int_range 0 255) (int_range 0 255)
@@ -309,6 +447,10 @@ let () =
             prop_pkt_roundtrip_at_random_offset;
             prop_pkt_view_aliases_copy_isolates;
             prop_pkt_headroom_exhaustion_reallocs;
+            prop_dllist_matches_model;
+            prop_pqueue_pops_sorted;
+            prop_runnable_strands_ordered;
+            prop_fuzz_seed_replays_identically;
             prop_ip_addr_roundtrip;
           ] );
     ]

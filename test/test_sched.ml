@@ -486,6 +486,126 @@ let test_cthreads_interface () =
 (* Application-specific scheduler                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Scheduler invariants and the replaceable selector                  *)
+(* ------------------------------------------------------------------ *)
+
+let audit_reports s =
+  let reports = ref [] in
+  Sched.audit s (fun m -> reports := m :: !reports);
+  List.rev !reports
+
+let test_finish_dequeues_requeued_strand () =
+  (* Regression: a strand blocked and unblocked from outside while it
+     was running is re-enqueued in the Runnable state; if it then
+     finished, the dead strand stayed in the run queue (and its raced
+     pending wakeup leaked). *)
+  let _, _, s = kernel () in
+  ignore (Sched.spawn s ~name:"self-cycler" (fun () ->
+    let me = Sched.self s in
+    Sched.block s me;      (* marked Blocked while still running *)
+    Sched.unblock s me     (* re-enqueued, state Runnable, still running *)
+    (* body returns: finish must unlink it from the queue *)));
+  (* One step only: the default scan lazily prunes dead strands, so
+     auditing after a full run would hide the leak. *)
+  ignore (Sched.step s);
+  check (list string) "no dead strand left queued" [] (audit_reports s);
+  check int "queue empty" 0 (Sched.runnable_count s);
+  check int "no leaked wakeup" 0 (Sched.pending_wakeup_count s)
+
+let test_yield_clears_raced_wakeup () =
+  (* Regression: an unblock that lands while a strand is running
+     records a pending wakeup for its *upcoming* block. If the strand
+     yields instead, the entry went stale and short-circuited an
+     unrelated later block (or leaked forever). *)
+  let _, _, s = kernel () in
+  let woken_legitimately = ref false in
+  let sleeper = ref None in
+  ignore (Sched.spawn s ~name:"racer" (fun () ->
+    Sched.unblock s (Sched.self s);   (* raced wakeup while Running *)
+    Sched.yield s;                    (* satisfied here, not banked *)
+    sleeper := Some (Sched.self s);
+    Sched.block_current s;            (* must actually sleep *)
+    check bool "woken by the waker, not the stale entry" true
+      !woken_legitimately));
+  ignore (Sched.spawn s ~name:"waker" (fun () ->
+    for _ = 1 to 3 do Sched.yield s done;
+    woken_legitimately := true;
+    match !sleeper with
+    | Some str -> Sched.unblock s str
+    | None -> fail "racer never registered"));
+  Sched.run s;
+  check int "both completed" 2 (Sched.stats s).Sched.completed;
+  check int "no leaked wakeup" 0 (Sched.pending_wakeup_count s)
+
+let test_dead_unblock_counted_and_reported () =
+  let _, _, s = kernel () in
+  let violations = ref [] in
+  Sched.set_violation_hook s (Some (fun m -> violations := m :: !violations));
+  let dead = Sched.spawn s ~name:"ghost" (fun () -> ()) in
+  Sched.run s;
+  Sched.unblock s dead;
+  check int "counted" 1 (Sched.stats s).Sched.dead_unblocks;
+  check bool "reported through the hook" true
+    (List.exists (fun m -> String.length m > 0) !violations)
+
+let test_selector_overrides_policy () =
+  (* The paper's replaceable scheduler: a selector that always picks
+     the LAST candidate inverts FIFO order within a priority level. *)
+  let _, _, s = kernel () in
+  let order = ref [] in
+  let mk name = ignore (Sched.spawn s ~name (fun () ->
+    order := name :: !order)) in
+  mk "a"; mk "b"; mk "c";
+  Sched.set_selector s
+    (Some (fun candidates -> Some (List.nth candidates (List.length candidates - 1))));
+  Sched.run s;
+  check (list string) "reverse spawn order" [ "c"; "b"; "a" ]
+    (List.rev !order);
+  Sched.set_selector s None;
+  let order2 = ref [] in
+  let mk2 name = ignore (Sched.spawn s ~name (fun () ->
+    order2 := name :: !order2)) in
+  mk2 "a"; mk2 "b"; mk2 "c";
+  Sched.run s;
+  check (list string) "default FIFO restored" [ "a"; "b"; "c" ]
+    (List.rev !order2)
+
+let test_runnable_strands_order () =
+  let _, _, s = kernel () in
+  let lo = Sched.spawn s ~priority:4 ~name:"lo" (fun () -> ()) in
+  let hi = Sched.spawn s ~priority:20 ~name:"hi" (fun () -> ()) in
+  let mid1 = Sched.spawn s ~priority:10 ~name:"mid1" (fun () -> ()) in
+  let mid2 = Sched.spawn s ~priority:10 ~name:"mid2" (fun () -> ()) in
+  check (list string) "priority desc, FIFO within a level"
+    [ "hi"; "mid1"; "mid2"; "lo" ]
+    (List.map (fun x -> x.Strand.name) (Sched.runnable_strands s));
+  ignore (lo, hi, mid1, mid2);
+  Sched.run s
+
+let test_double_enqueue_reported () =
+  let _, _, s = kernel () in
+  let violations = ref [] in
+  Sched.set_violation_hook s (Some (fun m -> violations := m :: !violations));
+  ignore (Sched.spawn s ~name:"strand" (fun () ->
+    (* Force the broken transition directly: unblock on a Created
+       strand enqueues; a second enqueue of a queued strand must be
+       caught (and repaired) rather than silently corrupting qnode. *)
+    let ghost = Strand.create ~owner:"test" ~name:"ghost" () in
+    Sched.unblock s ghost;
+    Sched.unblock s ghost;              (* Runnable: counted, benign *)
+    ghost.Strand.state <- Strand.Created;
+    Sched.unblock s ghost               (* queued Created: double enqueue *)));
+  ignore (Sched.step s);
+  check bool "double enqueue reported" true
+    (List.exists
+       (fun m ->
+         (* the message names the strand *)
+         String.length m >= 14 && String.sub m 0 14 = "double enqueue")
+       !violations);
+  check int "redundant unblock counted" 1
+    (Sched.stats s).Sched.redundant_unblocks
+
 let test_app_sched_multiplexes () =
   let _, _, s = kernel () in
   let app = App_sched.create s ~name:"MyThreads" in
@@ -550,5 +670,20 @@ let () =
           test_case "osf wakeup-one and all" `Quick test_osf_wakeup_all_and_one;
           test_case "cthreads interface" `Quick test_cthreads_interface;
           test_case "app scheduler stacks on global" `Quick test_app_sched_multiplexes;
+        ] );
+      ( "invariants",
+        [
+          test_case "finish dequeues a requeued strand" `Quick
+            test_finish_dequeues_requeued_strand;
+          test_case "yield clears a raced wakeup" `Quick
+            test_yield_clears_raced_wakeup;
+          test_case "dead unblock counted and reported" `Quick
+            test_dead_unblock_counted_and_reported;
+          test_case "selector replaces the policy" `Quick
+            test_selector_overrides_policy;
+          test_case "runnable set is priority-FIFO ordered" `Quick
+            test_runnable_strands_order;
+          test_case "double enqueue reported" `Quick
+            test_double_enqueue_reported;
         ] );
     ]
