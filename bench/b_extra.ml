@@ -134,7 +134,31 @@ let web_fixture () =
   Host.run_all [ client; server ];
   (clock, client, server)
 
-let http_get ?(user_level = false) clock client =
+(* The same server with its dispatcher passed to [Http.create], so
+   [HTTP.GenContent] is declared and loadable extensions can serve
+   dynamic paths — the fixture the hot-swap experiments replace
+   content generators on. Also returns the server handle. *)
+let web_fixture_full () =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let server = Host.create sim ~name:"www" ~addr:addr_b in
+  let client = Host.create sim ~name:"client" ~addr:addr_a in
+  ignore (Host.wire client server ~kind:Nic.Lance);
+  let disk = Machine.add_disk ~blocks:65536 server.Host.machine in
+  let bc = Spin_fs.Block_cache.create ~phys:server.Host.phys server.Host.machine server.Host.sched disk in
+  let http = ref None in
+  ignore (Sched.spawn server.Host.sched ~name:"setup" (fun () ->
+    let fs = Spin_fs.Simple_fs.format bc ~blocks:65536 () in
+    Spin_fs.Simple_fs.create fs ~name:"index.html";
+    Spin_fs.Simple_fs.write fs ~name:"index.html"
+      (Bytes.of_string (String.make 2048 'x'));
+    let c = Spin_fs.File_cache.create ~phys:server.Host.phys fs in
+    http := Some (Http.create ~dispatcher:server.Host.dispatcher
+                    server.Host.machine server.Host.sched server.Host.tcp c)));
+  Host.run_all [ client; server ];
+  (clock, client, server, Option.get !http)
+
+let http_get ?(user_level = false) ?(path = "index.html") clock client =
   let osf = Os_costs.osf1 in
   match Tcp.connect client.Host.tcp ~dst:addr_b ~dst_port:80 with
   | None -> ()
@@ -165,7 +189,7 @@ let http_get ?(user_level = false) clock client =
       Bl_path.null_syscall clock osf                       (* wait/exit *)
     end;
     Tcp.send client.Host.tcp conn
-      (Bytes.of_string "GET /index.html HTTP/1.0\r\n\r\n");
+      (Bytes.of_string (Printf.sprintf "GET /%s HTTP/1.0\r\n\r\n" path));
     let rec drain () =
       let data = Tcp.read client.Host.tcp conn in
       if Bytes.length data > 0 then drain () in

@@ -40,19 +40,45 @@ let attach_host ~seed host =
     ~seed host.Host.sched
 
 (* One seed = one schedule of this workload: 4 HTTP client loops
-   against the in-kernel server, timed sleepers on the server, and a
-   mutex/condvar producer-consumer pair on the client. *)
+   against the in-kernel server (half of them hitting the dynamic
+   /live generator), timed sleepers on the server, a mutex/condvar
+   producer-consumer pair on the client — and a swapper strand that
+   hot-swaps the content generator twice, mid-request-storm, so the
+   fuzzer can preempt inside the swap window itself. *)
 let run_seed ~seed ~traced =
-  let clock, client, server = B_extra.web_fixture () in
+  let clock, client, server, http = B_extra.web_fixture_full () in
   let tr = Trace.of_clock clock in
   if traced then Trace.enable tr;
   (* Distinct streams per host; both derived from the seed alone. *)
   let fz_client = attach_host ~seed client in
   let fz_server = attach_host ~seed:(seed lxor 0x5F3759DF) server in
+  let swap = Spin.Swap.create server.Host.sched server.Host.dispatcher in
+  let obj1, _ = B_swap.webgen ~version:1 http in
+  let dom = ref (Spin_core.Kdomain.create_exn obj1) in
+  Spin_core.Kdomain.initialize !dom;
+  let stale_cap = Spin_core.Capability.mint ~owner:"WebGen" seed in
+  let swap_errors = ref [] in
+  ignore (Sched.spawn server.Host.sched ~name:"fuzz-swapper" (fun () ->
+    for g = 2 to 3 do
+      Sched.sleep_us server.Host.sched (float_of_int (150 * g));
+      let obj, _ = B_swap.webgen ~version:g http in
+      match
+        Spin.Swap.hot_swap swap ~old_domain:!dom ~replacement:obj
+          ~prepare:Spin_core.Kdomain.create
+          ~activate:(fun d -> dom := d) ()
+      with
+      | Ok _ -> ()
+      | Error e ->
+        swap_errors :=
+          Printf.sprintf "swap to generation %d failed: %s" g
+            (Spin.Swap.error_to_string e)
+          :: !swap_errors
+    done));
   for c = 1 to 4 do
+    let path = if c mod 2 = 0 then "live" else "index.html" in
     ignore (Sched.spawn client.Host.sched
               ~name:(Printf.sprintf "fuzz-client-%d" c) (fun () ->
-      for _ = 1 to 5 do B_extra.http_get clock client done))
+      for _ = 1 to 5 do B_extra.http_get ~path clock client done))
   done;
   for i = 1 to 3 do
     ignore (Sched.spawn server.Host.sched
@@ -99,8 +125,26 @@ let run_seed ~seed ~traced =
     (* The workload itself lost work — count it with the violations. *)
     Printf.printf "  seed %d: consumer finished %d/%d items\n" seed !consumed
       items;
+  (* Swap-specific invariants, checked at quiescence: both swaps
+     committed, no request was dropped or degraded while the gates
+     were closed, the generation-1 capability died by epoch, and no
+     dispatch is still marked in flight. *)
+  let swap_violations = ref !swap_errors in
+  let bad msg = swap_violations := msg :: !swap_violations in
+  let st = Http.stats http in
+  if st.Http.ok <> st.Http.requests then
+    bad (Printf.sprintf "dropped requests: %d ok of %d"
+           st.Http.ok st.Http.requests);
+  if st.Http.fallbacks > 0 then
+    bad (Printf.sprintf "%d degraded responses during swap" st.Http.fallbacks);
+  (match Spin_core.Capability.deref stale_cap with
+   | exception Spin_core.Capability.Revoked _ -> ()
+   | _ -> bad "stale generation-1 capability survived the swaps");
+  Spin_core.Dispatcher.audit client.Host.dispatcher bad;
+  Spin_core.Dispatcher.audit server.Host.dispatcher bad;
   let violations =
-    Sched_fuzz.violations fz_client @ Sched_fuzz.violations fz_server in
+    List.rev !swap_violations
+    @ Sched_fuzz.violations fz_client @ Sched_fuzz.violations fz_server in
   let stats = [ Sched_fuzz.stats fz_client; Sched_fuzz.stats fz_server ] in
   Sched_fuzz.detach fz_client;
   Sched_fuzz.detach fz_server;
@@ -124,9 +168,8 @@ let write_artifacts ~seed violations =
   close_out oc;
   Printf.printf "  artifacts: %s, %s\n" seed_file trace_file
 
-let report_seed ~seed (violations, stats, _) =
-  let total =
-    List.fold_left (fun a s -> a + s.Sched_fuzz.violations) 0 stats in
+let report_seed ~seed (violations, _stats, _) =
+  let total = List.length violations in
   if total > 0 then begin
     Printf.printf "  seed %d: %d violation(s)\n" seed total;
     List.iter (fun v -> Printf.printf "    %s\n" v) violations

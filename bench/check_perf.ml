@@ -121,6 +121,7 @@ let gated m =
     at 0 in
   (m.experiment = "table5" && has_sub "latency")
   || (m.experiment = "mem" && has_sub "reclaim p")
+  || (m.experiment = "swap" && has_sub "pause p")
 
 let () =
   match Sys.argv with

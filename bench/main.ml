@@ -26,6 +26,7 @@ let experiments = [
   ("web", "web server latency (5.4)", B_extra.web);
   ("load", "HTTP load scaling over the zero-copy path (5.4)", B_load.run);
   ("mem", "memory pressure and reclamation (5.2)", B_mem.run);
+  ("swap", "live extension hot-swap under load", B_swap.run);
   ("ablation", "design-choice ablations", B_ablation.run);
   ("fuzz", "schedule fuzzing with seeded replay", B_fuzz.run);
   ("bechamel", "host-time simulation costs", B_bechamel.run);

@@ -44,6 +44,11 @@ type t = {
   mutable registry : registration list;   (* reverse declaration order *)
   mutable on_fault : (fault -> unit) option;
   mutable on_violation : (string -> unit) option;
+  (* Provided by the scheduler layer: hold the calling strand while a
+     gated event's handlers are being hot-swapped. Returns true after
+     a wait (re-check the gate), false to pass through (the caller is
+     exempt — e.g. the swap itself). *)
+  mutable gate_wait : (unit -> bool) option;
   mutable next_handler_id : int;
 }
 
@@ -53,6 +58,8 @@ and registration = {
   reg_installers : unit -> string list;
   reg_remove : string -> int;
   reg_audit : (string -> unit) -> unit;
+  reg_set_gate : bool -> unit;
+  reg_in_flight : unit -> int;
 }
 
 type ('a, 'r) handler = {
@@ -76,6 +83,7 @@ type stats = {
   aborted : int;
   handler_failures : int;
   stale_skips : int;
+  gated_waits : int;
 }
 
 type 'a decision =
@@ -109,6 +117,11 @@ type ('a, 'r) event = {
   (* Dispatches currently iterating this event's handler list; the
      invariant audit requires 0 at quiescence. *)
   mutable in_flight : int;
+  (* Swap window: while gated, raises hold at the top of the dispatch
+     (via the scheduler's [gate_wait]) until the replacement handlers
+     are installed, then drain against the new domain. *)
+  mutable gated : bool;
+  mutable s_gated_waits : int;
   mutable s_raises : int;
   mutable s_fast : int;
   mutable s_invocations : int;
@@ -123,7 +136,8 @@ exception No_handler of string
 let create ?(costs = default_costs) clock =
   { clock; costs; tracer = Trace.of_clock clock; spawn = None;
     deferred = Queue.create (); registry = [];
-    on_fault = None; on_violation = None; next_handler_id = 0 }
+    on_fault = None; on_violation = None; gate_wait = None;
+    next_handler_id = 0 }
 
 let tracer t = t.tracer
 
@@ -177,6 +191,7 @@ let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary defau
       index; indexed = Hashtbl.create 8;
       allow_remove; default_handler; primary_active = true; extra = [];
       n_indexed_active = 0; in_flight = 0;
+      gated = false; s_gated_waits = 0;
       s_raises = 0; s_fast = 0; s_invocations = 0;
       s_guard_rejections = 0; s_aborted = 0; s_failed = 0;
       s_stale_skips = 0 } in
@@ -234,7 +249,8 @@ let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary defau
            name e.in_flight) in
   t.registry <-
     { reg_name = name; reg_owner = owner; reg_installers; reg_remove;
-      reg_audit }
+      reg_audit; reg_set_gate = (fun v -> e.gated <- v);
+      reg_in_flight = (fun () -> e.in_flight) }
     :: t.registry;
   e
 
@@ -420,7 +436,24 @@ let run_sync e h arg acc =
     end else
       match !result with Some r -> r :: acc | None -> acc
 
+(* Hold at a closed gate until the swap that closed it drains us. A
+   wait hook that answers false exempts the caller (the swap strand
+   itself must dispatch through its own gate); with no hook installed
+   — no scheduler to park on — the raise passes through. *)
+let gate_hold e =
+  if e.gated then
+    match e.disp.gate_wait with
+    | None -> ()
+    | Some wait ->
+      e.s_gated_waits <- e.s_gated_waits + 1;
+      if Trace.on e.disp.tracer then
+        Trace.instant e.disp.tracer ~cat:"dispatcher" ~name:"gate_hold"
+          ~args:[ ("event", e.e_name) ] ();
+      let rec hold () = if e.gated && wait () then hold () in
+      hold ()
+
 let raise_event e arg =
+  gate_hold e;
   let clock = e.disp.clock in
   let costs = e.disp.costs in
   let tr = e.disp.tracer in
@@ -526,7 +559,40 @@ let stats e = {
   aborted = e.s_aborted;
   handler_failures = e.s_failed;
   stale_skips = e.s_stale_skips;
+  gated_waits = e.s_gated_waits;
 }
+
+(* -------------------- swap-window gating -------------------------- *)
+
+let set_gate_wait t f = t.gate_wait <- f
+
+let gate e = e.gated <- true
+
+let ungate e = e.gated <- false
+
+let is_gated e = e.gated
+
+(* The supervisor-style registry sweep, for gates: close every event
+   on which any of [installers] has an active handler, returning the
+   names closed so the swap can reopen exactly those. *)
+let gate_installers t ~installers =
+  List.filter_map
+    (fun r ->
+      if List.exists (fun i -> List.mem i (r.reg_installers ())) installers
+      then begin r.reg_set_gate true; Some r.reg_name end
+      else None)
+    t.registry
+
+let set_gate_by_name t ~names v =
+  List.iter
+    (fun r -> if List.mem r.reg_name names then r.reg_set_gate v)
+    t.registry
+
+let in_flight_by_name t ~names =
+  List.fold_left
+    (fun acc r ->
+      if List.mem r.reg_name names then acc + r.reg_in_flight () else acc)
+    0 t.registry
 
 let audit t report = List.iter (fun r -> r.reg_audit report) t.registry
 

@@ -254,6 +254,9 @@ type stats = {
       uninstalled (or its domain quarantined) between the raise and the
       deferred thunk running — the dispatch-during-uninstall race,
       detected and resolved in the handler's disfavor. *)
+  gated_waits : int;
+  (** raises that arrived while the event was gated (a hot-swap window)
+      and were held until the gate reopened. *)
 }
 
 val stats : ('a, 'r) event -> stats
@@ -273,3 +276,44 @@ val uninstall_installer : t -> installer:string -> int
     declared event (linear and indexed) — the primitive behind domain
     quarantine. Returns how many handlers were evicted. Primary
     (default) handlers are never touched. *)
+
+(** {2 Swap-window gating}
+
+    A hot swap ({!Spin.Swap}) must stop dispatch into the extension
+    being replaced without dropping the requests that arrive while its
+    handlers are re-pointed. Gating an event makes {!raise_event} hold
+    the raiser at the event's edge — before any cost is charged or
+    handler consulted — until the gate reopens; the held raise then
+    proceeds against the replacement handlers. *)
+
+val set_gate_wait : t -> (unit -> bool) option -> unit
+(** Installs the hook a gated raise parks on. The hook blocks the
+    calling strand until the swap drains the gate and returns [true]
+    (re-check the gate: spurious wakeups and back-to-back swaps are
+    handled by looping) or [false] (the caller is exempt — the swap
+    strand itself — and passes through). With no hook installed, gated
+    raises pass through: there is no scheduler to park on. *)
+
+val gate : ('a, 'r) event -> unit
+(** Close the event's gate. *)
+
+val ungate : ('a, 'r) event -> unit
+(** Reopen the event's gate. Waiters parked by the {!set_gate_wait}
+    hook must be woken by the caller (the hook's other half). *)
+
+val is_gated : ('a, 'r) event -> bool
+
+val gate_installers : t -> installers:string list -> string list
+(** Closes the gate of every event on which any of [installers] has an
+    active handler, and returns the names of the events closed — the
+    exact set to reopen once the swap commits. *)
+
+val set_gate_by_name : t -> names:string list -> bool -> unit
+(** Sets the gate of every named event — [true] closes, [false]
+    reopens. Used with the list {!gate_installers} returned. *)
+
+val in_flight_by_name : t -> names:string list -> int
+(** Dispatches currently executing inside the named events. New raises
+    park at a closed gate {e before} counting as in flight, so a swap
+    can quiesce: gate, then yield until this reaches zero — everything
+    already inside the old handlers has finished. *)

@@ -1,19 +1,51 @@
-type t = {
-  app : string;
-  table : Univ.t Spin_dstruct.Idtable.t;
+type entry = {
+  value : Univ.t;
+  minted_epoch : int;
 }
 
-let create ~app = { app; table = Spin_dstruct.Idtable.create () }
+type t = {
+  app : string;
+  table : entry Spin_dstruct.Idtable.t;
+  mutable epoch : int;
+  mutable s_stale_hits : int;
+}
+
+let create ~app =
+  { app; table = Spin_dstruct.Idtable.create (); epoch = 0; s_stale_hits = 0 }
 
 let app t = t.app
 
-let externalize t tag v = Spin_dstruct.Idtable.insert t.table (Univ.pack tag v)
+let epoch t = t.epoch
+
+let externalize t tag v =
+  Spin_dstruct.Idtable.insert t.table
+    { value = Univ.pack tag v; minted_epoch = t.epoch }
 
 let internalize t tag i =
   match Spin_dstruct.Idtable.lookup t.table i with
   | None -> None
-  | Some u -> Univ.unpack tag u
+  | Some e when e.minted_epoch < t.epoch ->
+    (* Minted by a retired instance of the application: the index is
+       dead, not dangling — indistinguishable from a released one to
+       the caller, but counted so swaps are observable. *)
+    t.s_stale_hits <- t.s_stale_hits + 1;
+    None
+  | Some e -> Univ.unpack tag e.value
 
 let release t i = Spin_dstruct.Idtable.remove t.table i
+
+let advance_epoch t =
+  t.epoch <- t.epoch + 1;
+  t.epoch
+
+let sweep_stale t =
+  let stale = ref [] in
+  Spin_dstruct.Idtable.iter
+    (fun i e -> if e.minted_epoch < t.epoch then stale := i :: !stale)
+    t.table;
+  List.iter (Spin_dstruct.Idtable.remove t.table) !stale;
+  List.length !stale
+
+let stale_hits t = t.s_stale_hits
 
 let live t = Spin_dstruct.Idtable.length t.table

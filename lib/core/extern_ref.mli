@@ -4,7 +4,14 @@
     never hands it a pointer; it hands an index into a
     per-application table of type-safe in-kernel references.
     Internalization checks both the index and the tag under which the
-    reference was externalized. *)
+    reference was externalized.
+
+    Each table also carries an epoch. References are stamped with the
+    epoch at externalization, and {!advance_epoch} (called when the
+    owning extension is hot-swapped) retires every earlier stamp in
+    O(1): a stale index internalizes as [None] — dead, never dangling
+    into the replaced instance — and the miss is counted in
+    {!stale_hits}. *)
 
 type t
 (** One table per application. *)
@@ -15,13 +22,28 @@ val app : t -> string
 
 val externalize : t -> 'a Univ.tag -> 'a -> int
 (** Stores the reference, returning the external index to pass to
-    user space. *)
+    user space. The entry is stamped with the table's current epoch. *)
 
 val internalize : t -> 'a Univ.tag -> int -> 'a option
-(** [None] for stale indices, forged indices, and tag mismatches
-    (an index externalized as one resource type cannot be
-    internalized as another). *)
+(** [None] for stale indices, forged indices, tag mismatches (an
+    index externalized as one resource type cannot be internalized as
+    another), and indices externalized under a retired epoch. *)
 
 val release : t -> int -> unit
+
+val epoch : t -> int
+(** 0 at creation. *)
+
+val advance_epoch : t -> int
+(** Start the table's next epoch and return it. Every index
+    externalized before this call becomes stale. *)
+
+val sweep_stale : t -> int
+(** Frees the slots of stale-epoch entries and returns how many were
+    swept. Optional housekeeping after {!advance_epoch}: staleness is
+    already enforced by {!internalize}. *)
+
+val stale_hits : t -> int
+(** Internalizations denied because the entry's epoch was retired. *)
 
 val live : t -> int

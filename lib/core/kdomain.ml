@@ -32,6 +32,9 @@ let create_from_module ~name ~exports =
 
 let name t = t.name
 
+let version t =
+  List.fold_left (fun acc o -> max acc (Object_file.version o)) 1 t.objects
+
 (* An aggregate remembers which leaf domains it was combined from, so
    a member can later be unlinked (supervisor quarantine) without
    losing the rest. *)
@@ -102,6 +105,26 @@ let resolve_exn ~source ~target =
   match resolve ~source ~target with
   | Ok n -> n
   | Error e -> raise (Link_error e)
+
+(* A replacement domain must keep every promise the old one made:
+   each old export needs a same-named, type-compatible export in the
+   replacement, or clients linked against the old interface would call
+   into a hole after the swap. Returns the uncovered names (with the
+   reason) — empty means safe to swap. *)
+let export_gaps t ~exports:old_exports =
+  let available = export_list t in
+  List.filter_map
+    (fun sym ->
+      match List.find_opt (fun (s, _) -> Symbol.same_name s sym) available with
+      | None -> Some (Symbol.full_name sym ^ " missing")
+      | Some (found, _) ->
+        if Symbol.compatible ~expected:sym ~found then None
+        else
+          Some (Printf.sprintf "%s incompatible: expected %s, found %s"
+                  (Symbol.full_name sym)
+                  (Ty.to_string sym.Symbol.ty)
+                  (Ty.to_string found.Symbol.ty)))
+    old_exports
 
 let lookup t full =
   List.find_map

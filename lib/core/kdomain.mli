@@ -31,6 +31,10 @@ val create_from_module :
 
 val name : t -> string
 
+val version : t -> int
+(** The highest {!Object_file.version} among the domain's object
+    files; 1 for module-built domains. *)
+
 val combine : name:string -> t -> t -> t
 (** The aggregate exports the union of both domains' interfaces.
     Underlying object files are shared, not copied (domains may
@@ -61,6 +65,14 @@ val resolve : source:t -> target:t -> (int, error) result
     Does not export additional symbols from the target. *)
 
 val resolve_exn : source:t -> target:t -> int
+
+val export_gaps : t -> exports:Symbol.t list -> string list
+(** [export_gaps replacement ~exports:(exports old)] checks that the
+    replacement keeps every interface promise the old domain made: for
+    each old export there must be a same-named, type-compatible export
+    in [replacement]. Returns a description of each gap — empty means
+    the replacement can stand in for the old domain (hot-swap
+    precondition). *)
 
 val lookup : t -> string -> Univ.t option
 (** [lookup d "Console.Open"] finds an exported item by full name. *)

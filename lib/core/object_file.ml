@@ -11,6 +11,7 @@ type import = {
 type t = {
   name : string;
   safety : safety;
+  version : int;
   exports : (Symbol.t * Univ.t) list;
   imports : import list;
   init : (unit -> unit) option;
@@ -29,6 +30,7 @@ module Builder = struct
     b_lines : int;
     b_text : int;
     b_data : int;
+    mutable b_version : int;
     mutable b_exports : (Symbol.t * Univ.t) list;
     mutable b_imports : import list;
     mutable b_init : (unit -> unit) option;
@@ -37,8 +39,12 @@ module Builder = struct
   let create ~name ~safety ?(source_lines = 0) ?(text_bytes = 0)
       ?(data_bytes = 0) () =
     { b_name = name; b_safety = safety; b_lines = source_lines;
-      b_text = text_bytes; b_data = data_bytes;
+      b_text = text_bytes; b_data = data_bytes; b_version = 1;
       b_exports = []; b_imports = []; b_init = None }
+
+  let set_version b v =
+    if v < 1 then invalid_arg "Object_file: version must be >= 1";
+    b.b_version <- v
 
   let export b sym value =
     if List.exists (fun (s, _) -> Symbol.same_name s sym) b.b_exports then
@@ -59,7 +65,7 @@ module Builder = struct
     let nsyms = List.length b.b_exports + List.length b.b_imports in
     let text = if b.b_text > 0 then b.b_text else 96 * (1 + nsyms) in
     let data = if b.b_data > 0 then b.b_data else 64 * (1 + nsyms) in
-    { name = b.b_name; safety = b.b_safety;
+    { name = b.b_name; safety = b.b_safety; version = b.b_version;
       exports = b.b_exports; imports = b.b_imports; init = b.b_init;
       source_lines = b.b_lines; text_bytes = text; data_bytes = data;
       initialized = false }
@@ -67,6 +73,7 @@ end
 
 let name t = t.name
 let safety t = t.safety
+let version t = t.version
 let exports t = t.exports
 let imports t = t.imports
 let source_lines t = t.source_lines

@@ -39,11 +39,19 @@ module Builder : sig
   val set_init : t -> (unit -> unit) -> unit
   (** Run once when the containing domain is initialized. *)
 
+  val set_version : t -> int -> unit
+  (** Version stamp reported by hot-swap tooling; defaults to 1.
+      Raises [Invalid_argument] below 1. *)
+
   val build : t -> obj
 end
 
 val name : t -> string
 val safety : t -> safety
+
+val version : t -> int
+(** See {!Builder.set_version}. *)
+
 val exports : t -> (Symbol.t * Univ.t) list
 val imports : t -> import list
 val source_lines : t -> int

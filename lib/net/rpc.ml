@@ -20,6 +20,7 @@ type t = {
   am : Active_msg.t;
   procs : (string, Bytes.t -> Bytes.t) Hashtbl.t;
   calls : (int, waiting) Hashtbl.t;
+  jitter : Spin_dstruct.Splitmix.t;
   mutable next_id : int;
   mutable request_handler : int;
   mutable reply_handler : int;
@@ -83,6 +84,10 @@ let create machine sched am =
     machine; sched; am;
     procs = Hashtbl.create 16;
     calls = Hashtbl.create 16;
+    (* Per-host deterministic stream: same machine name, same jitter
+       sequence, so a simulated run replays exactly. *)
+    jitter = Spin_dstruct.Splitmix.create
+        ~seed:(Hashtbl.hash machine.Machine.name);
     next_id = 1;
     request_handler = 0; reply_handler = 0;
     s_calls = 0; s_served = 0; s_timeouts = 0; s_retries = 0;
@@ -128,12 +133,19 @@ let call_once t ~timeout_us ~dst ~name args =
     | Timed_out | Pending -> `Timed_out
   end
 
+(* The per-retry backoff multiplier: nominally 2.0 (exponential
+   doubling), drawn uniformly from [1.5, 2.5) so peers whose calls
+   timed out together don't re-send in lockstep forever. Deterministic
+   (SplitMix64 seeded from the host name) and free of virtual cycles:
+   jitter spreads the retry *schedule*, not the clock. *)
+let backoff_factor rng = 1.5 +. Spin_dstruct.Splitmix.float rng
+
 (* A lost request or reply surfaces as a timeout; retries re-send with
-   a doubled timeout each attempt (exponential backoff). A [Rejected]
-   outcome means the remote host answered — retrying cannot help. A
-   failed send is different from a timeout: it is synchronous (no
-   virtual time passed waiting), so re-sending keeps the current
-   timeout instead of consuming a backoff doubling. *)
+   a jittered-doubling timeout each attempt (exponential backoff). A
+   [Rejected] outcome means the remote host answered — retrying cannot
+   help. A failed send is different from a timeout: it is synchronous
+   (no virtual time passed waiting), so re-sending keeps the current
+   timeout instead of consuming a backoff step. *)
 let call t ?(timeout_us = 1_000_000.) ?(retries = 0) ~dst ~name args =
   t.s_calls <- t.s_calls + 1;
   let tr = Trace.of_clock t.machine.Machine.clock in
@@ -159,7 +171,7 @@ let call t ?(timeout_us = 1_000_000.) ?(retries = 0) ~dst ~name args =
       else begin
         t.s_retries <- t.s_retries + 1;
         retry n "timeout";
-        attempt (n + 1) (timeout *. 2.)
+        attempt (n + 1) (timeout *. backoff_factor t.jitter)
       end
     | `Send_failed ->
       t.s_send_failures <- t.s_send_failures + 1;

@@ -18,13 +18,20 @@ val call :
     unknown remote procedure. Default timeout: one second.
 
     [retries] (default 0) re-sends the request after each timeout or
-    send failure. A timeout doubles the next attempt's timeout
-    (exponential backoff) — a lost datagram on a lossy wire is
-    survived instead of surfaced. A failed send is synchronous (no
-    virtual time passed waiting), so its re-send keeps the current
-    timeout rather than consuming a backoff doubling. A definitive
-    answer from the remote host (unknown procedure) is never
-    retried. *)
+    send failure. A timeout multiplies the next attempt's timeout by
+    {!backoff_factor} — nominally doubling (exponential backoff), with
+    deterministic jitter so peers that timed out together don't
+    re-send in lockstep. A failed send is synchronous (no virtual time
+    passed waiting), so its re-send keeps the current timeout rather
+    than consuming a backoff step. A definitive answer from the remote
+    host (unknown procedure) is never retried. *)
+
+val backoff_factor : Spin_dstruct.Splitmix.t -> float
+(** One draw of the retry backoff multiplier: uniform in [1.5, 2.5)
+    (mean 2.0, preserving the expected exponential-doubling schedule).
+    Each endpoint draws from its own SplitMix64 stream seeded by its
+    host name, so runs replay exactly and no virtual cycles are
+    charged. Exposed for tests. *)
 
 type stats = {
   calls : int;          (** logical calls, not attempts *)

@@ -30,7 +30,31 @@ let default_send server (payload, _seq) =
   ignore server;
   0
 
-let create_server host ~fs ~netif ~port =
+(* The multicast extension: one raise fans out to every client at the
+   driver level. The UDP payload is encoded once; per client only the
+   addressing is patched before the driver transmit. Parameterized by
+   installer (and per-client patch cost) so a hot swap can retire one
+   codec generation's handler and install the next under the
+   replacement domain's name. *)
+let install_mcast ?(patch_cost = 45) server ~installer =
+  Dispatcher.install_exn server.send_packet ~installer
+    (fun (payload, _seq) ->
+      let datagram =
+        Udp.encode_datagram ~src_port:server.port ~dst_port:server.port
+          payload in
+      let src = server.host.Host.addr in
+      let frames =
+        List.map
+          (fun client ->
+            (* Header patch (tiny): each client's frame copies the
+               encoded datagram once and gets its own addressing. *)
+            Clock.charge server.host.Host.machine.Machine.clock patch_cost;
+            Ip.encode_frame ~src ~dst:client ~proto:Ip.proto_udp datagram)
+          server.clients in
+      (* One driver doorbell for the whole fan-out. *)
+      Netif.transmit_burst server.netif frames)
+
+let create_server ?(mcast = true) host ~fs ~netif ~port =
   let cache = File_cache.create ~phys:host.Host.phys fs in
   let rec server =
     lazy
@@ -42,26 +66,7 @@ let create_server host ~fs ~netif ~port =
         clients = []; nframes = 0; frame_bytes = 0;
         packets = 0; frames = 0; seq = 0; busy = 0 } in
   let server = Lazy.force server in
-  (* The multicast extension: one raise fans out to every client at
-     the driver level. The UDP payload is encoded once; per client
-     only the addressing is patched before the driver transmit. *)
-  ignore
-    (Dispatcher.install_exn server.send_packet ~installer:"VideoMcast"
-       (fun (payload, _seq) ->
-         let datagram =
-           Udp.encode_datagram ~src_port:server.port ~dst_port:server.port
-             payload in
-         let src = server.host.Host.addr in
-         let frames =
-           List.map
-             (fun client ->
-               (* Header patch (tiny): each client's frame copies the
-                  encoded datagram once and gets its own addressing. *)
-               Clock.charge server.host.Host.machine.Machine.clock 45;
-               Ip.encode_frame ~src ~dst:client ~proto:Ip.proto_udp datagram)
-             server.clients in
-         (* One driver doorbell for the whole fan-out. *)
-         Netif.transmit_burst server.netif frames));
+  if mcast then ignore (install_mcast server ~installer:"VideoMcast");
   server
 
 let load_frames server ~count ~frame_bytes =

@@ -15,8 +15,22 @@
 type server
 
 val create_server :
+  ?mcast:bool ->
   Host.t -> fs:Spin_fs.Simple_fs.t -> netif:Netif.t -> port:int -> server
-(** The sender transmits UDP video packets out of [netif]. *)
+(** The sender transmits UDP video packets out of [netif]. By default
+    the multicast extension is installed as ["VideoMcast"]; pass
+    [~mcast:false] when the fan-out handler is supplied by a loadable
+    (hot-swappable) extension via {!install_mcast} instead. *)
+
+val install_mcast :
+  ?patch_cost:int -> server -> installer:string ->
+  (Bytes.t * int, int) Spin_core.Dispatcher.handler
+(** Installs the client fan-out handler on [Video.SendPacket] under
+    [installer]. [patch_cost] is the per-client header-patch charge
+    (default 45 cycles) — a newer codec generation can install a
+    cheaper one. Separate from {!create_server} so a hot swap can
+    sweep one generation's handler and have the replacement install
+    its own. *)
 
 val load_frames :
   server -> count:int -> frame_bytes:int -> unit

@@ -321,6 +321,13 @@ let block t s = Dispatcher.raise_default t.events.block () s
 
 let unblock t s = Dispatcher.raise_default t.events.unblock () s
 
+(* The scheduler raises Checkpoint/Resume around every slice; a hot
+   swap raises them around the swap window too, so state-externalizing
+   handlers installed on those events fire at both granularities. *)
+let checkpoint_notify t s = Dispatcher.raise_default t.events.checkpoint () s
+
+let resume_notify t s = Dispatcher.raise_default t.events.resume () s
+
 let block_current t =
   let s = self t in
   block t s;

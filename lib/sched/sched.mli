@@ -85,6 +85,16 @@ val unblock : t -> Strand.t -> unit
 (** Raise [Unblock]: a blocked (or newly created) strand becomes
     runnable. Safe from interrupt handlers. *)
 
+val checkpoint_notify : t -> Strand.t -> unit
+(** Raise [Strand.Checkpoint] explicitly — the scheduler raises it
+    after every slice; a hot swap ({!Spin.Swap}) raises it before
+    checkpointing the outgoing extension so per-strand state
+    externalizers run one last time. *)
+
+val resume_notify : t -> Strand.t -> unit
+(** Raise [Strand.Resume] explicitly (the swap-commit counterpart of
+    {!checkpoint_notify}). *)
+
 val sleep_us : t -> float -> unit
 (** Block the current strand for the given virtual duration. *)
 

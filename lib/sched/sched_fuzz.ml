@@ -5,24 +5,11 @@ module Dispatcher = Spin_core.Dispatcher
 
 let owner = "SchedFuzz"
 
-(* SplitMix64: tiny, full-period, and stable across platforms, so a
-   seed names the same schedule everywhere. No global state — replay
-   depends on nothing but the seed and the workload. *)
-type rng = { mutable rs : int64 }
-
-let rng_next r =
-  r.rs <- Int64.add r.rs 0x9E3779B97F4A7C15L;
-  let z = r.rs in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
-            0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
-            0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-let rng_below r n =
-  if n <= 1 then 0
-  else Int64.to_int (Int64.rem (Int64.shift_right_logical (rng_next r) 1)
-                       (Int64.of_int n))
+(* SplitMix64 ({!Spin_dstruct.Splitmix}): tiny, full-period, and
+   stable across platforms, so a seed names the same schedule
+   everywhere. No global state — replay depends on nothing but the
+   seed and the workload. *)
+module Rng = Spin_dstruct.Splitmix
 
 type stats = {
   seed : int;
@@ -37,7 +24,7 @@ type t = {
   sim : Sim.t;
   cpu : Cpu.t option;
   dispatcher : Dispatcher.t option;
-  rng : rng;
+  rng : Rng.t;
   fz_seed : int;
   mean_period : int;
   mutable enabled : bool;
@@ -68,13 +55,13 @@ let audit_now t =
 
 let schedule_next_preempt t =
   t.next_preempt <-
-    Clock.now t.clock + 1 + rng_below t.rng (2 * t.mean_period)
+    Clock.now t.clock + 1 + Rng.below t.rng (2 * t.mean_period)
 
 let attach ?cpu ?dispatcher ?(mean_period = 2_000) ~seed sched =
   let t = {
     sched; clock = Sched.clock sched; sim = Sched.sim sched;
     cpu; dispatcher;
-    rng = { rs = Int64.of_int seed };
+    rng = Rng.create ~seed;
     fz_seed = seed; mean_period;
     enabled = true; next_preempt = 0;
     n_decisions = 0; n_injected = 0; n_violations = 0;
@@ -94,7 +81,7 @@ let attach ?cpu ?dispatcher ?(mean_period = 2_000) ~seed sched =
   Sched.set_selector sched
     (Some (fun candidates ->
        t.n_decisions <- t.n_decisions + 1;
-       Some (List.nth candidates (rng_below t.rng (List.length candidates)))));
+       Some (List.nth candidates (Rng.below t.rng (List.length candidates)))));
   Sched.set_violation_hook sched (Some (fun m -> record t ("sched: " ^ m)));
   (match dispatcher with
    | Some d ->

@@ -23,6 +23,7 @@ type t = {
   vm : Vm.t;
   heap : Kheap.t;
   supervisor : Supervisor.t;
+  swap : Swap.t;
   syscall_event : (int * int array, int) Dispatcher.event;
   syscalls : (int, int array -> int) Hashtbl.t;
   mutable public : Kdomain.t;
@@ -61,6 +62,9 @@ let select_victim_event_tag
       Univ.tag =
   Univ.tag ~name:"PhysAddr.SelectVictim" ()
 
+let swap_event_tag : (Swap.outcome, unit) Dispatcher.event Univ.tag =
+  Univ.tag ~name:"Swap.SwappedEvent" ()
+
 let publish t ~name ?authorize domain =
   Nameserver.register t.nameserver ~name ?authorize domain;
   t.published <- t.published @ [ (name, domain) ];
@@ -91,6 +95,7 @@ let boot ?(mem_mb = 64) ?(name = "spin") () =
   let vm = Vm.create machine dispatcher in
   let heap = Kheap.create machine.Machine.clock () in
   let supervisor = Supervisor.create machine.Machine.sim dispatcher in
+  let swap = Swap.create sched dispatcher in
   let syscalls : (int, int array -> int) Hashtbl.t = Hashtbl.create 32 in
   (* One installed handler: the raise is a fast-path procedure call
      into the table (Table 2's 4 us system call). *)
@@ -102,7 +107,7 @@ let boot ?(mem_mb = 64) ?(name = "spin") () =
         | None -> -1) in
   let public = Kdomain.create_from_module ~name:"SpinPublic" ~exports:[] in
   let t = { machine; dispatcher; nameserver; sched; vm; heap; supervisor;
-            syscall_event; syscalls; public; published = [];
+            swap; syscall_event; syscalls; public; published = [];
             extensions = [] } in
   Supervisor.set_unlink supervisor (unlink_domain t);
   Cpu.set_trap_handler machine.Machine.cpu (fun trap ->
@@ -164,10 +169,19 @@ let boot ?(mem_mb = 64) ?(name = "spin") () =
          Univ.pack select_victim_event_tag
            (Phys_addr.select_victim_event vm.Vm.phys));
       ] in
+  (* Live update is observable the same way failure is: peers import
+     DomainSwapped and re-mint references when a provider changes. *)
+  let swap_domain =
+    Kdomain.create_from_module ~name:"Swap"
+      ~exports:[
+        (event_ty "Swap" "DomainSwapped",
+         Univ.pack swap_event_tag (Swap.swapped_event swap));
+      ] in
   publish t ~name:"StrandService" strand_domain;
   publish t ~name:"TranslationService" translation_domain;
   publish t ~name:"SupervisorService" supervisor_domain;
   publish t ~name:"PhysAddrService" physaddr_domain;
+  publish t ~name:"SwapService" swap_domain;
   t
 
 let trace t = Spin_machine.Trace.of_clock t.machine.Machine.clock
@@ -198,6 +212,26 @@ let load_extension t obj =
       Ok domain
 
 let extension_count t = List.length t.extensions
+
+let hot_swap t ~domain ~replacement =
+  match
+    List.find_opt (fun d -> String.equal (Kdomain.name d) domain) t.extensions
+  with
+  | None -> Error (Swap.Unknown_domain domain)
+  | Some old_domain ->
+    Swap.hot_swap t.swap ~old_domain ~replacement
+      ~prepare:(fun obj ->
+        match Kdomain.create obj with
+        | Error _ as e -> e
+        | Ok d ->
+          (match Kdomain.resolve ~source:t.public ~target:d with
+           | Error _ as e -> e
+           | Ok _patched -> Ok d))
+      ~activate:(fun d ->
+        t.extensions <- d :: t.extensions;
+        Supervisor.register_domain t.supervisor ~name:(Kdomain.name d) ())
+      ~unlink:(unlink_domain t)
+      ~supervisor:t.supervisor ()
 
 let attach_fuzz ?mean_period ~seed t =
   Spin_sched.Sched_fuzz.attach ~cpu:t.machine.Machine.cpu

@@ -19,6 +19,7 @@ type t = {
   vm : Spin_vm.Vm.t;
   heap : Spin_kgc.Kheap.t;
   supervisor : Supervisor.t;
+  swap : Swap.t;
   syscall_event :
     (int * int array, int) Spin_core.Dispatcher.event;
   syscalls : (int, int array -> int) Hashtbl.t;
@@ -60,6 +61,12 @@ val select_victim_event_tag :
     Spin_core.Dispatcher.event Spin_core.Univ.tag
 (** The replaceable page-replacement policy event; install a handler
     to override the default second-chance selector. *)
+
+val swap_event_tag :
+  (Swap.outcome, unit) Spin_core.Dispatcher.event Spin_core.Univ.tag
+(** The [SwapService] export: [Swap.DomainSwapped], raised after every
+    committed hot swap so peers can re-mint references to the
+    replaced provider. *)
 
 val trace : t -> Spin_machine.Trace.t
 (** The kernel's tracer — the one every subsystem on this machine's
@@ -104,6 +111,17 @@ val load_extension :
     initializer. *)
 
 val extension_count : t -> int
+
+val hot_swap :
+  t -> domain:string -> replacement:Spin_core.Object_file.t ->
+  (Swap.outcome, Swap.error) result
+(** Replace the loaded extension [domain] with [replacement] while the
+    system runs: the {!Swap} protocol with the kernel's linking
+    ([SpinPublic]), supervisor, and namespace wired in. Requests
+    raised into the domain's events during the window park at the
+    gate and complete against the replacement; capabilities and
+    externalized references minted by the old instance are revoked by
+    epoch. See {!Swap} for the protocol and failure modes. *)
 
 val attach_fuzz :
   ?mean_period:int -> seed:int -> t -> Spin_sched.Sched_fuzz.t

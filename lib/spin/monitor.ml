@@ -59,7 +59,21 @@ let watch_supervisor t sup =
   gauge t ~name:"supervisor.restarts"
     (fun () -> (Supervisor.stats sup).Supervisor.s_restarts);
   gauge t ~name:"supervisor.quarantines"
-    (fun () -> (Supervisor.stats sup).Supervisor.s_quarantines)
+    (fun () -> (Supervisor.stats sup).Supervisor.s_quarantines);
+  gauge t ~name:"supervisor.backoff_capped"
+    (fun () -> (Supervisor.stats sup).Supervisor.s_backoff_capped);
+  gauge t ~name:"supervisor.backoff_resets"
+    (fun () -> (Supervisor.stats sup).Supervisor.s_backoff_resets);
+  gauge t ~name:"supervisor.revoked_uses"
+    (fun () -> (Supervisor.stats sup).Supervisor.s_revoked)
+
+let watch_swap t sw =
+  gauge t ~name:"swap.swaps" (fun () -> (Swap.stats sw).Swap.swaps);
+  gauge t ~name:"swap.failed" (fun () -> (Swap.stats sw).Swap.failed_swaps);
+  gauge t ~name:"swap.held_raises"
+    (fun () -> (Swap.stats sw).Swap.held_raises);
+  gauge t ~name:"swap.swept_handlers"
+    (fun () -> (Swap.stats sw).Swap.swept_handlers)
 
 let watch_fuzz t fz =
   let module F = Spin_sched.Sched_fuzz in

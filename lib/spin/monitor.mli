@@ -36,8 +36,14 @@ val watch_netif : t -> Spin_net.Netif.t -> unit
 (** Same, at the driver level (the interface's NIC). *)
 
 val watch_supervisor : t -> Supervisor.t -> unit
-(** Gauges on the supervisor's fault, restart, and quarantine
-    totals. *)
+(** Gauges on the supervisor's fault, restart, and quarantine totals,
+    plus the backoff hygiene counters (delays capped, attempt counts
+    reset after a healthy grace period) and stale-reference
+    ([Capability.Revoked]) fault count. *)
+
+val watch_swap : t -> Swap.t -> unit
+(** Gauges on hot-swap activity: committed and failed swaps, raises
+    held at swap gates, and old handlers swept. *)
 
 val watch_fuzz : t -> Spin_sched.Sched_fuzz.t -> unit
 (** Gauges on a schedule-fuzzing run: the seed in play, scheduling

@@ -46,6 +46,9 @@ type stats = {
   s_restarts : int;
   s_quarantines : int;
   s_gave_up : int;
+  s_backoff_capped : int;
+  s_backoff_resets : int;
+  s_revoked : int;
 }
 
 type t = {
@@ -55,13 +58,19 @@ type t = {
   mutable domain_order : string list;            (* first-seen order *)
   owners : (string, string) Hashtbl.t;           (* installer -> domain *)
   restarts : (int, int) Hashtbl.t;               (* handler id -> count *)
+  fault_times : (int, float) Hashtbl.t;          (* handler id -> last fault *)
   quarantined_ev : (quarantine, unit) Dispatcher.event;
   restarted_ev : (restart, unit) Dispatcher.event;
   mutable unlink : string -> unit;
+  mutable max_restart_delay_us : float;
+  mutable healthy_grace_us : float;
   mutable m_faults : int;
   mutable m_restarts : int;
   mutable m_quarantines : int;
   mutable m_gave_up : int;
+  mutable m_backoff_capped : int;
+  mutable m_backoff_resets : int;
+  mutable m_revoked : int;
 }
 
 let fault_log_cap = 256
@@ -195,6 +204,14 @@ let on_fault t (f : Dispatcher.fault) =
     truncate d.d_log_cap ((now, f.Dispatcher.fault_event) :: d.d_fault_log);
   d.d_faults <- d.d_faults + 1;
   t.m_faults <- t.m_faults + 1;
+  (match f.Dispatcher.fault_kind with
+   | Dispatcher.Handler_exception (Spin_core.Capability.Revoked _) ->
+     (* A handler touched a capability retired by revocation or a
+        hot-swap epoch advance. Contained like any fault, but counted
+        apart: a burst after a swap means some extension cached
+        old-instance references instead of re-minting. *)
+     t.m_revoked <- t.m_revoked + 1
+   | Dispatcher.Handler_exception _ | Dispatcher.Handler_overrun _ -> ());
   if not d.d_quarantined then begin
     (match f.Dispatcher.fault_policy with
      | Dispatcher.Uninstall -> ()      (* dispatcher already evicted it *)
@@ -202,14 +219,32 @@ let on_fault t (f : Dispatcher.fault) =
        if recent_faults d ~window_us now >= max_faults then quarantine t d
      | Dispatcher.Restart { delay_us; backoff; max_restarts } ->
        if f.Dispatcher.fault_removed then begin
-         let n =
-           Option.value ~default:0
-             (Hashtbl.find_opt t.restarts f.Dispatcher.fault_handler_id) in
+         let hid = f.Dispatcher.fault_handler_id in
+         (* A handler that stayed healthy for the grace period has
+            earned its restart budget back: forget its attempt count,
+            so a later, unrelated fault backs off from the start
+            instead of from where a long-past burst left off. *)
+         (match Hashtbl.find_opt t.fault_times hid with
+          | Some last
+            when now -. last >= t.healthy_grace_us
+              && Hashtbl.mem t.restarts hid ->
+            Hashtbl.remove t.restarts hid;
+            t.m_backoff_resets <- t.m_backoff_resets + 1
+          | Some _ | None -> ());
+         Hashtbl.replace t.fault_times hid now;
+         let n = Option.value ~default:0 (Hashtbl.find_opt t.restarts hid) in
          if n >= max_restarts then t.m_gave_up <- t.m_gave_up + 1
-         else
-           schedule_restart t d f
-             ~delay_us:(delay_us *. (backoff ** float_of_int n))
-             ~attempt:(n + 1)
+         else begin
+           (* Exponential backoff, capped: unbounded growth turns a
+              flaky-but-useful handler into a permanently absent one. *)
+           let delay = delay_us *. (backoff ** float_of_int n) in
+           let delay =
+             if delay > t.max_restart_delay_us then begin
+               t.m_backoff_capped <- t.m_backoff_capped + 1;
+               t.max_restart_delay_us
+             end else delay in
+           schedule_restart t d f ~delay_us:delay ~attempt:(n + 1)
+         end
        end);
     (* A domain-level budget (register_domain) applies on top of any
        per-handler policy. *)
@@ -234,9 +269,13 @@ let create sim disp =
     sim; disp;
     domains = Hashtbl.create 16; domain_order = [];
     owners = Hashtbl.create 16; restarts = Hashtbl.create 16;
+    fault_times = Hashtbl.create 16;
     quarantined_ev; restarted_ev;
     unlink = (fun _ -> ());
+    max_restart_delay_us = 1_000_000.0;     (* one simulated second *)
+    healthy_grace_us = 10_000_000.0;
     m_faults = 0; m_restarts = 0; m_quarantines = 0; m_gave_up = 0;
+    m_backoff_capped = 0; m_backoff_resets = 0; m_revoked = 0;
   } in
   Dispatcher.set_fault_handler disp (on_fault t);
   t
@@ -264,11 +303,40 @@ let ledger t =
         quarantined = d.d_quarantined; evicted = d.d_evicted })
     t.domain_order
 
+let set_restart_tuning t ?max_delay_us ?healthy_grace_us () =
+  (match max_delay_us with
+   | Some v when v > 0.0 -> t.max_restart_delay_us <- v
+   | Some _ -> invalid_arg "Supervisor: max_delay_us must be positive"
+   | None -> ());
+  match healthy_grace_us with
+  | Some v when v > 0.0 -> t.healthy_grace_us <- v
+  | Some _ -> invalid_arg "Supervisor: healthy_grace_us must be positive"
+  | None -> ()
+
+let cancel_pending t ~domain =
+  match Hashtbl.find_opt t.domains domain with
+  | None -> 0
+  | Some d ->
+    let n = List.length d.d_pending in
+    List.iter (fun h -> Sim.cancel t.sim h) d.d_pending;
+    d.d_pending <- [];
+    n
+
+let installers t ~domain =
+  match Hashtbl.find_opt t.domains domain with
+  | None -> [ domain ]
+  | Some d ->
+    if List.mem d.d_name d.d_installers then d.d_installers
+    else d.d_name :: d.d_installers
+
 let stats t = {
   s_faults = t.m_faults;
   s_restarts = t.m_restarts;
   s_quarantines = t.m_quarantines;
   s_gave_up = t.m_gave_up;
+  s_backoff_capped = t.m_backoff_capped;
+  s_backoff_resets = t.m_backoff_resets;
+  s_revoked = t.m_revoked;
 }
 
 let report t =

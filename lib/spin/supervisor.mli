@@ -61,6 +61,28 @@ val set_unlink : t -> (string -> unit) -> unit
     kernel wires this to withdrawing the domain's interfaces from the
     nameserver and SpinPublic. Default: no-op. *)
 
+val set_restart_tuning :
+  t -> ?max_delay_us:float -> ?healthy_grace_us:float -> unit -> unit
+(** [max_delay_us] caps the exponential restart backoff (default one
+    simulated second): without a cap, a long fault burst pushes the
+    delay so far out the handler is effectively gone for good.
+    [healthy_grace_us] (default ten simulated seconds) is how long a
+    handler must run fault-free for its restart-attempt count to reset
+    to zero, so an old burst doesn't tax an unrelated new fault.
+    Raises [Invalid_argument] on non-positive values. *)
+
+val cancel_pending : t -> domain:string -> int
+(** Cancels the domain's scheduled (not yet fired) handler restarts
+    and returns how many were cancelled. A hot swap calls this while
+    retiring the old instance: a restart scheduled against the old
+    handlers must not fire after the replacement takes over. *)
+
+val installers : t -> domain:string -> string list
+(** Every installer name attributed to the domain (including the
+    domain name itself) — the set a registry sweep must cover to evict
+    or gate all of the domain's handlers. For an unknown domain,
+    [[domain]]. *)
+
 val quarantined_event :
   t -> (quarantine, unit) Spin_core.Dispatcher.event
 
@@ -91,6 +113,13 @@ type stats = {
   s_restarts : int;
   s_quarantines : int;
   s_gave_up : int;     (** Restart handlers that exhausted max_restarts *)
+  s_backoff_capped : int;
+  (** restart delays clamped to the {!set_restart_tuning} cap *)
+  s_backoff_resets : int;
+  (** attempt counts forgotten after a healthy grace period *)
+  s_revoked : int;
+  (** faults that were {!Spin_core.Capability.Revoked} — stale
+      references used after revocation or a hot-swap epoch advance *)
 }
 
 val stats : t -> stats

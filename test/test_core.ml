@@ -54,6 +54,33 @@ let test_capability_ids_unique () =
   check bool "not equal" false (Capability.equal a b);
   check bool "self equal" true (Capability.equal a a)
 
+let test_capability_epoch_revocation () =
+  (* Generation revocation in O(1): advancing the owner's epoch kills
+     every capability minted before it, without touching them. *)
+  let owner = "EpochSvc" in
+  let before = Capability.current_epoch ~owner in
+  let old_cap = Capability.mint ~owner "gen1" in
+  check int "minted under the current epoch" before
+    (Capability.epoch old_cap);
+  let bystander = Capability.mint ~owner:"OtherSvc" "untouched" in
+  let e = Capability.advance_epoch ~owner in
+  check int "epoch advanced" (before + 1) e;
+  check int "current_epoch agrees" e (Capability.current_epoch ~owner);
+  check bool "stale is invalid" false (Capability.is_valid old_cap);
+  check (option string) "deref_opt is None" None
+    (Capability.deref_opt old_cap);
+  (try
+     ignore (Capability.deref old_cap);
+     fail "expected Revoked"
+   with Capability.Revoked _ -> ());
+  (* Other owners' generations are independent. *)
+  check string "other owner's capability unaffected" "untouched"
+    (Capability.deref bystander);
+  (* Minting resumes under the new epoch. *)
+  let fresh = Capability.mint ~owner "gen2" in
+  check string "fresh capability lives" "gen2" (Capability.deref fresh);
+  check int "stamped with the new epoch" e (Capability.epoch fresh)
+
 (* ------------------------------------------------------------------ *)
 (* Extern_ref                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -84,6 +111,27 @@ let test_extern_ref_per_app_isolation () =
   let a = Extern_ref.create ~app:"a" and b = Extern_ref.create ~app:"b" in
   let i = Extern_ref.externalize a tag 5 in
   check (option int) "other app's table" None (Extern_ref.internalize b tag i)
+
+let test_extern_ref_epoch_retires_indices () =
+  let tag : string Univ.tag = Univ.tag ~name:"Res.T" () in
+  let tbl = Extern_ref.create ~app:"usr" in
+  let i1 = Extern_ref.externalize tbl tag "one" in
+  let i2 = Extern_ref.externalize tbl tag "two" in
+  check int "epoch starts at zero" 0 (Extern_ref.epoch tbl);
+  check int "next epoch" 1 (Extern_ref.advance_epoch tbl);
+  check (option string) "retired index misses" None
+    (Extern_ref.internalize tbl tag i1);
+  check (option string) "all earlier stamps retired" None
+    (Extern_ref.internalize tbl tag i2);
+  check int "misses counted" 2 (Extern_ref.stale_hits tbl);
+  (* New-epoch entries coexist with stale slots until swept. *)
+  let i3 = Extern_ref.externalize tbl tag "three" in
+  check (option string) "current epoch lives" (Some "three")
+    (Extern_ref.internalize tbl tag i3);
+  check int "sweep frees only the stale slots" 2 (Extern_ref.sweep_stale tbl);
+  check int "live after sweep" 1 (Extern_ref.live tbl);
+  check (option string) "survivor still internalizes" (Some "three")
+    (Extern_ref.internalize tbl tag i3)
 
 (* ------------------------------------------------------------------ *)
 (* Object files and domains                                           *)
@@ -591,6 +639,46 @@ let test_dispatch_topology () =
      check (list string) "handlers listed" [ "Ether"; "IP" ] handlers
    | _ -> fail "unexpected topology")
 
+let test_dispatch_gate_without_hook_passes () =
+  (* With no scheduler hook installed there is nothing to park a gated
+     raise on: it passes through (and is not counted as a wait). *)
+  let _, d = mk_dispatcher () in
+  let e = Dispatcher.declare d ~name:"Svc.Op" ~owner:"Svc" (fun () -> 7) in
+  Dispatcher.gate e;
+  check bool "gated" true (Dispatcher.is_gated e);
+  check int "raise passes through" 7 (Dispatcher.raise_event e ());
+  check int "no wait counted" 0 (Dispatcher.stats e).Dispatcher.gated_waits;
+  Dispatcher.ungate e;
+  check bool "reopened" false (Dispatcher.is_gated e)
+
+let test_dispatch_gate_installers_and_hook () =
+  (* gate_installers closes exactly the events an installer touches;
+     a raise into a closed gate consults the hook before any handler,
+     and proceeds once the gate reopens. *)
+  let _, d = mk_dispatcher () in
+  let hot = Dispatcher.declare d ~name:"Svc.Hot" ~owner:"Svc"
+      ~combine:(fun rs -> List.fold_left ( + ) 0 rs) (fun (_ : int) -> 0) in
+  let cold = Dispatcher.declare d ~name:"Svc.Cold" ~owner:"Svc"
+      ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  ignore (Dispatcher.install_exn hot ~installer:"ext" (fun _ -> 7));
+  let gated = Dispatcher.gate_installers d ~installers:[ "ext" ] in
+  check (list string) "only the installer's event closed" [ "Svc.Hot" ] gated;
+  check bool "other event untouched" false (Dispatcher.is_gated cold);
+  let waits = ref 0 in
+  Dispatcher.set_gate_wait d
+    (Some (fun () ->
+       incr waits;
+       (* The swap's other half: reopen, then tell the raiser to
+          re-check the gate. *)
+       Dispatcher.set_gate_by_name d ~names:gated false;
+       true));
+  check int "held raise completes after the gate reopens" 7
+    (Dispatcher.raise_event hot 1);
+  check int "hook consulted once" 1 !waits;
+  check int "wait counted" 1 (Dispatcher.stats hot).Dispatcher.gated_waits;
+  check int "nothing in flight at rest" 0
+    (Dispatcher.in_flight_by_name d ~names:[ "Svc.Hot"; "Svc.Cold" ])
+
 let () =
   Alcotest.run "spin_core"
     [
@@ -603,12 +691,15 @@ let () =
         [
           test_case "lifecycle" `Quick test_capability_lifecycle;
           test_case "unique ids" `Quick test_capability_ids_unique;
+          test_case "epoch revocation" `Quick test_capability_epoch_revocation;
         ] );
       ( "extern_ref",
         [
           test_case "roundtrip" `Quick test_extern_ref_roundtrip;
           test_case "forgery resists" `Quick test_extern_ref_forgery;
           test_case "per-app isolation" `Quick test_extern_ref_per_app_isolation;
+          test_case "epoch retires indices" `Quick
+            test_extern_ref_epoch_retires_indices;
         ] );
       ( "domains",
         [
@@ -656,5 +747,9 @@ let () =
           test_case "fast path resumes after indexed uninstall" `Quick
             test_dispatch_fast_path_resumes_after_indexed_uninstall;
           test_case "topology introspection" `Quick test_dispatch_topology;
+          test_case "gate without hook passes" `Quick
+            test_dispatch_gate_without_hook_passes;
+          test_case "gate installers and hook" `Quick
+            test_dispatch_gate_installers_and_hook;
         ] );
     ]

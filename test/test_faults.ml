@@ -13,6 +13,7 @@ module Link = Spin_machine.Link
 module Machine = Spin_machine.Machine
 module Sched = Spin_sched.Sched
 module Dispatcher = Spin_core.Dispatcher
+module Capability = Spin_core.Capability
 module Kdomain = Spin_core.Kdomain
 module Nameserver = Spin_core.Nameserver
 module Supervisor = Spin.Supervisor
@@ -341,6 +342,88 @@ let test_supervisor_restart_gives_up () =
   check int "handler stays gone" 1 (Dispatcher.handler_count ev);
   check int "three faults in total" 3 (Supervisor.faults sup "hopeless")
 
+let test_supervisor_backoff_cap () =
+  (* Exponential backoff with a tuned ceiling: the clamp keeps a
+     flaky-but-useful handler from backing off into permanent
+     absence, and every clamped delay is counted. *)
+  let clock, sim, d, sup = supervised_dispatcher () in
+  Supervisor.set_restart_tuning sup ~max_delay_us:3_000. ();
+  let ev = Dispatcher.declare d ~name:"Svc.Op" ~owner:"Svc"
+      ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  ignore (Dispatcher.install_exn ev ~installer:"flaky"
+            ~on_failure:(Dispatcher.Restart
+                           { delay_us = 1_000.; backoff = 4.; max_restarts = 5 })
+            (fun _ -> failwith "still broken"));
+  Dispatcher.raise_event ev 1;               (* fault #1: delay 1000 *)
+  let t0 = Clock.now_us clock in
+  Sim.run sim;
+  check bool "first delay uncapped" true
+    (let w = Clock.now_us clock -. t0 in w >= 1_000. && w < 3_000.);
+  Dispatcher.raise_event ev 2;               (* fault #2: 4000 -> clamped *)
+  let t1 = Clock.now_us clock in
+  Sim.run sim;
+  check bool "second delay clamped to the cap" true
+    (let w = Clock.now_us clock -. t1 in w >= 3_000. && w < 4_000.);
+  Dispatcher.raise_event ev 3;               (* fault #3: 16000 -> clamped *)
+  let t2 = Clock.now_us clock in
+  Sim.run sim;
+  check bool "third delay still at the cap" true
+    (let w = Clock.now_us clock -. t2 in w >= 3_000. && w < 4_000.);
+  check int "clamps counted" 2
+    (Supervisor.stats sup).Supervisor.s_backoff_capped
+
+let test_supervisor_backoff_resets_after_grace () =
+  (* A handler that stays healthy past the grace window earns its
+     restart budget back: the next (unrelated) fault backs off from
+     the base delay, not from where the old burst left off. *)
+  let clock, sim, d, sup = supervised_dispatcher () in
+  Supervisor.set_restart_tuning sup ~healthy_grace_us:50_000. ();
+  let ev = Dispatcher.declare d ~name:"Svc.Op" ~owner:"Svc"
+      ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  let calls = ref 0 in
+  ignore (Dispatcher.install_exn ev ~installer:"flaky"
+            ~on_failure:(Dispatcher.Restart
+                           { delay_us = 1_000.; backoff = 2.; max_restarts = 5 })
+            (fun _ ->
+              incr calls;
+              if !calls = 1 || !calls = 3 then failwith "transient bug"));
+  Dispatcher.raise_event ev 1;               (* fault #1: delay 1000 *)
+  Sim.run sim;
+  Dispatcher.raise_event ev 2;               (* healthy service *)
+  ignore (Sim.after_us sim 60_000. (fun () -> ()));  (* 60ms of uptime *)
+  Sim.run sim;
+  Dispatcher.raise_event ev 3;               (* fault #2, past the grace *)
+  let t1 = Clock.now_us clock in
+  Sim.run sim;
+  check bool "delay back at base after healthy grace" true
+    (let w = Clock.now_us clock -. t1 in w >= 1_000. && w < 2_000.);
+  check int "reset counted" 1
+    (Supervisor.stats sup).Supervisor.s_backoff_resets;
+  Dispatcher.raise_event ev 4;
+  check int "serves after the second recovery" 4 !calls
+
+let test_supervisor_counts_revoked_faults () =
+  (* A handler caches a capability whose owner epoch has advanced (as
+     a hot-swap does): the deref faults like any handler bug, but the
+     supervisor tallies it apart, and the monitor surfaces it as a
+     gauge — a burst of these after a swap means an extension kept
+     old-instance references instead of re-minting. *)
+  let clock, _, d, sup = supervised_dispatcher () in
+  let ev = Dispatcher.declare d ~name:"Svc.Use" ~owner:"Svc"
+      ~combine:(fun _ -> ()) (fun (_ : int) -> ()) in
+  let cap = Capability.mint ~owner:"OldGen" "resource" in
+  ignore (Capability.advance_epoch ~owner:"OldGen");
+  ignore (Dispatcher.install_exn ev ~installer:"staleuser"
+            (fun _ -> ignore (Capability.deref cap)));
+  let m = Monitor.create clock in
+  Monitor.watch_supervisor m sup;
+  Dispatcher.raise_event ev 0;
+  let st = Supervisor.stats sup in
+  check int "revoked use counted apart" 1 st.Supervisor.s_revoked;
+  check int "and as an ordinary fault" 1 st.Supervisor.s_faults;
+  check bool "gauge surfaces it" true
+    (List.mem ("supervisor.revoked_uses", 1) (Monitor.gauges m))
+
 let test_supervisor_domain_budget_groups_installers () =
   (* Two installers grouped under one registered domain with a
      domain-level budget: their faults pool, and the budget trips the
@@ -585,6 +668,12 @@ let () =
             test_supervisor_restart_with_backoff;
           test_case "restart budget exhausted" `Quick
             test_supervisor_restart_gives_up;
+          test_case "backoff clamped at the tuned cap" `Quick
+            test_supervisor_backoff_cap;
+          test_case "backoff resets after a healthy grace" `Quick
+            test_supervisor_backoff_resets_after_grace;
+          test_case "stale-epoch derefs counted apart" `Quick
+            test_supervisor_counts_revoked_faults;
           test_case "domain budget pools installers" `Quick
             test_supervisor_domain_budget_groups_installers;
           test_case "budget larger than the old log cap still trips" `Quick

@@ -433,6 +433,72 @@ let test_rpc_retries_through_outage () =
   check bool "the request was re-sent" true (st.Rpc.retries >= 2);
   check bool "frames really were lost" true (Link.frames_dropped link >= 2)
 
+let test_rpc_backoff_jitter_range_and_determinism () =
+  (* The retry backoff multiplier is jittered — uniform in [1.5, 2.5),
+     mean 2.0 — from a seeded SplitMix64 stream: peers that timed out
+     together don't re-send in lockstep, yet every run replays
+     exactly, and the draw charges no virtual cycles. *)
+  let module Sm = Spin_dstruct.Splitmix in
+  let rng = Sm.create ~seed:42 and rng' = Sm.create ~seed:42 in
+  let n = 2000 in
+  let sum = ref 0. and spread = ref false in
+  for _ = 1 to n do
+    let f = Rpc.backoff_factor rng in
+    if f < 1.5 || f >= 2.5 then fail (Printf.sprintf "factor %f out of range" f);
+    if f < 1.8 || f > 2.2 then spread := true;
+    sum := !sum +. f;
+    if f <> Rpc.backoff_factor rng' then fail "same seed diverged"
+  done;
+  check bool "mean ~ 2.0 (doubling preserved in expectation)" true
+    (abs_float ((!sum /. float_of_int n) -. 2.0) < 0.02);
+  check bool "draws actually spread over the interval" true !spread;
+  check bool "distinct seeds decorrelate" true
+    (Rpc.backoff_factor (Sm.create ~seed:1)
+     <> Rpc.backoff_factor (Sm.create ~seed:2))
+
+let test_rpc_retry_timing_replays_exactly () =
+  (* Regression: jitter must come only from the per-endpoint seeded
+     stream — two identical fixtures walk the same retry schedule to
+     the microsecond, and the jittered waits stay inside the
+     [1.5, 2.5) envelope of the nominal doubling. *)
+  let run () =
+    let clock = Clock.create Cost.alpha_133 in
+    let sim = Sim.create clock in
+    let a = Host.create sim ~name:"a" ~addr:addr_a in
+    let b = Host.create sim ~name:"b" ~addr:addr_b in
+    let nic_a = Machine.add_nic a.Host.machine ~kind:Nic.Lance in
+    let nic_b = Machine.add_nic b.Host.machine ~kind:Nic.Lance in
+    let link = Link.create sim ~mbps:(Nic.link_mbps Nic.Lance) () in
+    Nic.attach nic_a link Link.A;
+    Nic.attach nic_b link Link.B;
+    Link.set_loss link ~every:1;                 (* dark wire: all lost *)
+    let na = Netif.create a.Host.machine a.Host.sched a.Host.dispatcher
+        nic_a ~name:"Ether" in
+    let nb = Netif.create b.Host.machine b.Host.sched b.Host.dispatcher
+        nic_b ~name:"Ether" in
+    Ip.add_interface a.Host.ip na ~addr:addr_a;
+    Ip.add_interface b.Host.ip nb ~addr:addr_b;
+    Ip.add_route a.Host.ip ~dst:addr_b na;
+    Ip.add_route b.Host.ip ~dst:addr_a nb;
+    Netif.start na;
+    Netif.start nb;
+    let elapsed = ref 0. in
+    in_strand [ a; b ] a (fun () ->
+      let t0 = Clock.now_us clock in
+      check bool "dark wire times out" true
+        (Rpc.call a.Host.rpc ~timeout_us:2_000. ~retries:2 ~dst:addr_b
+           ~name:"echo" Bytes.empty = None);
+      elapsed := Clock.now_us clock -. t0);
+    let st = Rpc.stats a.Host.rpc in
+    check int "three attempts timed out" 3 st.Rpc.timeouts;
+    !elapsed in
+  let e1 = run () and e2 = run () in
+  check (float 0.) "identical fixtures replay identically" e1 e2;
+  (* attempt timeouts: 2000, 2000*f1, 2000*f1*f2 with f in [1.5, 2.5) *)
+  check bool "total wait inside the jitter envelope" true
+    (e1 >= 2_000. *. (1. +. 1.5 +. 2.25)
+     && e1 < 2_000. *. (1. +. 2.5 +. 6.25) +. 2_000.)
+
 (* ------------------------------------------------------------------ *)
 (* Forward extension                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -668,6 +734,10 @@ let () =
             test_rpc_send_failure_retries_without_backoff;
           test_case "rpc retries through an outage" `Quick
             test_rpc_retries_through_outage;
+          test_case "rpc backoff jitter range and determinism" `Quick
+            test_rpc_backoff_jitter_range_and_determinism;
+          test_case "rpc retry timing replays exactly" `Quick
+            test_rpc_retry_timing_replays_exactly;
         ] );
       ( "forward",
         [
