@@ -273,9 +273,9 @@ let trace_overhead () =
       (fun () -> ()) in
   let iters = 200_000 in
   let host_us_per_raise () =
-    let t0 = Sys.time () in
+    let t0 = Report.wall_s () in
     for _ = 1 to iters do Dispatcher.raise_event e () done;
-    (Sys.time () -. t0) *. 1e6 /. float_of_int iters in
+    (Report.wall_s () -. t0) *. 1e6 /. float_of_int iters in
   ignore (host_us_per_raise ());                       (* warm up *)
   Spin.Trace.disable tr;
   let clock = k.Kernel.machine.Machine.clock in

@@ -1,0 +1,295 @@
+(* Host-side throughput of the discrete-event engine itself.
+
+   Everything else in this harness reports virtual time; this
+   experiment reports how fast the simulator's own machinery turns on
+   the host — wall-clock events per second, simulated microseconds per
+   wall second, and minor-heap words allocated per event. Three
+   workloads exercise the engine from different angles:
+
+     - a timer storm: an RTO-like arm/cancel/re-arm churn over tens of
+       thousands of timers, run both on today's timer-wheel [Sim] and
+       on an inlined replica of the binary-heap engine it replaced
+       (flag-and-skip cancellation, O(log n) sift per event), so the
+       speedup is measured against a live baseline, not a memory;
+     - an HTTP load replay: the web fixture's closed-loop GET traffic,
+       where engine time is buried under protocol work;
+     - a fuzz-campaign slice: seeded schedule fuzzing, the workload
+       whose wall-clock cost bounds how many seeds a campaign covers.
+
+   The counted metrics (events processed, minor words per event) are
+   deterministic and gated by check_perf; the wall-clock rates are
+   recorded in the JSON artifact for trending but not gated — CI
+   machines are too noisy to fail a build on host throughput.
+
+     dune exec bench/main.exe engine
+     dune exec bench/main.exe -- --json BENCH_engine.json engine *)
+
+module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
+module Sim = Spin_machine.Sim
+module Machine = Spin_machine.Machine
+module Trace = Spin_machine.Trace
+module Sched = Spin_sched.Sched
+module Sched_fuzz = Spin_sched.Sched_fuzz
+module Pqueue = Spin_dstruct.Pqueue
+module Host = Spin_net.Host
+
+(* ------------------------------------------------------------------ *)
+(* The heap engine the wheel replaced, as a measurable baseline       *)
+(* ------------------------------------------------------------------ *)
+
+module Heap_engine = struct
+  type ev = {
+    e_time : int;
+    e_action : unit -> unit;
+    mutable e_cancelled : bool;
+  }
+
+  type t = {
+    q : ev Pqueue.t;                (* FIFO tie-break is Pqueue's own *)
+    mutable now : int;
+    mutable fired : int;
+  }
+
+  let create () =
+    { q = Pqueue.create ~cmp:(fun a b -> compare a.e_time b.e_time);
+      now = 0; fired = 0 }
+
+  let at t time action =
+    Pqueue.add t.q
+      { e_time = max time t.now; e_action = action; e_cancelled = false }
+
+  (* The old [Sim.cancel]: flag it, leave it queued until its deadline. *)
+  let cancel e = (Pqueue.value e).e_cancelled <- true
+
+  let advance t time =
+    t.now <- time;
+    let rec fire () =
+      match Pqueue.peek t.q with
+      | Some e when e.e_time <= time ->
+        ignore (Pqueue.pop t.q);
+        if not e.e_cancelled then begin
+          t.fired <- t.fired + 1;
+          e.e_action ()
+        end;
+        fire ()
+      | _ -> () in
+    fire ()
+
+  let drain t =
+    let rec go () =
+      match Pqueue.peek t.q with
+      | Some e -> advance t e.e_time; go ()
+      | None -> () in
+    go ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Timer storm                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let storm_timers = 10_000
+let storm_rounds = 30
+let storm_step = 2_000                     (* cycles advanced per round *)
+
+(* Deterministic delays so both engines run the identical sequence.
+   Mostly short (wheel level 0-1), every 16th far out (levels 2-3),
+   like a connection table's mix of tick timers and long RTOs. *)
+let storm_delays =
+  let state = ref 0x12345678 in
+  let rand () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state lsr 5 in
+  Array.init (storm_timers * (storm_rounds + 1)) (fun i ->
+    if i mod 16 = 0 then 1 + (rand () mod (1 lsl 22))
+    else 50 + (rand () mod 5_000))
+
+let nop () = ()
+
+(* Each round: every timer disarms whatever it had pending (fired or
+   not — the caller can't know, which is exactly why stale-handle
+   cancel must be cheap and safe) and re-arms at now + delay. *)
+type storm_result = {
+  st_events : int;                         (* arms, = fires + cancels *)
+  st_wall_s : float;
+  st_minor_words : float;
+}
+
+let measured f =
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let t0 = Report.wall_s () in
+  let events = f () in
+  let wall = Report.wall_s () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  { st_events = events; st_wall_s = wall; st_minor_words = words }
+
+let storm_wheel () =
+  measured (fun () ->
+    let clock = Clock.create Cost.alpha_133 in
+    let sim = Sim.create clock in
+    let handles = Array.make storm_timers None in
+    let events = ref 0 in
+    let di = ref 0 in
+    let arm i =
+      let d = storm_delays.(!di) in
+      incr di;
+      incr events;
+      handles.(i) <- Some (Sim.after sim d nop) in
+    for i = 0 to storm_timers - 1 do arm i done;
+    for _ = 1 to storm_rounds do
+      Clock.skip_to clock (Clock.now clock + storm_step);
+      for i = 0 to storm_timers - 1 do
+        (match handles.(i) with
+         | Some h -> Sim.cancel sim h
+         | None -> ());
+        arm i
+      done
+    done;
+    Sim.run sim;
+    let s = Sim.stats sim in
+    assert (s.Sim.fired + s.Sim.cancelled = !events);
+    !events)
+
+let storm_heap () =
+  measured (fun () ->
+    let t = Heap_engine.create () in
+    let handles = Array.make storm_timers None in
+    let events = ref 0 in
+    let di = ref 0 in
+    let arm i =
+      let d = storm_delays.(!di) in
+      incr di;
+      incr events;
+      handles.(i) <- Some (Heap_engine.at t (t.Heap_engine.now + d) nop) in
+    for i = 0 to storm_timers - 1 do arm i done;
+    for _ = 1 to storm_rounds do
+      Heap_engine.advance t (t.Heap_engine.now + storm_step);
+      for i = 0 to storm_timers - 1 do
+        (match handles.(i) with
+         | Some h -> Heap_engine.cancel h
+         | None -> ());
+        arm i
+      done
+    done;
+    Heap_engine.drain t;
+    !events)
+
+(* ------------------------------------------------------------------ *)
+(* HTTP load replay and fuzz-campaign slice                           *)
+(* ------------------------------------------------------------------ *)
+
+let http_clients = 8
+let http_requests_per_client = 20
+
+let http_replay () =
+  let clock, client, server = B_extra.web_fixture () in
+  let total = http_clients * http_requests_per_client in
+  ignore (Sched.spawn client.Host.sched ~name:"driver" (fun () ->
+    B_extra.http_get clock client;                     (* warm caches *)
+    for c = 1 to http_clients do
+      ignore (Sched.spawn client.Host.sched
+                ~name:(Printf.sprintf "client-%d" c) (fun () ->
+                  for _ = 1 to http_requests_per_client do
+                    B_extra.http_get clock client
+                  done))
+    done));
+  let v0 = Clock.now_us clock in
+  let r = measured (fun () -> Host.run_all [ client; server ]; total) in
+  (r, Clock.now_us clock -. v0,
+   (Sim.stats client.Host.machine.Machine.sim).Sim.fired)
+
+let fuzz_seeds = 6
+
+let fuzz_slice () =
+  let sim_us = ref 0. in
+  let decisions = ref 0 in
+  let r =
+    measured (fun () ->
+      for seed = 1 to fuzz_seeds do
+        let m = Machine.create ~name:"engine-fuzz" ~mem_mb:4 () in
+        let d = Spin_core.Dispatcher.create m.Machine.clock in
+        let s = Sched.create m.Machine.sim d in
+        let fz =
+          Sched_fuzz.attach ~cpu:m.Machine.cpu ~dispatcher:d
+            ~mean_period:200 ~seed s in
+        for i = 1 to 8 do
+          ignore (Sched.spawn s ~name:(Printf.sprintf "w%d" i) (fun () ->
+            for _ = 1 to 40 do
+              Clock.charge m.Machine.clock (50 * i);
+              Sched.yield s;
+              Sched.sleep_us s (float_of_int i *. 1.5)
+            done))
+        done;
+        Sched.run s;
+        let st = Sched_fuzz.stats fz in
+        decisions := !decisions + st.Sched_fuzz.decisions;
+        Sched_fuzz.detach fz;
+        sim_us := !sim_us +. Clock.now_us m.Machine.clock
+      done;
+      !decisions) in
+  (r, !sim_us)
+
+(* ------------------------------------------------------------------ *)
+(* The experiment                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let per_sec n wall = if wall > 0. then float_of_int n /. wall else nan
+
+let run () =
+  Report.header "Engine throughput (host wall clock)";
+
+  ignore (storm_wheel ());                             (* warm up *)
+  let wheel = storm_wheel () in
+  let heap = storm_heap () in
+  let wheel_evs = per_sec wheel.st_events wheel.st_wall_s in
+  let heap_evs = per_sec heap.st_events heap.st_wall_s in
+  let wheel_wpe = wheel.st_minor_words /. float_of_int wheel.st_events in
+  let heap_wpe = heap.st_minor_words /. float_of_int heap.st_events in
+  Printf.printf
+    "  timer storm: %d timers, %d rounds of cancel + re-arm\n"
+    storm_timers storm_rounds;
+  Printf.printf "    %-18s %12s %16s\n" "" "events/sec" "minor words/ev";
+  Printf.printf "    %-18s %12.0f %16.1f\n" "heap (baseline)" heap_evs heap_wpe;
+  Printf.printf "    %-18s %12.0f %16.1f\n" "timer wheel" wheel_evs wheel_wpe;
+  Printf.printf "    speedup x%.2f, allocation x%.2f\n"
+    (wheel_evs /. heap_evs) (wheel_wpe /. heap_wpe);
+  Report.metric ~unit_:"count" ~name:"storm events processed"
+    (float_of_int wheel.st_events);
+  Report.metric ~unit_:"ev/s" ~name:"storm wheel events/sec" wheel_evs;
+  Report.metric ~unit_:"ev/s" ~name:"storm heap events/sec" heap_evs;
+  Report.metric ~unit_:"x" ~name:"storm wheel speedup"
+    (wheel_evs /. heap_evs);
+  Report.metric ~unit_:"words" ~name:"storm wheel minor words/event" wheel_wpe;
+  Report.metric ~unit_:"words" ~name:"storm heap minor words/event" heap_wpe;
+
+  let http, http_sim_us, http_fired = http_replay () in
+  let http_sim_rate =
+    if http.st_wall_s > 0. then http_sim_us /. http.st_wall_s else nan in
+  Printf.printf
+    "  HTTP replay: %d requests, %d engine events fired\n"
+    http.st_events http_fired;
+  Printf.printf "    %.0f requests/sec, %.0f sim-us per wall-second\n"
+    (per_sec http.st_events http.st_wall_s) http_sim_rate;
+  Report.metric ~unit_:"count" ~name:"http events fired"
+    (float_of_int http_fired);
+  Report.metric ~unit_:"ev/s" ~name:"http requests/sec"
+    (per_sec http.st_events http.st_wall_s);
+  Report.metric ~unit_:"us/s" ~name:"http sim-us per wall-second"
+    http_sim_rate;
+  Report.metric ~unit_:"words" ~name:"http minor words/request"
+    (http.st_minor_words /. float_of_int http.st_events);
+
+  let fuzz, fuzz_sim_us = fuzz_slice () in
+  let fuzz_sim_rate =
+    if fuzz.st_wall_s > 0. then fuzz_sim_us /. fuzz.st_wall_s else nan in
+  Printf.printf "  fuzz slice: %d seeds, %d scheduling decisions\n"
+    fuzz_seeds fuzz.st_events;
+  Printf.printf "    %.0f decisions/sec, %.0f sim-us per wall-second\n"
+    (per_sec fuzz.st_events fuzz.st_wall_s) fuzz_sim_rate;
+  Report.metric ~unit_:"count" ~name:"fuzz decisions"
+    (float_of_int fuzz.st_events);
+  Report.metric ~unit_:"dec/s" ~name:"fuzz decisions/sec"
+    (per_sec fuzz.st_events fuzz.st_wall_s);
+  Report.metric ~unit_:"us/s" ~name:"fuzz sim-us per wall-second"
+    fuzz_sim_rate

@@ -1,6 +1,8 @@
 (* The CI perf gate: compares freshly measured benchmark metrics
-   against the checked-in reference and fails the build when a
-   Table 5 UDP latency regresses by more than the tolerance.
+   against the checked-in reference and fails the build when a gated
+   metric regresses by more than the tolerance. Most gated rows are
+   latencies (lower is better); the engine experiment also gates
+   counted throughput proxies where a DROP is the regression.
 
      dune exec bench/check_perf.exe -- \
        bench/table5_reference.json BENCH_load.json
@@ -108,10 +110,18 @@ let parse_file path =
   top ();
   List.rev !results
 
-(* The gated rows: every Table 5 latency metric, and the reclaim-path
-   latencies of the [mem] pressure workload. Bandwidths, counts and
-   the load-ramp numbers are recorded for trending but not gated —
-   they are throughput-shaped and noisier. *)
+(* The gated rows and which direction counts as a regression.
+
+   Latency-shaped metrics (Table 5, reclaim, swap pauses) fail when
+   they grow past the ceiling. The engine experiment instead gates
+   deterministic counted proxies — events processed, events fired,
+   fuzz decisions — which fail when they DROP below the floor (work
+   silently skipped), plus minor-heap words per event, which fails
+   upward like a latency (allocation crept back into the hot path).
+   Wall-clock rates (events/sec and friends) are recorded for
+   trending but never gated: CI hosts are too noisy to fail on. *)
+type direction = Ceiling | Floor
+
 let gated m =
   let has_sub sub =
     let n = String.length sub in
@@ -119,9 +129,16 @@ let gated m =
       i + n <= String.length m.name
       && (String.sub m.name i n = sub || at (i + 1)) in
     at 0 in
-  (m.experiment = "table5" && has_sub "latency")
-  || (m.experiment = "mem" && has_sub "reclaim p")
-  || (m.experiment = "swap" && has_sub "pause p")
+  if m.experiment = "table5" && has_sub "latency" then Some Ceiling
+  else if m.experiment = "mem" && has_sub "reclaim p" then Some Ceiling
+  else if m.experiment = "swap" && has_sub "pause p" then Some Ceiling
+  else if m.experiment = "engine" then
+    match m.name with
+    | "storm wheel minor words/event" -> Some Ceiling
+    | "storm events processed" | "http events fired" | "fuzz decisions" ->
+      Some Floor
+    | _ -> None
+  else None
 
 let () =
   match Sys.argv with
@@ -131,7 +148,9 @@ let () =
     let failures = ref 0 and checked = ref 0 in
     List.iter
       (fun r ->
-         if gated r then begin
+         match gated r with
+         | None -> ()
+         | Some dir ->
            match
              List.find_opt
                (fun c -> c.experiment = r.experiment && c.name = r.name)
@@ -143,25 +162,38 @@ let () =
                r.name r.value
            | Some c ->
              incr checked;
-             let limit = r.value *. (1. +. tolerance) in
-             if c.value > limit then begin
-               incr failures;
-               Printf.printf "FAIL     %-34s %.1f us > %.1f us (+%.0f%% limit)\n"
-                 r.name c.value limit (tolerance *. 100.)
-             end else
-               Printf.printf "ok       %-34s %.1f us (reference %.1f)\n"
-                 r.name c.value r.value
-         end)
+             (match dir with
+              | Ceiling ->
+                let limit = r.value *. (1. +. tolerance) in
+                if c.value > limit then begin
+                  incr failures;
+                  Printf.printf
+                    "FAIL     %-34s %.1f > %.1f (+%.0f%% ceiling)\n"
+                    r.name c.value limit (tolerance *. 100.)
+                end else
+                  Printf.printf "ok       %-34s %.1f (reference %.1f)\n"
+                    r.name c.value r.value
+              | Floor ->
+                let floor_v = r.value *. (1. -. tolerance) in
+                if c.value < floor_v then begin
+                  incr failures;
+                  Printf.printf
+                    "FAIL     %-34s %.1f < %.1f (-%.0f%% floor)\n"
+                    r.name c.value floor_v (tolerance *. 100.)
+                end else
+                  Printf.printf "ok       %-34s %.1f (reference %.1f)\n"
+                    r.name c.value r.value))
       reference;
     if !checked = 0 then begin
-      print_endline "no gated metrics found: run table5 with --json first";
+      print_endline
+        "no gated metrics found: run the experiment with --json first";
       exit 1
     end;
     if !failures > 0 then begin
-      Printf.printf "%d latency gate failure(s)\n" !failures;
+      Printf.printf "%d perf gate failure(s)\n" !failures;
       exit 1
     end;
-    Printf.printf "all %d gated latencies within %.0f%% of reference\n"
+    Printf.printf "all %d gated metrics within %.0f%% of reference\n"
       !checked (tolerance *. 100.)
   | _ ->
     prerr_endline "usage: check_perf REFERENCE.json CURRENT.json";

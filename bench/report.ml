@@ -10,6 +10,14 @@ type metric = {
   m_unit : string;
 }
 
+(* Host wall-clock for throughput measurements. CLOCK_MONOTONIC via
+   bechamel's stub: immune to NTP steps, and unlike [Sys.time] it
+   counts real elapsed time, not process CPU time — a simulation that
+   blocks or is descheduled still measures honestly. *)
+let wall_ns () = Monotonic_clock.now ()
+
+let wall_s () = Int64.to_float (wall_ns ()) /. 1e9
+
 let json_path : string option ref = ref None
 let current_experiment = ref ""
 let metrics : metric list ref = ref []

@@ -11,6 +11,15 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* One shared sentinel fills vacated and never-used slots so the array
+   never pins a removed element (or, worse, the element that happened
+   to sit at slot 0 when [grow] ran) against the GC. The cast is safe:
+   every read is bounded by [size], so the sentinel's [value] is never
+   inspected. *)
+let nil : Obj.t entry = { value = Obj.repr 0; seq = -1; index = -2 }
+
+let nil_entry : unit -> 'a entry = fun () -> Obj.magic nil
+
 let create ~cmp = { cmp; heap = [||]; size = 0; next_seq = 0 }
 
 let size t = t.size
@@ -49,7 +58,7 @@ let grow t =
   let cap = Array.length t.heap in
   if t.size = cap then begin
     let ncap = max 8 (2 * cap) in
-    let nheap = Array.make ncap t.heap.(0) in
+    let nheap = Array.make ncap (nil_entry ()) in
     Array.blit t.heap 0 nheap 0 t.size;
     t.heap <- nheap
   end
@@ -57,7 +66,8 @@ let grow t =
 let add t v =
   let e = { value = v; seq = t.next_seq; index = t.size } in
   t.next_seq <- t.next_seq + 1;
-  if Array.length t.heap = 0 then t.heap <- Array.make 8 e else grow t;
+  if Array.length t.heap = 0 then t.heap <- Array.make 8 (nil_entry ())
+  else grow t;
   t.heap.(t.size) <- e;
   t.size <- t.size + 1;
   sift_up t (t.size - 1);
@@ -75,7 +85,8 @@ let delete_at t i =
     last.index <- i;
     sift_down t i;
     sift_up t last.index
-  end
+  end;
+  t.heap.(t.size) <- nil_entry ()        (* don't pin the removed entry *)
 
 let pop t =
   if t.size = 0 then None
@@ -97,5 +108,8 @@ let to_list t =
   !acc
 
 let clear t =
-  for i = 0 to t.size - 1 do t.heap.(i).index <- -1 done;
+  for i = 0 to t.size - 1 do
+    t.heap.(i).index <- -1;
+    t.heap.(i) <- nil_entry ()
+  done;
   t.size <- 0

@@ -1,8 +1,11 @@
 (** Binary-heap priority queues with removable entries.
 
-    Used for the discrete-event queue and for priority run queues.
-    Entries added to the heap receive a handle that supports O(log n)
-    removal, which the simulator uses to cancel pending timeouts. *)
+    Used for the timer wheel's far-future overflow queue and for
+    priority run queues. Entries added to the heap receive a handle
+    that supports O(log n) removal, which the simulator uses to cancel
+    pending timeouts. Vacated heap slots are nulled with a sentinel,
+    so popped or removed elements are never pinned against the GC by
+    the backing array. *)
 
 type 'a t
 (** A mutable min-heap ordered by the comparison given at creation. *)

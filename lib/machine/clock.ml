@@ -1,12 +1,18 @@
 type t = {
   cost : Cost.t;
   mutable now : int;
-  mutable hooks : (t -> unit) list;
+  (* Hooks run in registration order on every advance; a growable
+     array keeps registration O(1) amortized (the old [hooks @ [f]]
+     list append was O(hooks^2) across host construction) and the
+     per-charge iteration allocation-free. *)
+  mutable hooks : (t -> unit) array;
+  mutable n_hooks : int;
   mutable in_hook : bool;
   mutable idle : int;
 }
 
-let create cost = { cost; now = 0; hooks = []; in_hook = false; idle = 0 }
+let create cost =
+  { cost; now = 0; hooks = [||]; n_hooks = 0; in_hook = false; idle = 0 }
 
 let cost t = t.cost
 
@@ -17,8 +23,15 @@ let now_us t = Cost.cycles_to_us t.cost t.now
 let run_hooks t =
   if not t.in_hook then begin
     t.in_hook <- true;
+    (* Capture the count so hooks added during a pass (a machine built
+       from inside an event) first run on the next advance, as the old
+       captured-list iteration did. *)
+    let hooks = t.hooks and n = t.n_hooks in
     Fun.protect ~finally:(fun () -> t.in_hook <- false)
-      (fun () -> List.iter (fun f -> f t) t.hooks)
+      (fun () ->
+        for i = 0 to n - 1 do
+          hooks.(i) t
+        done)
   end
 
 let charge t c =
@@ -39,7 +52,15 @@ let skip_to t target =
 
 let idle_cycles t = t.idle
 
-let add_hook t f = t.hooks <- t.hooks @ [ f ]
+let add_hook t f =
+  if t.n_hooks = Array.length t.hooks then begin
+    let cap = max 4 (2 * t.n_hooks) in
+    let hooks = Array.make cap (fun (_ : t) -> ()) in
+    Array.blit t.hooks 0 hooks 0 t.n_hooks;
+    t.hooks <- hooks
+  end;
+  t.hooks.(t.n_hooks) <- f;
+  t.n_hooks <- t.n_hooks + 1
 
 let stamp t f =
   let before = t.now in

@@ -1,20 +1,28 @@
-type event = {
-  time : int;
-  action : unit -> unit;
-  mutable cancelled : bool;
-}
+module Timer_wheel = Spin_dstruct.Timer_wheel
 
-type handle = event
+let nop () = ()
+
+type handle = (unit -> unit) Timer_wheel.handle
+
+type stats = {
+  live : int;
+  fired : int;
+  cancelled : int;
+  pool_hits : int;
+  pool_misses : int;
+}
 
 type t = {
   clock : Clock.t;
-  queue : event Spin_dstruct.Pqueue.t;
+  wheel : (unit -> unit) Timer_wheel.t;
   mutable firing : bool;
+  mutable n_fired : int;
+  mutable n_cancelled : int;
 }
 
 let rec create clock =
-  let queue = Spin_dstruct.Pqueue.create ~cmp:(fun a b -> compare a.time b.time) in
-  let t = { clock; queue; firing = false } in
+  let wheel = Timer_wheel.create ~start:(Clock.now clock) ~dummy:nop () in
+  let t = { clock; wheel; firing = false; n_fired = 0; n_cancelled = 0 } in
   Clock.add_hook clock (fun _ -> fire_due t);
   t
 
@@ -23,12 +31,16 @@ and fire_due t =
     t.firing <- true;
     Fun.protect ~finally:(fun () -> t.firing <- false) (fun () ->
       let rec loop () =
-        match Spin_dstruct.Pqueue.peek t.queue with
-        | Some ev when ev.time <= Clock.now t.clock ->
-          ignore (Spin_dstruct.Pqueue.pop t.queue);
-          if not ev.cancelled then ev.action ();
+        (* Re-advance each iteration: the action just fired may have
+           charged the clock (recursion is suppressed by [firing]).
+           Advancing to an unchanged time is a single comparison. *)
+        Timer_wheel.advance t.wheel (Clock.now t.clock);
+        match Timer_wheel.pop_due t.wheel with
+        | Some action ->
+          t.n_fired <- t.n_fired + 1;
+          action ();
           loop ()
-        | Some _ | None -> () in
+        | None -> () in
       loop ())
   end
 
@@ -38,30 +50,29 @@ let now t = Clock.now t.clock
 
 let at t time action =
   let time = max time (Clock.now t.clock) in
-  let ev = { time; action; cancelled = false } in
-  ignore (Spin_dstruct.Pqueue.add t.queue ev);
-  ev
+  Timer_wheel.add t.wheel ~time action
 
 let after t delta action = at t (Clock.now t.clock + delta) action
 
 let after_us t us action =
   after t (Cost.us_to_cycles (Clock.cost t.clock) us) action
 
-let cancel _t ev = ev.cancelled <- true
+let cancel t h =
+  if Timer_wheel.cancel t.wheel h then t.n_cancelled <- t.n_cancelled + 1
 
-let live t =
-  List.length
-    (List.filter (fun ev -> not ev.cancelled) (Spin_dstruct.Pqueue.to_list t.queue))
+let live t = Timer_wheel.size t.wheel
 
 let pending t = live t
 
-let next_deadline t =
-  let rec drop () =
-    match Spin_dstruct.Pqueue.peek t.queue with
-    | Some ev when ev.cancelled -> ignore (Spin_dstruct.Pqueue.pop t.queue); drop ()
-    | Some ev -> Some ev.time
-    | None -> None in
-  drop ()
+let stats t =
+  let p = Timer_wheel.pool_stats t.wheel in
+  { live = Timer_wheel.size t.wheel;
+    fired = t.n_fired;
+    cancelled = t.n_cancelled;
+    pool_hits = p.Timer_wheel.pool_hits;
+    pool_misses = p.Timer_wheel.pool_misses }
+
+let next_deadline t = Timer_wheel.next_deadline t.wheel
 
 let idle_step t =
   match next_deadline t with

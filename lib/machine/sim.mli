@@ -4,12 +4,22 @@
     Events become *due* when the clock passes their deadline; they are
     fired from a clock hook, which models interrupt delivery at the
     next instruction boundary. When no strand is runnable the machine
-    idles by skipping the clock to the next deadline. *)
+    idles by skipping the clock to the next deadline.
+
+    The deadline structure is a hierarchical {!Spin_dstruct.Timer_wheel}:
+    scheduling and cancellation are O(1), event records are recycled
+    through a free-list pool, and cancellation unlinks eagerly — a
+    cancelled event costs nothing at its deadline and pins nothing
+    until then. Firing order is identical to the previous binary-heap
+    engine (ascending deadline, FIFO among equals), which seeded
+    schedule-fuzz replays depend on. *)
 
 type t
 
 type handle
-(** A scheduled event, usable for cancellation. *)
+(** A scheduled event, usable for cancellation. Stale handles (fired
+    or cancelled) are detected; cancelling one is a safe no-op even
+    after the event record has been recycled. *)
 
 val create : Clock.t -> t
 
@@ -27,10 +37,26 @@ val after : t -> int -> (unit -> unit) -> handle
 val after_us : t -> float -> (unit -> unit) -> handle
 
 val cancel : t -> handle -> unit
-(** Cancels a pending event; no-op if already fired or cancelled. *)
+(** Cancels a pending event; no-op if already fired or cancelled.
+    The event is unlinked immediately: it stops counting towards
+    {!pending} and its closure is released to the GC now, not at its
+    deadline. *)
 
 val pending : t -> int
-(** Number of scheduled events not yet fired. *)
+(** Number of scheduled events not yet fired; O(1). *)
+
+val live : t -> int
+(** Alias of {!pending}. *)
+
+type stats = {
+  live : int;          (** events scheduled and not yet fired *)
+  fired : int;         (** events fired since boot *)
+  cancelled : int;     (** events eagerly unlinked by {!cancel} *)
+  pool_hits : int;     (** event records recycled from the pool *)
+  pool_misses : int;   (** event records freshly allocated *)
+}
+
+val stats : t -> stats
 
 val next_deadline : t -> int option
 

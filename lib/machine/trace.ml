@@ -3,22 +3,33 @@ type kind =
   | Begin of int
   | End of int
 
+(* Ring records are mutated in place: each slot's record is allocated
+   once (on the ring's first revolution) and then rewritten on every
+   overwrite, so a steady-state tracing workload allocates nothing per
+   instant or span endpoint. [records] hands out copies, never the
+   live slots. *)
 type record = {
-  ts : int;
-  kind : kind;
-  cat : string;
-  name : string;
-  args : (string * string) list;
+  mutable ts : int;
+  mutable kind : kind;
+  mutable cat : string;
+  mutable name : string;
+  mutable args : (string * string) list;
 }
 
+(* Span tokens are recycled through an intrusive free list threaded
+   over [s_link] ([null_span] terminates it and is never pooled).
+   [end_span] retires the token by setting [sid] to -1 before pushing
+   it on the list, which also makes ending a span twice a no-op. *)
 type span = {
-  sid : int;
-  t0 : int;
-  scat : string;
-  sname : string;
+  mutable sid : int;
+  mutable t0 : int;
+  mutable scat : string;
+  mutable sname : string;
+  mutable s_link : span;
 }
 
-let null_span = { sid = -1; t0 = 0; scat = ""; sname = "" }
+let rec null_span =
+  { sid = -1; t0 = 0; scat = ""; sname = ""; s_link = null_span }
 
 (* Latency histogram with log2 buckets: bucket [i] counts samples
    whose cycle count has its highest set bit at position [i]. Exact
@@ -46,6 +57,13 @@ type summary = {
   p99_us : float;
 }
 
+type pool_stats = {
+  ring_reused : int;
+  ring_fresh : int;
+  span_hits : int;
+  span_misses : int;
+}
+
 type t = {
   clock : Clock.t;
   capacity : int;
@@ -55,16 +73,25 @@ type t = {
   mutable len : int;
   mutable n_dropped : int;
   mutable next_span : int;
+  mutable span_pool : span;               (* free list over [s_link] *)
+  mutable p_ring_reused : int;
+  mutable p_ring_fresh : int;
+  mutable p_span_hits : int;
+  mutable p_span_misses : int;
   hists : (string, hist) Hashtbl.t;
   mutable hist_order : string list;       (* first-use order *)
 }
 
+(* All slots alias [dummy] until first written; [push] detects the
+   aliasing and allocates the slot's own record exactly once. *)
 let dummy = { ts = 0; kind = Instant; cat = ""; name = ""; args = [] }
 
 let create ?(capacity = 16384) clock =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
   { clock; capacity; buf = Array.make capacity dummy;
     on = false; head = 0; len = 0; n_dropped = 0; next_span = 1;
+    span_pool = null_span;
+    p_ring_reused = 0; p_ring_fresh = 0; p_span_hits = 0; p_span_misses = 0;
     hists = Hashtbl.create 32; hist_order = [] }
 
 (* One tracer per clock: subsystems sharing a clock (every machine on
@@ -95,8 +122,22 @@ let clear t =
   t.head <- 0;
   t.len <- 0;
   t.n_dropped <- 0;
+  (* Keep the slot records for reuse but scrub their payloads so a
+     cleared trace pins no strings or argument lists. *)
+  Array.iter
+    (fun r ->
+       if r != dummy then begin
+         r.ts <- 0; r.kind <- Instant; r.cat <- ""; r.name <- ""; r.args <- []
+       end)
+    t.buf;
   Hashtbl.reset t.hists;
   t.hist_order <- []
+
+let pool_stats t =
+  { ring_reused = t.p_ring_reused;
+    ring_fresh = t.p_ring_fresh;
+    span_hits = t.p_span_hits;
+    span_misses = t.p_span_misses }
 
 let dropped t = t.n_dropped
 
@@ -104,10 +145,26 @@ let dropped t = t.n_dropped
 (* Recording                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let push t r =
+let push t ~ts ~kind ~cat ~name ~args =
   if t.len = t.capacity then t.n_dropped <- t.n_dropped + 1
   else t.len <- t.len + 1;
-  t.buf.(t.head) <- r;
+  let r = t.buf.(t.head) in
+  let r =
+    if r != dummy then begin
+      t.p_ring_reused <- t.p_ring_reused + 1;
+      r
+    end
+    else begin
+      t.p_ring_fresh <- t.p_ring_fresh + 1;
+      let r = { ts; kind; cat; name; args } in
+      t.buf.(t.head) <- r;
+      r
+    end in
+  r.ts <- ts;
+  r.kind <- kind;
+  r.cat <- cat;
+  r.name <- name;
+  r.args <- args;
   t.head <- (t.head + 1) mod t.capacity
 
 let bucket_of cycles =
@@ -142,7 +199,7 @@ let record_latency t ~key cycles =
 
 let instant t ~cat ~name ?(args = []) () =
   if t.on then
-    push t { ts = Clock.now t.clock; kind = Instant; cat; name; args }
+    push t ~ts:(Clock.now t.clock) ~kind:Instant ~cat ~name ~args
 
 let begin_span t ~cat ~name ?(args = []) () =
   if not t.on then null_span
@@ -150,15 +207,36 @@ let begin_span t ~cat ~name ?(args = []) () =
     let sid = t.next_span in
     t.next_span <- sid + 1;
     let now = Clock.now t.clock in
-    push t { ts = now; kind = Begin sid; cat; name; args };
-    { sid; t0 = now; scat = cat; sname = name }
+    push t ~ts:now ~kind:(Begin sid) ~cat ~name ~args;
+    if t.span_pool != null_span then begin
+      let s = t.span_pool in
+      t.span_pool <- s.s_link;
+      s.s_link <- null_span;
+      s.sid <- sid;
+      s.t0 <- now;
+      s.scat <- cat;
+      s.sname <- name;
+      t.p_span_hits <- t.p_span_hits + 1;
+      s
+    end
+    else begin
+      t.p_span_misses <- t.p_span_misses + 1;
+      { sid; t0 = now; scat = cat; sname = name; s_link = null_span }
+    end
   end
 
 let end_span ?(args = []) t s =
   if s.sid >= 0 && t.on then begin
     let now = Clock.now t.clock in
-    push t { ts = now; kind = End s.sid; cat = s.scat; name = s.sname; args };
-    record_latency t ~key:(s.scat ^ "." ^ s.sname) (now - s.t0)
+    push t ~ts:now ~kind:(End s.sid) ~cat:s.scat ~name:s.sname ~args;
+    record_latency t ~key:(s.scat ^ "." ^ s.sname) (now - s.t0);
+    (* Retire and recycle the token. [sid <- -1] makes a second
+       end_span on the same token a no-op. *)
+    s.sid <- -1;
+    s.scat <- "";
+    s.sname <- "";
+    s.s_link <- t.span_pool;
+    t.span_pool <- s
   end
 
 let with_span t ~cat ~name ?args f =
@@ -172,10 +250,15 @@ let with_span t ~cat ~name ?args f =
 (* Reading the ring                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Copies, not the live slots: the ring mutates records in place on
+   overwrite, so handing out the slots themselves would let a later
+   push rewrite a reader's data under it. *)
 let records t =
   let start =
     if t.len = t.capacity then t.head else 0 in
-  List.init t.len (fun i -> t.buf.((start + i) mod t.capacity))
+  List.init t.len (fun i ->
+      let r = t.buf.((start + i) mod t.capacity) in
+      { ts = r.ts; kind = r.kind; cat = r.cat; name = r.name; args = r.args })
 
 (* Spans whose Begin and End both survived in the ring, oldest first.
    Wraparound can orphan either end of a span; orphans are simply not

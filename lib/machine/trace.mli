@@ -25,12 +25,15 @@ type kind =
   | End of int
 
 type record = {
-  ts : int;                        (** cycles since boot *)
-  kind : kind;
-  cat : string;                    (** layer: "dispatcher", "tcp", ... *)
-  name : string;
-  args : (string * string) list;
+  mutable ts : int;                (** cycles since boot *)
+  mutable kind : kind;
+  mutable cat : string;            (** layer: "dispatcher", "tcp", ... *)
+  mutable name : string;
+  mutable args : (string * string) list;
 }
+(** Fields are mutable because the ring rewrites its slot records in
+    place (one allocation per slot, ever); {!records} returns fresh
+    copies, so holding one is safe. *)
 
 type span
 (** An open span token returned by {!begin_span}; pass to {!end_span}. *)
@@ -78,7 +81,8 @@ val begin_span :
 
 val end_span : ?args:(string * string) list -> t -> span -> unit
 (** Closes the span and records its duration in the ["cat.name"]
-    latency histogram. *)
+    latency histogram. The token is retired and recycled; ending the
+    same token twice is a no-op. *)
 
 val with_span :
   t -> cat:string -> name:string -> ?args:(string * string) list ->
@@ -123,3 +127,17 @@ val to_chrome_json : t -> string
 
 val report : t -> string
 (** Human-readable histogram percentiles. *)
+
+(** {2 Allocation pooling} *)
+
+type pool_stats = {
+  ring_reused : int;   (** pushes that rewrote a ring record in place *)
+  ring_fresh : int;    (** pushes that allocated a slot's record *)
+  span_hits : int;     (** span tokens recycled from the free list *)
+  span_misses : int;   (** span tokens freshly allocated *)
+}
+
+val pool_stats : t -> pool_stats
+(** Once the ring has revolved and the span pool warmed, steady-state
+    tracing allocates only argument lists — [ring_fresh] and
+    [span_misses] stop growing. *)

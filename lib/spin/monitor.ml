@@ -97,9 +97,25 @@ let watch_cache t ~name sample =
   gauge t ~name:(name ^ ".bytes_cached") (fun () -> (sample ()).C.bytes_cached);
   gauge t ~name:(name ^ ".reclaims") (fun () -> (sample ()).C.reclaims)
 
+let watch_engine t sim =
+  let module Sim = Spin_machine.Sim in
+  let stat f = fun () -> f (Sim.stats sim) in
+  gauge t ~name:"engine.events_live" (stat (fun s -> s.Sim.live));
+  gauge t ~name:"engine.events_fired" (stat (fun s -> s.Sim.fired));
+  gauge t ~name:"engine.events_cancelled" (stat (fun s -> s.Sim.cancelled));
+  gauge t ~name:"engine.event_pool_hits" (stat (fun s -> s.Sim.pool_hits));
+  gauge t ~name:"engine.event_pool_misses" (stat (fun s -> s.Sim.pool_misses))
+
 let watch_trace t tracer =
-  if not (List.memq tracer t.tracers) then
-    t.tracers <- t.tracers @ [ tracer ]
+  if not (List.memq tracer t.tracers) then begin
+    t.tracers <- t.tracers @ [ tracer ];
+    let stat f = fun () -> f (Trace.pool_stats tracer) in
+    gauge t ~name:"trace.ring_reused" (stat (fun p -> p.Trace.ring_reused));
+    gauge t ~name:"trace.ring_fresh" (stat (fun p -> p.Trace.ring_fresh));
+    gauge t ~name:"trace.span_pool_hits" (stat (fun p -> p.Trace.span_hits));
+    gauge t ~name:"trace.span_pool_misses"
+      (stat (fun p -> p.Trace.span_misses))
+  end
 
 let counts t = List.map (fun (name, c) -> (name, !c)) t.counters
 

@@ -62,9 +62,15 @@ val watch_cache :
 val gauges : t -> (string * int) list
 (** Registered gauges with their current samples. *)
 
+val watch_engine : t -> Spin_machine.Sim.t -> unit
+(** Gauges on the discrete-event engine itself: live/fired/cancelled
+    event counts and the event-record pool's hit/miss totals — the
+    host-side health of the simulator, not of anything simulated. *)
+
 val watch_trace : t -> Spin_machine.Trace.t -> unit
 (** Folds the tracer's latency histograms (p50/p90/p99 per key) into
-    {!report}. *)
+    {!report}, and adds gauges on the tracer's ring-record and
+    span-token pools. *)
 
 val report : t -> string
 (** Human-readable counts and rates per virtual second, followed by

@@ -141,6 +141,253 @@ let prop_pqueue_remove_subset =
         match Pqueue.pop q with None -> List.rev acc | Some v -> drain (v :: acc) in
       drain [] = expect)
 
+(* Regression (pre-timer-wheel bug): [pop]/[delete_at]/[clear] left the
+   vacated slot — and [grow] filled padding slots — pointing at live
+   entries, pinning long-gone values against the GC. The queue must
+   release a value as soon as it leaves. *)
+let weak_live w =
+  Gc.full_major ();
+  Gc.full_major ();
+  let n = ref 0 in
+  for i = 0 to Weak.length w - 1 do
+    if Weak.check w i then incr n
+  done;
+  !n
+
+let pq_fill q w n =
+  for i = 0 to n - 1 do
+    let v = Bytes.make 32 (Char.chr (65 + (i mod 26))) in
+    Weak.set w i (Some v);
+    ignore (Pqueue.add q v)
+  done
+
+let test_pqueue_pop_releases () =
+  let q = Pqueue.create ~cmp:compare in
+  let w = Weak.create 4 in
+  pq_fill q w 4;
+  for _ = 1 to 4 do ignore (Pqueue.pop q) done;
+  check int "popped values collectable" 0 (weak_live w);
+  ignore (Sys.opaque_identity q)           (* keep the queue itself live *)
+
+let test_pqueue_clear_releases () =
+  let q = Pqueue.create ~cmp:compare in
+  let w = Weak.create 6 in
+  pq_fill q w 6;
+  Pqueue.clear q;
+  check int "cleared values collectable" 0 (weak_live w);
+  ignore (Sys.opaque_identity q)
+
+let test_pqueue_grow_releases () =
+  (* 20 adds force two array growths; the padding slots of the grown
+     arrays must not alias a live entry. *)
+  let q = Pqueue.create ~cmp:compare in
+  let w = Weak.create 20 in
+  pq_fill q w 20;
+  for _ = 1 to 20 do ignore (Pqueue.pop q) done;
+  check int "no pin via grow padding" 0 (weak_live w);
+  ignore (Sys.opaque_identity q)
+
+let test_pqueue_remove_releases () =
+  let q = Pqueue.create ~cmp:compare in
+  let w = Weak.create 8 in
+  let entries = ref [] in
+  for i = 0 to 7 do
+    let v = Bytes.make 32 (Char.chr (65 + i)) in
+    Weak.set w i (Some v);
+    entries := Pqueue.add q v :: !entries
+  done;
+  List.iter (fun e -> Pqueue.remove q e) !entries;
+  entries := [];
+  (* An entry handle pins its value (it is the value's box), but once
+     the handles are dropped the queue's own arrays must not. *)
+  check int "removed values collectable" 0 (weak_live w);
+  ignore (Sys.opaque_identity q)
+
+(* ------------------------------------------------------------------ *)
+(* Timer_wheel                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let drain_wheel w =
+  let rec go acc =
+    match Timer_wheel.pop_due w with
+    | None -> List.rev acc
+    | Some v -> go (v :: acc) in
+  go []
+
+let test_wheel_fire_order () =
+  let w = Timer_wheel.create ~dummy:0 () in
+  ignore (Timer_wheel.add w ~time:50 1);
+  ignore (Timer_wheel.add w ~time:10 2);
+  ignore (Timer_wheel.add w ~time:50 3);   (* ties with 1: FIFO *)
+  ignore (Timer_wheel.add w ~time:30 4);
+  check int "live" 4 (Timer_wheel.size w);
+  check (option int) "earliest" (Some 10) (Timer_wheel.next_deadline w);
+  Timer_wheel.advance w 9;
+  check (option int) "not due yet" None (Timer_wheel.pop_due w);
+  Timer_wheel.advance w 100;
+  check (list int) "deadline order, FIFO ties" [ 2; 4; 1; 3 ] (drain_wheel w);
+  check int "drained" 0 (Timer_wheel.size w)
+
+let test_wheel_cancel () =
+  let w = Timer_wheel.create ~dummy:0 () in
+  let h = Timer_wheel.add w ~time:100 1 in
+  let h2 = Timer_wheel.add w ~time:100 2 in
+  check bool "pending" true (Timer_wheel.is_pending h);
+  check bool "cancel succeeds" true (Timer_wheel.cancel w h);
+  check bool "re-cancel is a no-op" false (Timer_wheel.cancel w h);
+  check bool "no longer pending" false (Timer_wheel.is_pending h);
+  check int "unlinked immediately" 1 (Timer_wheel.size w);
+  Timer_wheel.advance w 200;
+  check (list int) "survivor fires" [ 2 ] (drain_wheel w);
+  check bool "cancel after fire" false (Timer_wheel.cancel w h2)
+
+let test_wheel_stale_handle_aba () =
+  (* A fired handle whose entry record has been recycled for a new
+     event must not cancel the new event. *)
+  let w = Timer_wheel.create ~dummy:0 () in
+  let h = Timer_wheel.add w ~time:10 1 in
+  Timer_wheel.advance w 10;
+  check (list int) "first fires" [ 1 ] (drain_wheel w);
+  ignore (Timer_wheel.add w ~time:20 2);   (* recycles h's record *)
+  check int "record recycled" 1 (Timer_wheel.pool_stats w).Timer_wheel.pool_hits;
+  check bool "stale cancel refused" false (Timer_wheel.cancel w h);
+  check int "new entry untouched" 1 (Timer_wheel.size w);
+  Timer_wheel.advance w 20;
+  check (list int) "new entry fires" [ 2 ] (drain_wheel w)
+
+let test_wheel_past_deadline_clamps () =
+  let w = Timer_wheel.create ~start:1000 ~dummy:0 () in
+  ignore (Timer_wheel.add w ~time:10 1);
+  check (option int) "clamped to now" (Some 1000) (Timer_wheel.next_deadline w);
+  check (option int) "due without advancing" (Some 1) (Timer_wheel.pop_due w)
+
+let test_wheel_cascade_boundaries () =
+  (* Deadlines straddling each level's window edge (2^8, 2^16, 2^24),
+     advanced across in uneven steps, all fire exactly once, in order,
+     never early. *)
+  let w = Timer_wheel.create ~dummy:(-1) () in
+  let times =
+    [ 255; 256; 257; 511; 65535; 65536; 65537;
+      (1 lsl 24) - 1; 1 lsl 24; (1 lsl 24) + 1 ] in
+  List.iteri (fun i tm -> ignore (Timer_wheel.add w ~time:tm i)) times;
+  let fired = ref [] in
+  let step target =
+    Timer_wheel.advance w target;
+    List.iter
+      (fun i ->
+        check bool "never fires early" true (List.nth times i <= target);
+        fired := i :: !fired)
+      (drain_wheel w) in
+  List.iter step [ 100; 256; 300; 70000; (1 lsl 24) + 5 ];
+  let expect =
+    List.sort compare (List.mapi (fun i tm -> (tm, i)) times)
+    |> List.map snd in
+  check (list int) "all fired in deadline order" expect (List.rev !fired)
+
+let test_wheel_overflow_far_future () =
+  let w = Timer_wheel.create ~dummy:0 () in
+  let far = (1 lsl 32) + 123 in            (* beyond the wheel's range *)
+  let h = Timer_wheel.add w ~time:far 7 in
+  ignore (Timer_wheel.add w ~time:100 1);
+  check (option int) "near deadline wins" (Some 100) (Timer_wheel.next_deadline w);
+  Timer_wheel.advance w 100;
+  check (list int) "near fires" [ 1 ] (drain_wheel w);
+  check (option int) "far visible" (Some far) (Timer_wheel.next_deadline w);
+  Timer_wheel.advance w (1 lsl 32);        (* migrates out of overflow *)
+  check (list int) "nothing due yet" [] (drain_wheel w);
+  check int "still live" 1 (Timer_wheel.size w);
+  Timer_wheel.advance w far;
+  check (list int) "far fires on time" [ 7 ] (drain_wheel w);
+  check bool "spent handle" false (Timer_wheel.cancel w h);
+  let h2 = Timer_wheel.add w ~time:(Timer_wheel.now w + (1 lsl 33)) 9 in
+  check bool "overflow entry cancellable" true (Timer_wheel.cancel w h2);
+  check int "empty" 0 (Timer_wheel.size w)
+
+let test_wheel_pool_recycles () =
+  let w = Timer_wheel.create ~dummy:0 () in
+  for i = 1 to 100 do ignore (Timer_wheel.add w ~time:i i) done;
+  Timer_wheel.advance w 100;
+  ignore (drain_wheel w);
+  let p1 = Timer_wheel.pool_stats w in
+  check int "first round allocates" 100 p1.Timer_wheel.pool_misses;
+  for i = 101 to 200 do ignore (Timer_wheel.add w ~time:i i) done;
+  let p2 = Timer_wheel.pool_stats w in
+  check int "second round recycles" 100
+    (p2.Timer_wheel.pool_hits - p1.Timer_wheel.pool_hits);
+  check int "no fresh allocations" p1.Timer_wheel.pool_misses
+    p2.Timer_wheel.pool_misses
+
+(* The equivalence property the engine swap rests on: against a binary
+   heap keyed by (deadline, insertion-seq) — exactly the old [Sim]
+   queue — a random interleaving of adds (all levels and the overflow),
+   cancels, and uneven advances fires the same events in the same
+   order. *)
+let prop_wheel_matches_heap =
+  QCheck2.Test.make ~name:"timer wheel fires like a FIFO-tie heap" ~count:150
+    QCheck2.Gen.(list_size (int_range 1 60)
+                   (pair (int_range 0 5) (int_range 0 2000)))
+    (fun ops ->
+      let w = Timer_wheel.create ~dummy:(-1) () in
+      let cmp (t1, s1, _) (t2, s2, _) = compare (t1, s1) (t2, s2) in
+      let model = Pqueue.create ~cmp in
+      let seq = ref 0 in
+      let outstanding = ref [] in
+      let next_id = ref 0 in
+      let fired_w = ref [] and fired_m = ref [] in
+      let agree = ref true in
+      let drain_due now =
+        List.iter (fun v -> fired_w := v :: !fired_w) (drain_wheel w);
+        let rec go () =
+          match Pqueue.peek model with
+          | Some (t, _, v) when t <= now ->
+            ignore (Pqueue.pop model);
+            fired_m := v :: !fired_m;
+            go ()
+          | _ -> () in
+        go () in
+      let add delta =
+        let time = Timer_wheel.now w + delta in
+        let v = !next_id in
+        incr next_id;
+        let h = Timer_wheel.add w ~time v in
+        let e = Pqueue.add model (time, !seq, v) in
+        incr seq;
+        outstanding := (h, e) :: !outstanding in
+      List.iter
+        (fun (tag, n) ->
+          match tag with
+          | 0 -> add n                         (* level 0 *)
+          | 1 -> add (n * 4096)                (* levels 1-2 *)
+          | 2 -> add (n * (1 lsl 23))          (* level 3 and overflow *)
+          | 3 | 4 ->
+            let target =
+              Timer_wheel.now w + (if tag = 3 then n else n * 65536) in
+            Timer_wheel.advance w target;
+            drain_due target
+          | _ ->
+            (match !outstanding with
+             | [] -> ()
+             | hs ->
+               let k = n mod List.length hs in
+               let h, e = List.nth hs k in
+               let cw = Timer_wheel.cancel w h in
+               let cm = Pqueue.mem e in
+               if cm then Pqueue.remove model e;
+               if cw <> cm then agree := false;
+               outstanding := List.filteri (fun i _ -> i <> k) hs))
+        ops;
+      let rounds = ref 0 in
+      while (Timer_wheel.size w > 0 || not (Pqueue.is_empty model))
+            && !rounds < 64 do
+        incr rounds;
+        let target = Timer_wheel.now w + (1 lsl 30) in
+        Timer_wheel.advance w target;
+        drain_due target
+      done;
+      !agree && !rounds < 64
+      && List.rev !fired_w = List.rev !fired_m
+      && Timer_wheel.size w = 0)
+
 (* ------------------------------------------------------------------ *)
 (* Ring                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -320,6 +567,27 @@ let () =
           Alcotest.test_case "FIFO on ties" `Quick test_pqueue_fifo_ties;
           Alcotest.test_case "entry removal" `Quick test_pqueue_remove;
           Alcotest.test_case "remove current min" `Quick test_pqueue_remove_min;
+          Alcotest.test_case "pop releases values" `Quick test_pqueue_pop_releases;
+          Alcotest.test_case "clear releases values" `Quick test_pqueue_clear_releases;
+          Alcotest.test_case "grow padding releases values" `Quick
+            test_pqueue_grow_releases;
+          Alcotest.test_case "remove releases values" `Quick
+            test_pqueue_remove_releases;
+        ] );
+      ( "timer_wheel",
+        [
+          Alcotest.test_case "fire order, FIFO ties" `Quick test_wheel_fire_order;
+          Alcotest.test_case "cancel unlinks eagerly" `Quick test_wheel_cancel;
+          Alcotest.test_case "stale handle is ABA-safe" `Quick
+            test_wheel_stale_handle_aba;
+          Alcotest.test_case "past deadline clamps" `Quick
+            test_wheel_past_deadline_clamps;
+          Alcotest.test_case "cascade across level boundaries" `Quick
+            test_wheel_cascade_boundaries;
+          Alcotest.test_case "far-future overflow" `Quick
+            test_wheel_overflow_far_future;
+          Alcotest.test_case "pool recycles records" `Quick
+            test_wheel_pool_recycles;
         ] );
       ( "ring",
         [
@@ -352,6 +620,7 @@ let () =
           prop_dllist_mirrors_list;
           prop_pqueue_sorts;
           prop_pqueue_remove_subset;
+          prop_wheel_matches_heap;
           prop_lru_never_exceeds_capacity;
           prop_idtable_consistent;
         ];

@@ -79,6 +79,53 @@ let test_sim_nested_schedule () =
   Sim.run sim;
   check (list string) "chained" [ "first"; "second" ] (List.rev !log)
 
+(* Regression (pre-timer-wheel bug): [cancel] only flagged the event,
+   so cancelled events stayed in the queue — counting towards
+   [pending] and pinning their closures — until their deadline came
+   around. A server arming and disarming timeouts leaked its whole
+   retransmit history. Cancellation must unlink and release now. *)
+let test_sim_cancel_unlinks_eagerly () =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  let n = 64 in
+  let weaks = Weak.create n in
+  let handles =
+    Array.init n (fun i ->
+      let payload = Bytes.make 64 'x' in
+      Weak.set weaks i (Some payload);
+      Sim.after sim (1_000_000 + i) (fun () ->
+        ignore (Sys.opaque_identity payload))) in
+  check int "all pending" n (Sim.pending sim);
+  Array.iter (fun h -> Sim.cancel sim h) handles;
+  check int "no residency after mass cancel" 0 (Sim.pending sim);
+  check int "stats agree" 0 (Sim.stats sim).Sim.live;
+  check int "all counted cancelled" n (Sim.stats sim).Sim.cancelled;
+  Gc.full_major ();
+  Gc.full_major ();
+  let alive = ref 0 in
+  for i = 0 to n - 1 do if Weak.check weaks i then incr alive done;
+  check int "closures released before the deadline" 0 !alive;
+  ignore (Sys.opaque_identity (sim, handles))
+
+let test_sim_pool_recycles () =
+  let clock = Clock.create Cost.alpha_133 in
+  let sim = Sim.create clock in
+  for i = 1 to 50 do ignore (Sim.after sim i (fun () -> ())) done;
+  Sim.run sim;
+  let s1 = Sim.stats sim in
+  check int "first wave fired" 50 s1.Sim.fired;
+  for i = 1 to 50 do ignore (Sim.after sim i (fun () -> ())) done;
+  let s2 = Sim.stats sim in
+  check int "second wave recycles records" 50
+    (s2.Sim.pool_hits - s1.Sim.pool_hits);
+  check int "no fresh records" s1.Sim.pool_misses s2.Sim.pool_misses;
+  Sim.run sim;
+  check int "double cancel counted once" 0
+    (let h = Sim.after sim 10 (fun () -> ()) in
+     Sim.cancel sim h;
+     Sim.cancel sim h;
+     (Sim.stats sim).Sim.cancelled - 1)
+
 (* ------------------------------------------------------------------ *)
 (* Physical memory                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -517,6 +564,9 @@ let () =
           Alcotest.test_case "fires when clock passes deadline" `Quick test_sim_fire_on_charge;
           Alcotest.test_case "cancellation" `Quick test_sim_cancel;
           Alcotest.test_case "nested scheduling" `Quick test_sim_nested_schedule;
+          Alcotest.test_case "cancel unlinks eagerly" `Quick
+            test_sim_cancel_unlinks_eagerly;
+          Alcotest.test_case "event records recycle" `Quick test_sim_pool_recycles;
         ] );
       ( "phys_mem",
         [
