@@ -114,12 +114,12 @@ let gc_impact () =
 (* Web server: SPIN in-kernel vs user-level on OSF/1                  *)
 (* ------------------------------------------------------------------ *)
 
-let web_fixture () =
+let web_fixture ?cpus ?(kind = Nic.Lance) ?mbps () =
   let clock = Clock.create Cost.alpha_133 in
   let sim = Sim.create clock in
-  let server = Host.create sim ~name:"www" ~addr:addr_b in
-  let client = Host.create sim ~name:"client" ~addr:addr_a in
-  ignore (Host.wire client server ~kind:Nic.Lance);
+  let server = Host.create ?cpus sim ~name:"www" ~addr:addr_b in
+  let client = Host.create ?cpus sim ~name:"client" ~addr:addr_a in
+  ignore (Host.wire ?mbps client server ~kind);
   let disk = Machine.add_disk ~blocks:65536 server.Host.machine in
   let bc = Spin_fs.Block_cache.create ~phys:server.Host.phys server.Host.machine server.Host.sched disk in
   let cache = ref None in
@@ -138,11 +138,11 @@ let web_fixture () =
    [HTTP.GenContent] is declared and loadable extensions can serve
    dynamic paths — the fixture the hot-swap experiments replace
    content generators on. Also returns the server handle. *)
-let web_fixture_full () =
+let web_fixture_full ?cpus () =
   let clock = Clock.create Cost.alpha_133 in
   let sim = Sim.create clock in
-  let server = Host.create sim ~name:"www" ~addr:addr_b in
-  let client = Host.create sim ~name:"client" ~addr:addr_a in
+  let server = Host.create ?cpus sim ~name:"www" ~addr:addr_b in
+  let client = Host.create ?cpus sim ~name:"client" ~addr:addr_a in
   ignore (Host.wire client server ~kind:Nic.Lance);
   let disk = Machine.add_disk ~blocks:65536 server.Host.machine in
   let bc = Spin_fs.Block_cache.create ~phys:server.Host.phys server.Host.machine server.Host.sched disk in

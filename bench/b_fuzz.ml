@@ -22,6 +22,7 @@ open Spin_net
 (* Set by the main.exe argument parser. *)
 let seeds = ref 50
 let replay = ref None
+let cpus : int option ref = ref None
 
 let artifact_dir = "fuzz-artifacts"
 
@@ -35,7 +36,7 @@ let daemon s =
 
 let attach_host ~seed host =
   Sched_fuzz.attach
-    ~cpu:host.Host.machine.Machine.cpu
+    ~cpus:(Array.to_list host.Host.machine.Machine.cpus)
     ~dispatcher:host.Host.dispatcher
     ~seed host.Host.sched
 
@@ -46,7 +47,7 @@ let attach_host ~seed host =
    hot-swaps the content generator twice, mid-request-storm, so the
    fuzzer can preempt inside the swap window itself. *)
 let run_seed ~seed ~traced =
-  let clock, client, server, http = B_extra.web_fixture_full () in
+  let clock, client, server, http = B_extra.web_fixture_full ?cpus:!cpus () in
   let tr = Trace.of_clock clock in
   if traced then Trace.enable tr;
   (* Distinct streams per host; both derived from the seed alone. *)
@@ -178,6 +179,11 @@ let report_seed ~seed (violations, _stats, _) =
 
 let run () =
   Report.header "Schedule fuzzing (seeded, deterministic replay)";
+  (match !cpus with
+   | Some n when n > 1 ->
+     Printf.printf "  hosts built with %d CPUs: the seed also drives which\n" n;
+     Printf.printf "  CPU advances and every steal decision\n"
+   | _ -> ());
   match !replay with
   | Some seed ->
     Printf.printf "  replaying seed %d\n" seed;

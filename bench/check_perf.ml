@@ -138,6 +138,14 @@ let gated m =
     | "storm events processed" | "http events fired" | "fuzz decisions" ->
       Some Floor
     | _ -> None
+  else if m.experiment = "smp" then
+    (* Virtual-time throughput is deterministic, so the scaling ratios
+       gate as floors: a change that quietly serializes the multi-CPU
+       path (a stray global lock, affinity gone wrong, sharding broken)
+       drops the speedup even when 1-CPU throughput is unchanged. *)
+    match m.name with
+    | "speedup 2cpu" | "speedup 4cpu" -> Some Floor
+    | _ -> None
   else None
 
 let () =

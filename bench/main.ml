@@ -25,6 +25,7 @@ let experiments = [
   ("gc", "automatic storage management (5.5)", B_extra.gc_impact);
   ("web", "web server latency (5.4)", B_extra.web);
   ("load", "HTTP load scaling over the zero-copy path (5.4)", B_load.run);
+  ("smp", "SMP scaling of the HTTP ramp vs CPUs per host", B_smp.run);
   ("mem", "memory pressure and reclamation (5.2)", B_mem.run);
   ("swap", "live extension hot-swap under load", B_swap.run);
   ("ablation", "design-choice ablations", B_ablation.run);
@@ -41,7 +42,8 @@ let usage () =
   print_endline "  all          every experiment except bechamel and fuzz";
   print_endline "  --json FILE  also write measured metrics to FILE";
   print_endline "  --seeds N    fuzz: run seeds 1..N (default 50)";
-  print_endline "  --replay S   fuzz: replay one seed deterministically"
+  print_endline "  --replay S   fuzz: replay one seed deterministically";
+  print_endline "  --cpus N     fuzz: N-CPU hosts; smp: ramp 1,2,..,N (default 8)"
 
 let run_one (name, _, f) =
   Report.experiment name;
@@ -72,6 +74,16 @@ let () =
          print_endline "--replay needs an integer seed"; usage (); exit 1)
     | "--replay" :: [] ->
       print_endline "--replay needs a seed argument"; usage (); exit 1
+    | "--cpus" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 ->
+         B_fuzz.cpus := Some n;
+         B_smp.max_cpus := n;
+         parse rest
+       | Some _ | None ->
+         print_endline "--cpus needs a positive integer"; usage (); exit 1)
+    | "--cpus" :: [] ->
+      print_endline "--cpus needs an integer argument"; usage (); exit 1
     | arg :: rest -> arg :: parse rest
     | [] -> [] in
   (match parse (List.tl (Array.to_list Sys.argv)) with

@@ -9,10 +9,21 @@ type t = {
   mutable n_hooks : int;
   mutable in_hook : bool;
   mutable idle : int;
+  (* SMP wall-time accounting: [now] counts *wall* cycles while charges
+     are *CPU-work* cycles. With [parallel] CPUs concurrently busy the
+     machine retires [parallel] work cycles per wall cycle, so a charge
+     advances the wall clock by [c / parallel]; [carry] keeps the
+     remainder so no work cycle is lost (deterministic integer
+     arithmetic). The scheduler maintains [parallel] at slice
+     boundaries; it is 1 on a uniprocessor, where the arithmetic
+     degenerates to the original [now <- now + c]. *)
+  mutable parallel : int;
+  mutable carry : int;
 }
 
 let create cost =
-  { cost; now = 0; hooks = [||]; n_hooks = 0; in_hook = false; idle = 0 }
+  { cost; now = 0; hooks = [||]; n_hooks = 0; in_hook = false; idle = 0;
+    parallel = 1; carry = 0 }
 
 let cost t = t.cost
 
@@ -36,10 +47,25 @@ let run_hooks t =
 
 let charge t c =
   if c < 0 then invalid_arg "Clock.charge: negative cycles";
-  if c > 0 then begin
-    t.now <- t.now + c;
-    run_hooks t
-  end
+  if c > 0 then
+    if t.parallel = 1 then begin
+      t.now <- t.now + c;
+      run_hooks t
+    end else begin
+      let total = c + t.carry in
+      let adv = total / t.parallel in
+      t.carry <- total mod t.parallel;
+      if adv > 0 then begin
+        t.now <- t.now + adv;
+        run_hooks t
+      end
+    end
+
+let set_parallel t k =
+  if k < 1 then invalid_arg "Clock.set_parallel: need at least one CPU";
+  t.parallel <- k
+
+let parallel t = t.parallel
 
 let charge_us t us = charge t (Cost.us_to_cycles t.cost us)
 

@@ -18,7 +18,23 @@ val now : t -> int
 val now_us : t -> float
 
 val charge : t -> int -> unit
-(** [charge t c] advances time by [c >= 0] cycles, then runs hooks. *)
+(** [charge t c] accounts [c >= 0] cycles of CPU work, advancing wall
+    time by [c / parallel] (see {!set_parallel}; the remainder is
+    carried so no work is lost), then runs hooks when time advanced.
+    On a uniprocessor ([parallel = 1]) this is exactly
+    [now <- now + c]. *)
+
+val set_parallel : t -> int -> unit
+(** [set_parallel t k] declares that [k >= 1] CPUs are concurrently
+    busy: until changed, each charged work cycle advances wall time by
+    [1/k] cycles. The SMP scheduler calls this at slice boundaries with
+    the number of CPUs that have a strand to run — work charged while
+    other CPUs also compute overlaps with theirs in wall time, which is
+    what makes throughput (work per wall second) scale. Deadlines,
+    hooks and {!now} all remain in wall time. *)
+
+val parallel : t -> int
+(** The current concurrency declared by {!set_parallel} (1 initially). *)
 
 val charge_us : t -> float -> unit
 

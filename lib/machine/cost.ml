@@ -14,6 +14,9 @@ type t = {
   alloc_fixed : int;
   alloc_per_word : int;
   mem_access : int;
+  ipi_send : int;
+  ipi_deliver : int;
+  tlb_shootdown : int;
 }
 
 let alpha_133 = {
@@ -32,6 +35,14 @@ let alpha_133 = {
   alloc_fixed = 60;
   alloc_per_word = 2;
   mem_access = 3;
+  (* Cross-CPU signalling on the 21064-era SMP boxes: writing the
+     interprocessor-interrupt register is cheap; the receiving
+     processor pays an interrupt-class entry before the handler. A
+     shootdown is the remote flush itself (PAL tbi) plus the ack
+     write the initiator spins on. *)
+  ipi_send = 90;
+  ipi_deliver = 320;
+  tlb_shootdown = 120;
 }
 
 let copy_cycles c ~bytes = ((bytes + 7) / 8) * c.copy_per_word

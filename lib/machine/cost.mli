@@ -22,6 +22,9 @@ type t = {
   alloc_fixed : int;         (** heap allocation fixed overhead *)
   alloc_per_word : int;      (** heap allocation, per word (zeroing) *)
   mem_access : int;          (** one simulated load/store through the MMU *)
+  ipi_send : int;            (** write the interprocessor-interrupt register *)
+  ipi_deliver : int;         (** remote CPU takes the IPI vector *)
+  tlb_shootdown : int;       (** remote TLB flush + ack per shot-down CPU *)
 }
 
 val alpha_133 : t

@@ -8,6 +8,7 @@ type trap =
 exception Unhandled_trap of trap
 
 type t = {
+  id : int;
   clock : Clock.t;
   mmu : Mmu.t;
   mutable mode : mode;
@@ -18,9 +19,11 @@ type t = {
   mutable trap_depth : int;
 }
 
-let create clock mmu =
-  { clock; mmu; mode = Kernel; ctx = None; handler = None;
+let create ?(id = 0) clock mmu =
+  { id; clock; mmu; mode = Kernel; ctx = None; handler = None;
     trap_entries = 0; trap_exits = 0; trap_depth = 0 }
+
+let id t = t.id
 
 let clock t = t.clock
 

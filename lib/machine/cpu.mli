@@ -4,28 +4,52 @@
     simulated memory through the CPU; a failed translation raises a
     trap into the registered kernel handler, after which the access is
     retried — exactly the fault/resume cycle the SPIN translation
-    events are built on. *)
+    events are built on.
+
+    A machine may carry several CPUs ({!Machine.create} [?cpus]); they
+    share the clock, physical memory and MMU (page tables are common
+    to the machine; the TLB is modelled as unified, with cross-CPU
+    coherence paid for through {!Intr} shootdown IPIs — see
+    {!Mmu.set_shootdown}). Each CPU keeps its own mode, translation
+    context, trap handler and trap accounting. *)
 
 type t
+(** One simulated processor. *)
 
 type mode = User | Kernel
+(** The privilege mode the CPU currently executes in. *)
 
 type trap =
   | Syscall of { number : int; args : int array }
+      (** An explicit kernel call from user code. *)
   | Mem_fault of { va : int; access : Mmu.access; fault : Mmu.fault }
+      (** A failed translation, delivered for fault-and-resume. *)
   | Illegal of string
+      (** An operation the hardware cannot perform (e.g. a user access
+          with no translation context installed). *)
 
 exception Unhandled_trap of trap
 (** Raised when no handler is installed, or a faulting access cannot
     be resolved after repeated retries. *)
 
-val create : Clock.t -> Mmu.t -> t
+val create : ?id:int -> Clock.t -> Mmu.t -> t
+(** [create ?id clock mmu] builds a CPU. [id] (default 0) is the
+    processor number — CPU 0 is the boot processor; {!Machine.create}
+    numbers additional CPUs densely from 1. *)
+
+val id : t -> int
+(** The processor number, fixed at creation. The scheduler uses it to
+    index per-CPU run queues and to address IPIs. *)
 
 val clock : t -> Clock.t
+(** The machine clock this CPU charges (shared by all of a machine's
+    CPUs). *)
 
 val mmu : t -> Mmu.t
+(** The machine's MMU (shared by all of its CPUs). *)
 
 val mode : t -> mode
+(** The current privilege mode. *)
 
 val set_trap_handler : t -> (trap -> int) -> unit
 (** Installs the kernel's trap entry point. The handler's integer
@@ -56,6 +80,7 @@ val set_context : t -> Mmu.context option -> unit
     switch cost when it actually changes. *)
 
 val context : t -> Mmu.context option
+(** The user translation context currently installed, if any. *)
 
 val in_user_mode : t -> (unit -> 'a) -> 'a
 (** Runs [f] with the CPU in user mode (for code standing in for an
@@ -66,6 +91,8 @@ val load_word : t -> va:int -> int64
     retried. Charges the per-access cost. *)
 
 val store_word : t -> va:int -> int64 -> unit
+(** User-context 8-byte store; faults are trapped and the access
+    retried. Charges the per-access cost. *)
 
 val touch : t -> va:int -> Mmu.access -> unit
 (** Performs an access for its fault/protection side effects only. *)
@@ -75,3 +102,5 @@ val copy_from_user : t -> va:int -> len:int -> Bytes.t
     usual and the copy cost is charged. *)
 
 val copy_to_user : t -> va:int -> Bytes.t -> unit
+(** Kernel copy-out: the mirror of {!copy_from_user}, faulting in and
+    charging each touched page independently. *)

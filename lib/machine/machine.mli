@@ -3,7 +3,13 @@
     [create] builds a standalone machine with its own clock and event
     queue; [create_on] builds one sharing an existing event queue so
     that several hosts can be co-simulated on a common virtual
-    timeline (used by the networking experiments). *)
+    timeline (used by the networking experiments).
+
+    A machine carries one or more CPUs sharing the clock, physical
+    memory and MMU; [cpu] is the boot processor, [cpus] the full set.
+    On a multiprocessor the machine wires {!Mmu.set_shootdown} to
+    {!Intr.broadcast_sync} so every translation removal pays the TLB
+    shootdown round-trip. *)
 
 type t = {
   name : string;
@@ -12,18 +18,40 @@ type t = {
   sim : Sim.t;
   mem : Phys_mem.t;
   mmu : Mmu.t;
-  cpu : Cpu.t;
+  cpu : Cpu.t;                 (** the boot processor, [cpus.(0)] *)
+  cpus : Cpu.t array;          (** all processors, indexed by CPU id *)
   intr : Intr.t;
   console : Console_dev.t;
   mutable disks : Disk_dev.t list;
   mutable nics : Nic.t list;
   mutable next_line : int;
+  mutable shootdowns : int;    (** TLB shootdown broadcasts initiated *)
+  mutable shootdown_acks : int; (** remote flush acknowledgements *)
 }
 
-val create : ?cost:Cost.t -> ?mem_mb:int -> name:string -> unit -> t
-(** Default memory: 64 MB, as in the paper's machines. *)
+val default_cpus : unit -> int
+(** The CPU count used when [?cpus] is omitted: the [SPIN_CPUS]
+    environment variable when set (CI runs the test suite under
+    [SPIN_CPUS=4] to exercise the SMP paths), otherwise 1. *)
 
-val create_on : Sim.t -> ?mem_mb:int -> name:string -> unit -> t
+val create : ?cost:Cost.t -> ?mem_mb:int -> ?cpus:int -> name:string -> unit -> t
+(** Default memory: 64 MB, as in the paper's machines. [cpus]
+    defaults to {!default_cpus}; pass [~cpus:1] explicitly for tests
+    with single-CPU golden timings. *)
+
+val create_on : Sim.t -> ?mem_mb:int -> ?cpus:int -> name:string -> unit -> t
+
+val ncpus : t -> int
+(** Number of CPUs (length of [cpus]). *)
+
+val set_trap_handler : t -> (Cpu.trap -> int) -> unit
+(** Installs the kernel trap entry point on {e every} CPU — a trap
+    must be handleable wherever the strand that takes it is running. *)
+
+val shootdown_stats : t -> int * int
+(** (broadcasts initiated, remote acks received) since boot. Acks are
+    [broadcasts * (ncpus - 1)] unless a shootdown raced CPU hotplug —
+    which this model does not have, so the equality is an invariant. *)
 
 val add_disk : ?blocks:int -> t -> Disk_dev.t
 (** Attaches a disk (default ~16 MB) on a fresh interrupt line. *)
@@ -32,9 +60,13 @@ val add_nic : t -> kind:Nic.kind -> Nic.t
 (** Attaches a NIC on a fresh interrupt line; plug it into a link with
     {!Nic.attach}. *)
 
-val connect : t -> t -> kind:Nic.kind -> ?latency_us:float -> unit -> Nic.t * Nic.t
+val connect :
+  t -> t -> kind:Nic.kind -> ?latency_us:float -> ?mbps:float -> unit ->
+  Nic.t * Nic.t
 (** [connect a b ~kind ()] gives each machine a NIC of [kind] and
-    wires them with a link of the kind's line rate. The machines must
-    share a simulation (build them with {!create_on}). *)
+    wires them with a link of the kind's line rate ([mbps] overrides
+    it — experiments that must not be line-rate-bound, like the SMP
+    scaling ramp, run the same device model over a faster wire). The
+    machines must share a simulation (build them with {!create_on}). *)
 
 val elapsed_us : t -> float

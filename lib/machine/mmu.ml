@@ -27,6 +27,12 @@ type t = {
   tlb_capacity : int;
   mutable hits : int;
   mutable misses : int;
+  (* SMP coherence: installed by the machine when it has more than one
+     CPU. Runs after any operation that removes or narrows a
+     translation (unmap, protect, context teardown) — other CPUs may
+     hold the stale entry in their TLBs, so the initiator must shoot
+     it down before the operation returns. [None] on uniprocessors. *)
+  mutable shootdown : (unit -> unit) option;
 }
 
 let create clock mem = {
@@ -38,7 +44,13 @@ let create clock mem = {
   tlb_capacity = 128;
   hits = 0;
   misses = 0;
+  shootdown = None;
 }
+
+let set_shootdown t f = t.shootdown <- f
+
+let run_shootdown t =
+  match t.shootdown with Some f -> f () | None -> ()
 
 let mem t = t.mem
 
@@ -74,7 +86,8 @@ let destroy_context t ctx =
   Hashtbl.iter (fun vpn _ -> tlb_drop t (ctx.id, vpn)) ctx.table;
   Hashtbl.reset ctx.table;
   t.live_ctx <- t.live_ctx - 1;
-  charge_map t
+  charge_map t;
+  run_shootdown t
 
 let map t ctx ~vpn ~pfn ~prot =
   if pfn < 0 || pfn >= Phys_mem.frames t.mem then
@@ -87,15 +100,31 @@ let map t ctx ~vpn ~pfn ~prot =
 let unmap t ctx ~vpn =
   Hashtbl.remove ctx.table vpn;
   tlb_drop t (ctx.id, vpn);
-  charge_map t
+  charge_map t;
+  (* The unmap must not return while another CPU can still translate
+     through the dead entry: shoot it down now, synchronously. *)
+  run_shootdown t
+
+let narrows ~old_prot ~prot =
+  let open Addr in
+  (old_prot.read && not prot.read)
+  || (old_prot.write && not prot.write)
+  || (old_prot.execute && not prot.execute)
 
 let protect ?(charge = true) t ctx ~vpn ~prot =
   match Hashtbl.find_opt ctx.table vpn with
   | None -> false
   | Some pte ->
+    let old_prot = pte.prot in
     pte.prot <- prot;
     tlb_drop t (ctx.id, vpn);
     if charge then charge_map t;
+    (* Only a narrowing needs machine-wide visibility before returning:
+       a remote TLB entry with stale, {e wider} rights is a protection
+       hole, but a stale narrower entry merely re-faults and refills.
+       Widening therefore skips the shootdown — the lazy-unprotect
+       economics of Table 4 survive on a multiprocessor. *)
+    if narrows ~old_prot ~prot then run_shootdown t;
     true
 
 let lookup ctx ~vpn = Hashtbl.find_opt ctx.table vpn

@@ -66,3 +66,16 @@ val tlb_flush_all : t -> unit
 
 val tlb_stats : t -> int * int
 (** (hits, misses) since boot. *)
+
+val set_shootdown : t -> (unit -> unit) option -> unit
+(** Installs the TLB shootdown hook, run synchronously after every
+    operation that removes or narrows a translation ([unmap],
+    [destroy_context], and [protect] when it removes a right) — on a
+    multi-CPU machine other CPUs may cache the stale entry, so the
+    initiator must interrupt them and wait for the flush before the
+    operation returns. A [protect] that only widens rights skips it: a
+    stale narrower entry re-faults harmlessly, which keeps lazy
+    unprotection cheap on multiprocessors too. {!Machine.create}
+    installs a hook that broadcasts shootdown IPIs through
+    {!Intr.broadcast_sync} when the machine has more than one CPU;
+    uniprocessors leave it [None] and pay nothing. *)

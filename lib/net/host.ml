@@ -21,10 +21,10 @@ type t = {
   addr : Ip.addr;
 }
 
-let create ?mem_mb sim ~name ~addr =
-  let machine = Machine.create_on sim ?mem_mb ~name () in
+let create ?mem_mb ?cpus sim ~name ~addr =
+  let machine = Machine.create_on sim ?mem_mb ?cpus ~name () in
   let dispatcher = Dispatcher.create machine.Machine.clock in
-  let sched = Sched.create sim dispatcher in
+  let sched = Sched.create ~intr:machine.Machine.intr sim dispatcher in
   let phys = Phys_addr.create machine dispatcher in
   ignore (Reclaim_policy.install_second_chance phys);
   let ip = Ip.create machine dispatcher in
@@ -41,11 +41,18 @@ let netif_name kind =
   | Nic.Fore_atm -> "ATM"
   | Nic.T3 -> "T3"
 
-let wire ?(optimized = false) ?(latency_us = 5.) a b ~kind =
-  let nic_a, nic_b = Machine.connect a.machine b.machine ~kind ~latency_us () in
+let wire ?(optimized = false) ?(latency_us = 5.) ?mbps a b ~kind =
+  let nic_a, nic_b =
+    Machine.connect a.machine b.machine ~kind ~latency_us ?mbps () in
   let name = netif_name kind in
-  let na = Netif.create ~optimized a.machine a.sched a.dispatcher nic_a ~name in
-  let nb = Netif.create ~optimized b.machine b.sched b.dispatcher nic_b ~name in
+  (* One receive shard per CPU: protocol processing scales with the
+     host's processors (a 1-CPU host keeps the single classic strand). *)
+  let na =
+    Netif.create ~optimized ~rx_shards:(Sched.ncpus a.sched)
+      a.machine a.sched a.dispatcher nic_a ~name in
+  let nb =
+    Netif.create ~optimized ~rx_shards:(Sched.ncpus b.sched)
+      b.machine b.sched b.dispatcher nic_b ~name in
   Ip.add_interface a.ip na ~addr:a.addr;
   Ip.add_interface b.ip nb ~addr:b.addr;
   Ip.add_route a.ip ~dst:b.addr na;

@@ -19,17 +19,23 @@ type t = {
 }
 
 val create :
-  ?mem_mb:int -> Spin_machine.Sim.t -> name:string -> addr:Ip.addr -> t
+  ?mem_mb:int -> ?cpus:int -> Spin_machine.Sim.t -> name:string ->
+  addr:Ip.addr -> t
 (** [mem_mb] bounds the host's physical memory (the [mem] pressure
-    workload runs its server small). The host's physical address
+    workload runs its server small). [cpus] (default
+    {!Spin_machine.Machine.default_cpus}) builds a multiprocessor
+    host: per-CPU scheduling with IPI wakeups, and {!wire} shards
+    receive processing across the CPUs. The host's physical address
     service comes up with the second-chance replacement policy
     installed. *)
 
 val wire :
-  ?optimized:bool -> ?latency_us:float ->
+  ?optimized:bool -> ?latency_us:float -> ?mbps:float ->
   t -> t -> kind:Spin_machine.Nic.kind -> Netif.t * Netif.t
 (** Gives both hosts an interface of [kind], links them, installs
-    routes in both directions, and starts the protocol threads. *)
+    routes in both directions, and starts the protocol threads — one
+    receive shard per CPU on each side. [mbps] overrides the kind's
+    line rate (see {!Spin_machine.Machine.connect}). *)
 
 val add_route : t -> dst:Ip.addr -> Netif.t -> unit
 

@@ -12,14 +12,16 @@ type t = {
   nic : Nic.t;
   name : string;
   rx_event : (Pkt.t, unit) Dispatcher.event;
-  rx_queue : Pkt.t Queue.t;
+  rx_shards : int;
+  rx_queues : Pkt.t Queue.t array;        (* one per shard *)
   tx_overhead : int;              (* driver cycles per transmitted frame *)
   rx_overhead : int;              (* driver cycles per received frame *)
   rx_batch : int;                 (* frames serviced per protocol-thread wakeup *)
-  mutable proto_thread : Spin_sched.Strand.t option;
+  mutable proto_threads : Spin_sched.Strand.t array;  (* empty until start *)
   mutable frames_rx : int;
   mutable frames_tx : int;
   mutable rx_bursts : int;        (* wakeups that serviced > 1 frame *)
+  shard_rx : int array;           (* frames serviced per shard *)
 }
 
 (* Unoptimized vendor-driver overheads (cycles), per kind. The paper's
@@ -38,16 +40,20 @@ let overheads ~optimized kind =
    same wakeup amortize all but this residue. *)
 let coalesce_divisor = 4
 
-let create ?(optimized = false) ?(rx_batch = 8) machine sched dispatcher nic
-    ~name =
+let create ?(optimized = false) ?(rx_batch = 8) ?(rx_shards = 1) machine sched
+    dispatcher nic ~name =
   if rx_batch < 1 then invalid_arg "Netif.create: rx_batch";
+  if rx_shards < 1 then invalid_arg "Netif.create: rx_shards";
   let tx_overhead, rx_overhead = overheads ~optimized (Nic.kind nic) in
   let rx_event =
     Dispatcher.declare dispatcher ~name:(name ^ ".PktArrived") ~owner:name
       ~combine:(fun _ -> ()) (fun (_ : Pkt.t) -> ()) in
   { machine; sched; nic; name; rx_event;
-    rx_queue = Queue.create (); tx_overhead; rx_overhead; rx_batch;
-    proto_thread = None; frames_rx = 0; frames_tx = 0; rx_bursts = 0 }
+    rx_shards;
+    rx_queues = Array.init rx_shards (fun _ -> Queue.create ());
+    tx_overhead; rx_overhead; rx_batch;
+    proto_threads = [||]; frames_rx = 0; frames_tx = 0; rx_bursts = 0;
+    shard_rx = Array.make rx_shards 0 }
 
 let rx_event t = t.rx_event
 
@@ -96,7 +102,28 @@ let transmit_burst t pkts =
     Trace.end_span tr sp ~args:[ ("sent", string_of_int !sent) ];
     !sent
 
-let service t pkt ~first =
+(* Flow steering, netisr-style: hash the flow-identifying header
+   bytes — protocol, addresses and ports live in bytes 2..17 of our
+   frames — so every frame of a flow lands on the same shard, and the
+   same CPU, preserving per-flow ordering without locks. Bytes 4..5
+   are the IP payload length: they differ between segments of the
+   same connection and MUST stay out of the hash, or a flow sprays
+   across shards and its segments reorder (TCP then drops the
+   out-of-order tail and eats a retransmit timeout per request). *)
+let flow_hash pkt =
+  let buf, off, len = Pkt.view pkt in
+  let stop = min len 18 in
+  let h = ref 0x811c9dc5 in
+  for i = 2 to stop - 1 do
+    if i <> 4 && i <> 5 then
+      h := ((!h lxor Char.code (Bytes.get buf (off + i))) * 0x01000193)
+           land 0x3FFFFFFF
+  done;
+  !h
+
+let shard_of t pkt = if t.rx_shards = 1 then 0 else flow_hash pkt mod t.rx_shards
+
+let service t ~shard pkt ~first =
   let tr = Trace.of_clock t.machine.Machine.clock in
   let sp =
     if Trace.on tr then
@@ -106,22 +133,25 @@ let service t pkt ~first =
   Clock.charge t.machine.Machine.clock
     (if first then t.rx_overhead else t.rx_overhead / coalesce_divisor);
   t.frames_rx <- t.frames_rx + 1;
+  t.shard_rx.(shard) <- t.shard_rx.(shard) + 1;
   Dispatcher.raise_default t.rx_event () pkt;
   Trace.end_span tr sp
 
-(* One wakeup drains up to [rx_batch] frames: the first pays the full
-   driver receive overhead, the rest only the coalesced residue — the
-   load-scaling path where one interrupt services a burst. *)
-let protocol_loop t () =
+(* One wakeup drains up to [rx_batch] frames from this shard's queue:
+   the first pays the full driver receive overhead, the rest only the
+   coalesced residue — the load-scaling path where one interrupt
+   services a burst. *)
+let protocol_loop t shard () =
+  let rx_queue = t.rx_queues.(shard) in
   let rec loop () =
-    match Queue.take_opt t.rx_queue with
+    match Queue.take_opt rx_queue with
     | Some pkt ->
-      service t pkt ~first:true;
+      service t ~shard pkt ~first:true;
       let rec burst n =
         if n >= t.rx_batch then n
         else
-          match Queue.take_opt t.rx_queue with
-          | Some pkt -> service t pkt ~first:false; burst (n + 1)
+          match Queue.take_opt rx_queue with
+          | Some pkt -> service t ~shard pkt ~first:false; burst (n + 1)
           | None -> n in
       let serviced = burst 1 in
       if serviced > 1 then t.rx_bursts <- t.rx_bursts + 1;
@@ -133,29 +163,47 @@ let protocol_loop t () =
   loop ()
 
 let start t =
-  match t.proto_thread with
-  | Some _ -> ()
-  | None ->
-    let strand =
-      Sched.spawn t.sched ~owner:t.name ~priority:20
-        ~name:(t.name ^ "-input") (protocol_loop t) in
-    t.proto_thread <- Some strand;
+  if Array.length t.proto_threads = 0 then begin
+    t.proto_threads <-
+      Array.init t.rx_shards (fun shard ->
+        let sname =
+          if t.rx_shards = 1 then t.name ^ "-input"
+          else Printf.sprintf "%s.%d-input" t.name shard in
+        let strand =
+          Sched.spawn t.sched ~owner:t.name ~priority:20 ~name:sname
+            (protocol_loop t shard) in
+        (* Each shard is a per-CPU protocol strand: pin it so its
+           flows' protocol processing never migrates. *)
+        if t.rx_shards > 1 then
+          Sched.set_affinity t.sched strand
+            (Some (shard mod Sched.ncpus t.sched));
+        strand);
     Intr.register t.machine.Machine.intr ~line:(Nic.line t.nic) (fun () ->
       let rec drain () =
         match Nic.receive t.nic with
         | Some frame ->
           (* The ring frame is the wire's copy (made by the sender's
              device): alias it straight into the stack. *)
-          Queue.add (Pkt.of_frame frame) t.rx_queue;
+          let pkt = Pkt.of_frame frame in
+          Queue.add pkt t.rx_queues.(shard_of t pkt);
           drain ()
         | None -> () in
       drain ();
-      if not (Queue.is_empty t.rx_queue) then Sched.unblock t.sched strand)
+      Array.iteri
+        (fun shard strand ->
+          if not (Queue.is_empty t.rx_queues.(shard)) then
+            Sched.unblock t.sched strand)
+        t.proto_threads)
+  end
 
 let frames_rx t = t.frames_rx
 
 let frames_tx t = t.frames_tx
 
 let rx_bursts t = t.rx_bursts
+
+let shard_frames t = Array.copy t.shard_rx
+
+let rx_shards t = t.rx_shards
 
 let drops t = Nic.rx_dropped t.nic

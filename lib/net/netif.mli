@@ -30,14 +30,26 @@
     keeping per-packet work near hardware cost. A single outstanding
     probe (the latency tables) always pays the full cost. *)
 
+(** {2 Receive sharding (SMP)}
+
+    With [rx_shards > 1] the interface runs one protocol strand per
+    shard, netisr-style: the interrupt handler hashes each frame's
+    flow (link header + leading IP header bytes) to a shard queue, and
+    each shard strand — pinned to CPU [shard mod ncpus] — services
+    only its own queue. A flow's frames always hash to the same shard,
+    so per-flow ordering is preserved without any cross-CPU queue
+    access; different flows spread across CPUs. *)
+
 type t
 
 val create :
-  ?optimized:bool -> ?rx_batch:int ->
+  ?optimized:bool -> ?rx_batch:int -> ?rx_shards:int ->
   Spin_machine.Machine.t -> Spin_sched.Sched.t -> Spin_core.Dispatcher.t ->
   Spin_machine.Nic.t -> name:string -> t
 (** [name] prefixes the event ("Ether", "ATM", "T3"). [rx_batch]
-    (default 8) bounds the frames serviced per wakeup. *)
+    (default 8) bounds the frames serviced per wakeup. [rx_shards]
+    (default 1) is the number of parallel protocol strands;
+    {!Host.wire} passes the scheduler's CPU count. *)
 
 val rx_event : t -> (Pkt.t, unit) Spin_core.Dispatcher.event
 
@@ -57,7 +69,9 @@ val transmit_burst : t -> Pkt.t list -> int
     coalesced residue. Returns the number of frames accepted. *)
 
 val start : t -> unit
-(** Spawns the protocol-processing thread. Call once, before
+(** Spawns the protocol-processing thread(s) — one per shard, named
+    ["<name>-input"] (or ["<name>.<shard>-input"] when sharded) — and
+    registers the receive interrupt handler. Call once, before
     [Sched.run]. *)
 
 val frames_rx : t -> int
@@ -67,6 +81,13 @@ val frames_tx : t -> int
 val rx_bursts : t -> int
 (** Wakeups that serviced more than one frame — how often the
     coalesced path actually ran. *)
+
+val rx_shards : t -> int
+(** Number of receive shards (1 unless created with [rx_shards]). *)
+
+val shard_frames : t -> int array
+(** Frames serviced per shard — how evenly the flow hash spread the
+    load. *)
 
 val drops : t -> int
 (** Frames the NIC dropped on receive-ring overflow — the device's

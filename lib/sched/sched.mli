@@ -1,5 +1,5 @@
 (** The global scheduler: round-robin, preemptive, priority (paper,
-    section 4.2).
+    section 4.2) — per-CPU on multiprocessors.
 
     Control flow is expressed as dispatcher events on strands:
     - [Strand.Block] / [Strand.Unblock] signal run-state changes and
@@ -17,9 +17,34 @@
     Preemption: a clock hook requests rescheduling once the running
     strand exhausts its quantum; the strand yields at its next
     preemption point (every block/yield/synchronization operation is
-    one, and long-running kernel code calls {!preempt_point}). *)
+    one, and long-running kernel code calls {!preempt_point}).
+
+    {2 The SMP model}
+
+    With [cpus > 1] (pass [~cpus] or [~intr] to {!create}) each CPU
+    owns a private run queue; the ownership discipline is that {e no
+    CPU ever mutates another CPU's queue from its own context}:
+
+    - an unblock whose target strand belongs on another CPU posts a
+      wakeup IPI through {!Spin_machine.Intr} instead of enqueueing
+      remotely; the target CPU delivers it at its next scheduling
+      point and does its own enqueue;
+    - an idle CPU acquires work through the steal path at a scheduling
+      point (when no strand is mid-slice anywhere), taking one strand
+      from a CPU with at least two queued — never a lone strand, and
+      never one pinned elsewhere ({!set_affinity});
+    - unpinned wakeups return a strand to the CPU it last ran on
+      (cache locality); spawns start children on the spawner's CPU.
+
+    Execution remains host-serial — one strand actually runs at a
+    time — but wall-clock time models the concurrency: while K CPUs
+    have work, charged work cycles advance the shared clock at 1/K
+    ({!Spin_machine.Clock.set_parallel}). With one CPU every SMP path
+    degenerates to the exact single-CPU behaviour, cycle for cycle. *)
 
 type t
+(** A scheduler instance (one per kernel; it owns all the machine's
+    CPUs' run queues). *)
 
 type events = {
   block : (Strand.t, unit) Spin_core.Dispatcher.event;
@@ -27,6 +52,7 @@ type events = {
   checkpoint : (Strand.t, unit) Spin_core.Dispatcher.event;
   resume : (Strand.t, unit) Spin_core.Dispatcher.event;
 }
+(** The strand events this scheduler declares on its dispatcher. *)
 
 type params = {
   quantum : int;          (** cycles per time slice *)
@@ -35,39 +61,62 @@ type params = {
 }
 
 val default_params : params
+(** 50k-cycle quanta (~375 us at 133 MHz), measured-in-the-paper-ish
+    spawn and switch overheads. *)
 
 val create :
   ?params:params ->
+  ?cpus:int ->
+  ?intr:Spin_machine.Intr.t ->
   Spin_machine.Sim.t -> Spin_core.Dispatcher.t -> t
 (** Declares the strand events on the dispatcher and installs itself
     as their default implementation; also installs the dispatcher's
-    asynchronous-handler spawn hook. *)
+    asynchronous-handler spawn hook.
+
+    [cpus] is the number of CPUs to schedule (default: the interrupt
+    controller's CPU count when [intr] is given, else 1). [intr]
+    carries cross-CPU wakeups and must route at least [cpus] CPUs;
+    without it remote wakeups fall back to direct enqueue (fine for
+    single-CPU kernels, which never take that path). *)
 
 val events : t -> events
 
 val sim : t -> Spin_machine.Sim.t
+(** The event queue this scheduler idles against. *)
 
 val clock : t -> Spin_machine.Clock.t
+(** The machine clock (shared by all CPUs). *)
+
+val ncpus : t -> int
+(** How many CPUs this scheduler multiplexes. *)
 
 val spawn :
   t -> ?owner:string -> ?priority:int -> name:string -> (unit -> unit) ->
   Strand.t
-(** Creates a kernel strand running the given body and enqueues it. *)
+(** Creates a kernel strand running the given body and enqueues it on
+    the spawning CPU (children inherit locality; stealing spreads them
+    when the CPU is overloaded). *)
 
 val current : t -> Strand.t option
+(** The strand currently running a slice, if any (host-serial: at most
+    one machine-wide, whatever the CPU count). *)
 
 val self : t -> Strand.t
 (** Raises [Invalid_argument] outside strand context. *)
 
 val step : t -> bool
-(** Execute one runnable strand's slice; [false] when none is
-    runnable (multi-kernel co-simulation interleaves via [step]). *)
+(** One scheduling point: deliver pending IPIs on every CPU, let idle
+    CPUs steal, pick a CPU with work (round-robin, or the installed
+    {!cpu_selector}) and execute one slice of its next strand; [false]
+    when no CPU has work (multi-kernel co-simulation interleaves via
+    [step]). *)
 
 val run : ?until:(unit -> bool) -> t -> unit
 (** Executes runnable strands (idling the simulated clock forward when
     none is runnable but device events are pending) until both the run
-    queue and the event queue drain, or [until] becomes true (checked
-    between slices). *)
+    queues and the event queue drain, or [until] becomes true (checked
+    between slices). Because {!step} drains IPI inboxes first, the
+    loop cannot terminate with a wakeup still in flight. *)
 
 val yield : t -> unit
 (** From within a strand: give up the processor, stay runnable. *)
@@ -83,7 +132,12 @@ val block : t -> Strand.t -> unit
 
 val unblock : t -> Strand.t -> unit
 (** Raise [Unblock]: a blocked (or newly created) strand becomes
-    runnable. Safe from interrupt handlers. *)
+    runnable. Safe from interrupt handlers. On a multiprocessor, a
+    wakeup targeting another CPU travels as an IPI and the strand
+    becomes runnable when that CPU delivers it; at most one wakeup IPI
+    is in flight per strand (further unblocks meanwhile are counted
+    redundant), and a strand that dies first has its late IPI dropped
+    silently. *)
 
 val checkpoint_notify : t -> Strand.t -> unit
 (** Raise [Strand.Checkpoint] explicitly — the scheduler raises it
@@ -103,6 +157,14 @@ val preempt_point : t -> unit
     higher-priority wakeup). Cheap. *)
 
 val set_priority : t -> Strand.t -> int -> unit
+(** Change a strand's priority (0..{!Strand.max_priority}), requeueing
+    it if runnable. *)
+
+val set_affinity : t -> Strand.t -> int option -> unit
+(** Pin a strand to a CPU (or unpin with [None]). A pinned strand is
+    only ever enqueued on its CPU and is exempt from stealing; a
+    runnable strand moves immediately. Raises [Invalid_argument] for a
+    CPU the scheduler does not own. *)
 
 val install_handler_guarded :
   (Strand.t, unit) Spin_core.Dispatcher.event ->
@@ -116,22 +178,49 @@ val install_handler_guarded :
     capability. *)
 
 type stats = {
-  switches : int;
-  preemptions : int;
-  spawned : int;
-  completed : int;
-  failed : int;
+  switches : int;          (** context switches (slices started) *)
+  preemptions : int;       (** involuntary yields at preemption points *)
+  spawned : int;           (** strands created through this scheduler *)
+  completed : int;         (** strand bodies that returned *)
+  failed : int;            (** strand bodies that raised *)
   redundant_unblocks : int;
-      (** unblocks of already-runnable strands (benign, but noisy
-          wakeup protocols show up here) *)
+      (** unblocks of already-runnable strands, or unblocks satisfied
+          by a wakeup IPI already in flight (benign, but noisy wakeup
+          protocols show up here) *)
   dead_unblocks : int;
       (** unblocks of dead strands — a strand reference kept past its
           lifetime (also reported through the violation hook) *)
+  steals : int;
+      (** strands migrated to an idle CPU by the steal path *)
+  ipi_wakeups : int;
+      (** wakeups that travelled cross-CPU as IPIs *)
+  ipi_dropped : int;
+      (** wakeup IPIs delivered after their strand finished — correct
+          to drop, counted for the curious *)
 }
 
 val stats : t -> stats
 
 val runnable_count : t -> int
+(** Strands in run queues, summed across every CPU (counts nodes, so a
+    transiently stale entry is included until pruned). *)
+
+val runnable_on : t -> cpu:int -> Strand.t list
+(** One CPU's runnable set, in the order that CPU's selector would see
+    it (highest priority first, FIFO within a level). *)
+
+val pending_wakeup_count : t -> int
+(** Raced block/unblock wakeups currently recorded. Non-zero is only
+    legal while a strand is running; at a scheduling point it means a
+    wakeup leaked. *)
+
+val pending_ipi_count : t -> int
+(** Strands with a wakeup IPI posted but not yet delivered. Non-zero
+    after {!run} drains means a cross-CPU wakeup was lost. *)
+
+val ipis_undelivered : t -> int
+(** IPIs sitting in the interrupt controller's inboxes (0 without an
+    [intr]); the transport-level view of {!pending_ipi_count}. *)
 
 (** {2 Schedule exploration and invariant checking}
 
@@ -142,27 +231,58 @@ val runnable_count : t -> int
     costs) exactly as before. *)
 
 type selector = Strand.t list -> Strand.t option
-(** Receives the runnable set in default scan order (highest priority
-    first, FIFO within a priority level) and picks the strand to run
-    next. Returning [None] defers to the default policy. *)
+(** Receives the scheduled CPU's runnable set in default scan order
+    (highest priority first, FIFO within a priority level) and picks
+    the strand to run next. Returning [None] defers to the default
+    policy. *)
 
 val set_selector : t -> selector option -> unit
 (** Installs (or clears) a replacement scheduling policy. Picking a
-    strand outside the runnable set is reported as a violation and
+    strand outside the offered set is reported as a violation and
     falls back to the default scan. *)
 
+type cpu_selector = int list -> int option
+(** Receives the CPUs that currently have queued work (ascending) and
+    picks which one advances at this scheduling point. [None] defers
+    to the default round-robin rotor. Only consulted when more than
+    one CPU has work, so single-CPU schedules (and their replay
+    digests) are unaffected by installing one. *)
+
+val set_cpu_selector : t -> cpu_selector option -> unit
+(** Installs (or clears) the CPU-interleaving policy — {!Sched_fuzz}
+    uses it to explore cross-CPU interleavings under a seed. Picking a
+    CPU with no work is reported as a violation and falls back to the
+    rotor. *)
+
+type steal_policy = thief:int -> Strand.t list -> Strand.t option
+(** Receives the idle [thief] CPU and the stealable candidates
+    (strands queued on CPUs holding at least two, longest victim
+    first, excluding strands pinned elsewhere) and picks which to
+    migrate; [None] declines to steal. The default takes the head —
+    the longest-waiting urgent strand of the most loaded CPU. *)
+
+val set_steal_policy : t -> steal_policy option -> unit
+(** Installs (or clears) a replacement stealing policy — the same
+    extension-point family as {!set_selector}: policy is replaceable,
+    the migration mechanism is not. Picking an unstealable strand is
+    reported as a violation and no steal happens. *)
+
 val runnable_strands : t -> Strand.t list
-(** The runnable set, in the order a selector would see it. *)
+(** The machine-wide runnable set: highest priority first, CPUs in
+    index order within a level, FIFO within a CPU. On one CPU this is
+    exactly the set a {!selector} sees. *)
 
 val set_schedule_probe : t -> (unit -> unit) option -> unit
-(** Runs at every scheduling point, before the next strand is chosen
-    (so no strand is running when it fires): the place to run
-    {!audit}-style checkers during fuzzing. *)
+(** Runs at every scheduling point, after IPI delivery and before the
+    next strand is chosen (so no strand is running and no wakeup is in
+    flight when it fires): the place to run {!audit}-style checkers
+    during fuzzing. *)
 
 val set_violation_hook : t -> (string -> unit) option -> unit
 (** Sink for scheduler invariant breaks: double enqueue, a selector
-    picking a non-runnable strand, an unblock raised on a dead
-    strand. *)
+    picking a non-runnable strand, a CPU selector picking an idle CPU,
+    a steal policy picking an unstealable strand, an unblock raised on
+    a dead strand. *)
 
 val request_preempt : t -> unit
 (** Flags the running strand for preemption at its next preemption
@@ -170,13 +290,10 @@ val request_preempt : t -> unit
     it from its own clock hook to force switches at charge
     boundaries. *)
 
-val pending_wakeup_count : t -> int
-(** Raced block/unblock wakeups currently recorded. Non-zero is only
-    legal while a strand is running; at a scheduling point it means a
-    wakeup leaked. *)
-
 val audit : t -> (string -> unit) -> unit
-(** Structural invariant sweep: run-queue membership (queued strands
-    are Runnable, linked, at their own priority, and queued once) and
-    pending-wakeup staleness at quiescent points. Reports each
-    violation; cheap enough to run after every test. *)
+(** Structural invariant sweep across every CPU's queues: run-queue
+    membership (queued strands are Runnable, linked, at their own
+    priority, on the CPU their [qcpu] — and pinned affinity, if any —
+    says, and queued once machine-wide), pending-wakeup staleness at
+    quiescent points, and wakeup-IPI markers with no IPI in flight.
+    Reports each violation; cheap enough to run after every test. *)

@@ -14,6 +14,7 @@ module Rng = Spin_dstruct.Splitmix
 type stats = {
   seed : int;
   decisions : int;           (* scheduling choices made by the selector *)
+  cpu_decisions : int;       (* CPU interleaving choices (0 on one CPU) *)
   injected_preempts : int;   (* preemptions forced at charge boundaries *)
   violations : int;
 }
@@ -22,7 +23,7 @@ type t = {
   sched : Sched.t;
   clock : Clock.t;
   sim : Sim.t;
-  cpu : Cpu.t option;
+  cpus : Cpu.t list;
   dispatcher : Dispatcher.t option;
   rng : Rng.t;
   fz_seed : int;
@@ -30,6 +31,7 @@ type t = {
   mutable enabled : bool;
   mutable next_preempt : int;
   mutable n_decisions : int;
+  mutable n_cpu_decisions : int;
   mutable n_injected : int;
   mutable n_violations : int;
   violation_log : string Queue.t;            (* capped at [max_log] *)
@@ -57,14 +59,15 @@ let schedule_next_preempt t =
   t.next_preempt <-
     Clock.now t.clock + 1 + Rng.below t.rng (2 * t.mean_period)
 
-let attach ?cpu ?dispatcher ?(mean_period = 2_000) ~seed sched =
+let attach ?cpu ?(cpus = []) ?dispatcher ?(mean_period = 2_000) ~seed sched =
+  let cpus = match cpu with Some c -> c :: cpus | None -> cpus in
   let t = {
     sched; clock = Sched.clock sched; sim = Sched.sim sched;
-    cpu; dispatcher;
+    cpus; dispatcher;
     rng = Rng.create ~seed;
     fz_seed = seed; mean_period;
     enabled = true; next_preempt = 0;
-    n_decisions = 0; n_injected = 0; n_violations = 0;
+    n_decisions = 0; n_cpu_decisions = 0; n_injected = 0; n_violations = 0;
     violation_log = Queue.create ();
     strands = Hashtbl.create 64;
     trackers = [];
@@ -82,6 +85,26 @@ let attach ?cpu ?dispatcher ?(mean_period = 2_000) ~seed sched =
     (Some (fun candidates ->
        t.n_decisions <- t.n_decisions + 1;
        Some (List.nth candidates (Rng.below t.rng (List.length candidates)))));
+  (* On a multiprocessor the seed also drives which CPU advances at
+     each scheduling point, and whether an idle CPU steals (and what).
+     All draws come from the one RNG, in scheduling order, so a seed
+     still names exactly one schedule — and on one CPU neither policy
+     is consulted, so single-CPU draws (and their golden replay
+     digests) are untouched. *)
+  if Sched.ncpus sched > 1 then begin
+    Sched.set_cpu_selector sched
+      (Some (fun candidates ->
+         t.n_cpu_decisions <- t.n_cpu_decisions + 1;
+         Some (List.nth candidates (Rng.below t.rng (List.length candidates)))));
+    Sched.set_steal_policy sched
+      (Some (fun ~thief:_ candidates ->
+         t.n_cpu_decisions <- t.n_cpu_decisions + 1;
+         (* One draw decides decline-vs-victim: index 0 declines the
+            steal, i picks candidate i-1. *)
+         match Rng.below t.rng (List.length candidates + 1) with
+         | 0 -> None
+         | i -> Some (List.nth candidates (i - 1))))
+  end;
   Sched.set_violation_hook sched (Some (fun m -> record t ("sched: " ^ m)));
   (match dispatcher with
    | Some d ->
@@ -103,6 +126,8 @@ let attach ?cpu ?dispatcher ?(mean_period = 2_000) ~seed sched =
 let detach t =
   t.enabled <- false;
   Sched.set_selector t.sched None;
+  Sched.set_cpu_selector t.sched None;
+  Sched.set_steal_policy t.sched None;
   Sched.set_schedule_probe t.sched None;
   Sched.set_violation_hook t.sched None;
   (match t.dispatcher with
@@ -113,6 +138,16 @@ let detach t =
 
 let check_quiescence ?(exempt = fun _ -> false) t =
   audit_now t;
+  (* Quiescence must account in-flight work on every CPU: a wakeup
+     still travelling as an IPI is work the run-queue sum cannot see. *)
+  (let marked = Sched.pending_ipi_count t.sched in
+   if marked > 0 then
+     record t
+       (Printf.sprintf "%d wakeup IPI(s) never delivered at quiescence" marked));
+  (let inflight = Sched.ipis_undelivered t.sched in
+   if inflight > 0 then
+     record t
+       (Printf.sprintf "%d IPI(s) still in an inbox at quiescence" inflight));
   if Sched.runnable_count t.sched > 0 then
     record t "quiescence check ran with runnable strands"
   else begin
@@ -134,20 +169,24 @@ let check_quiescence ?(exempt = fun _ -> false) t =
                  "lost wakeup: %s blocked at quiescence with nothing pending"
                  (Strand.to_string s)))
         blocked;
-    (* Trap accounting balances once nothing is suspended mid-trap. *)
-    match t.cpu with
-    | Some cpu when blocked = [] ->
-      let ts = Cpu.trap_stats cpu in
-      if ts.Cpu.entries <> ts.Cpu.exits then
-        record t
-          (Printf.sprintf "unbalanced trap accounting: %d entries, %d exits"
-             ts.Cpu.entries ts.Cpu.exits)
-    | Some _ | None -> ()
+    (* Trap accounting balances once nothing is suspended mid-trap —
+       on every CPU, not just the boot processor. *)
+    if blocked = [] then
+      List.iter
+        (fun cpu ->
+          let ts = Cpu.trap_stats cpu in
+          if ts.Cpu.entries <> ts.Cpu.exits then
+            record t
+              (Printf.sprintf
+                 "unbalanced trap accounting on CPU %d: %d entries, %d exits"
+                 (Cpu.id cpu) ts.Cpu.entries ts.Cpu.exits))
+        t.cpus
   end
 
 let stats t = {
   seed = t.fz_seed;
   decisions = t.n_decisions;
+  cpu_decisions = t.n_cpu_decisions;
   injected_preempts = t.n_injected;
   violations = t.n_violations;
 }

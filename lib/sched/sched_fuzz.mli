@@ -8,51 +8,68 @@
     preemption at random {!Spin_machine.Clock.charge} boundaries — so
     every charged instruction is a potential interrupt point.
 
-    A seed fully names a schedule: running the same workload under the
-    same seed replays the identical interleaving (and the identical
-    trace), so a failing seed from a fuzzing campaign is a
-    deterministic regression test.
+    On a multiprocessor it additionally installs a
+    {!Sched.cpu_selector} (which CPU advances at each scheduling
+    point) and a {!Sched.steal_policy} (whether — and what — an idle
+    CPU steals), both drawing from the same PRNG in scheduling order.
+
+    A seed fully names a schedule — including the CPU interleaving:
+    running the same workload under the same seed replays the
+    identical interleaving (and the identical trace), so a failing
+    seed from a fuzzing campaign is a deterministic regression test.
+    On one CPU the SMP policies are never consulted, so single-CPU
+    seeds draw exactly the sequence they always did.
 
     While fuzzing, invariant checkers run at every scheduling point:
-    - run-queue membership and double-enqueue ({!Sched.audit}, plus
+    - run-queue membership, double-enqueue, per-CPU queue/affinity
+      consistency, and stale wakeup-IPI markers ({!Sched.audit}, plus
       the scheduler's violation hook);
     - dispatcher handler-list structure — inactive handlers lingering,
       index counts, in-flight balance
       ({!Spin_core.Dispatcher.audit});
     - at quiescence: lost wakeups (a strand blocked with nothing left
-      to wake it) and trap entry/exit cost balance
+      to wake it), undelivered wakeup IPIs (the cross-CPU lost
+      wakeup), and trap entry/exit balance on every CPU
       ({!Spin_machine.Cpu.trap_stats}). *)
 
 type t
+(** One attached fuzzer (attach one per kernel, freshly built per
+    seed). *)
 
 val attach :
   ?cpu:Spin_machine.Cpu.t ->
+  ?cpus:Spin_machine.Cpu.t list ->
   ?dispatcher:Spin_core.Dispatcher.t ->
   ?mean_period:int ->
   seed:int ->
   Sched.t -> t
-(** Installs the fuzzing scheduler and checkers on a kernel. [cpu] and
-    [dispatcher] enable the trap-balance and handler-list checkers.
-    [mean_period] is the average gap, in cycles, between injected
-    preemptions (default 2000 — about 25 forced switches per default
-    quantum). Attach one fuzzer per kernel, freshly built per seed. *)
+(** Installs the fuzzing scheduler and checkers on a kernel. [cpu]
+    and/or [cpus] enable the trap-balance checker on those processors
+    (pass every CPU of a multiprocessor — [cpu] exists for single-CPU
+    callers and is simply consed onto [cpus]); [dispatcher] enables
+    the handler-list checkers. [mean_period] is the average gap, in
+    cycles, between injected preemptions (default 2000 — about 25
+    forced switches per default quantum). *)
 
 val detach : t -> unit
-(** Uninstalls the selector, probes, violation hooks, and tracking
-    handlers. The kernel reverts to the default scheduler with zero
-    virtual-time impact (the remaining clock hook reads one flag and
-    charges nothing). *)
+(** Uninstalls the selector, CPU selector, steal policy, probes,
+    violation hooks, and tracking handlers. The kernel reverts to the
+    default scheduler with zero virtual-time impact (the remaining
+    clock hook reads one flag and charges nothing). *)
 
 val check_quiescence : ?exempt:(Strand.t -> bool) -> t -> unit
 (** Run after {!Sched.run} drains: audits the scheduler and
-    dispatcher, reports any non-exempt strand still blocked with no
-    pending simulator event (a lost wakeup), and checks trap
-    accounting balance. [exempt] marks daemon strands that block
-    forever by design. *)
+    dispatcher, reports any wakeup IPI never delivered (by marker
+    count and by inbox count — in-flight work the run-queue sum cannot
+    see), reports any non-exempt strand still blocked with no pending
+    simulator event (a lost wakeup), and checks trap accounting
+    balance on every registered CPU. [exempt] marks daemon strands
+    that block forever by design. *)
 
 type stats = {
   seed : int;
   decisions : int;           (** scheduling choices made by the selector *)
+  cpu_decisions : int;       (** CPU-interleaving and steal choices (0 on one CPU) *)
   injected_preempts : int;   (** preemptions forced at charge boundaries *)
   violations : int;
 }
@@ -60,6 +77,7 @@ type stats = {
 val stats : t -> stats
 
 val seed : t -> int
+(** The seed this fuzzer was attached with. *)
 
 val violations : t -> string list
 (** Chronological violation reports (capped at 100; {!stats} has the

@@ -11,6 +11,9 @@ type t = {
   mutable failure : exn option;
   mutable cap : t Spin_core.Capability.t option;
   mutable qnode : t Spin_dstruct.Dllist.node option;
+  mutable affinity : int option;
+  mutable last_cpu : int;
+  mutable qcpu : int;
 }
 
 let max_priority = 31
@@ -24,7 +27,7 @@ let create ~owner ?(priority = 16) ~name () =
   let t =
     { id = !counter; name; owner; priority; state = Created; coro = None;
       joiners = Spin_dstruct.Dllist.create (); failure = None; cap = None;
-      qnode = None } in
+      qnode = None; affinity = None; last_cpu = 0; qcpu = 0 } in
   t.cap <- Some (Spin_core.Capability.mint ~owner t);
   t
 

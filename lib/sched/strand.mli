@@ -7,23 +7,40 @@
     it before letting an extension handle the strand's events. *)
 
 type state = Created | Runnable | Running | Blocked | Dead
+(** The run-state lifecycle. [Created] strands become [Runnable] on
+    their first unblock (or at spawn); [Dead] is terminal. *)
 
 type t = {
-  id : int;
+  id : int;                    (** unique, never reused *)
   name : string;
   owner : string;              (** the thread package managing it *)
   mutable priority : int;      (** 0..31; higher runs first *)
   mutable state : state;
-  mutable coro : Coro.t option;
+  mutable coro : Coro.t option;  (** kernel context, if a kernel thread *)
   joiners : t Spin_dstruct.Dllist.t;  (** strands waiting for death *)
-  mutable failure : exn option;
+  mutable failure : exn option;  (** set when the body raised *)
   mutable cap : t Spin_core.Capability.t option;  (** set at creation *)
   mutable qnode : t Spin_dstruct.Dllist.node option;
   (** run-queue position, owned by the scheduler *)
+  mutable affinity : int option;
+  (** pinned CPU: when set, the strand is only ever enqueued on (and
+      never stolen from) this CPU — per-CPU daemons like the netisr
+      protocol shards use it. [None] means the scheduler places the
+      strand freely. Set it through {!Sched.set_affinity}, which
+      validates the CPU number and requeues a runnable strand. *)
+  mutable last_cpu : int;
+  (** the CPU this strand last ran on (its spawn CPU before the first
+      slice) — the scheduler's locality hint: an unpinned wakeup
+      re-enqueues the strand there. Owned by the scheduler. *)
+  mutable qcpu : int;
+  (** which CPU's run queue [qnode] lives in; meaningful only while
+      [qnode <> None]. Owned by the scheduler — only the code that
+      links [qnode] may write it. *)
 }
 
 val create : owner:string -> ?priority:int -> name:string -> unit -> t
-(** Default priority 16. *)
+(** Default priority 16. The new strand is [Created], unqueued, with
+    no affinity. *)
 
 val capability : t -> t Spin_core.Capability.t
 (** The unforgeable reference guarding this strand. *)
@@ -34,5 +51,7 @@ val holds_capability : t Spin_core.Capability.t -> t -> bool
 val state_to_string : state -> string
 
 val to_string : t -> string
+(** ["strand#id(name,owner,pri=p,state)"] — for violation reports. *)
 
 val max_priority : int
+(** 31; priorities run 0..[max_priority]. *)

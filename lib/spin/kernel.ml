@@ -87,11 +87,12 @@ let unlink_domain t dname =
   t.public <- Kdomain.remove_member t.public ~member:dname;
   t.extensions <- List.filter (fun d -> Kdomain.name d <> dname) t.extensions
 
-let boot ?(mem_mb = 64) ?(name = "spin") () =
-  let machine = Machine.create ~mem_mb ~name () in
+let boot ?(mem_mb = 64) ?cpus ?(name = "spin") () =
+  let machine = Machine.create ~mem_mb ?cpus ~name () in
   let dispatcher = Dispatcher.create machine.Machine.clock in
   let nameserver = Nameserver.create machine.Machine.clock in
-  let sched = Sched.create machine.Machine.sim dispatcher in
+  let sched =
+    Sched.create ~intr:machine.Machine.intr machine.Machine.sim dispatcher in
   let vm = Vm.create machine dispatcher in
   let heap = Kheap.create machine.Machine.clock () in
   let supervisor = Supervisor.create machine.Machine.sim dispatcher in
@@ -110,7 +111,8 @@ let boot ?(mem_mb = 64) ?(name = "spin") () =
             swap; syscall_event; syscalls; public; published = [];
             extensions = [] } in
   Supervisor.set_unlink supervisor (unlink_domain t);
-  Cpu.set_trap_handler machine.Machine.cpu (fun trap ->
+  (* Every CPU traps into the same kernel entry point. *)
+  Machine.set_trap_handler machine (fun trap ->
     match trap with
     | Cpu.Syscall { number; args } ->
       Clock.charge machine.Machine.clock syscall_glue;
@@ -234,7 +236,7 @@ let hot_swap t ~domain ~replacement =
       ~supervisor:t.supervisor ()
 
 let attach_fuzz ?mean_period ~seed t =
-  Spin_sched.Sched_fuzz.attach ~cpu:t.machine.Machine.cpu
+  Spin_sched.Sched_fuzz.attach ~cpus:(Array.to_list t.machine.Machine.cpus)
     ~dispatcher:t.dispatcher ?mean_period ~seed t.sched
 
 let run ?until t = Sched.run ?until t.sched

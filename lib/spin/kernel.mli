@@ -28,12 +28,17 @@ type t = {
   mutable extensions : Spin_core.Kdomain.t list;
 }
 
-val boot : ?mem_mb:int -> ?name:string -> unit -> t
+val boot : ?mem_mb:int -> ?cpus:int -> ?name:string -> unit -> t
 (** Boots with the Strand, Translation and Supervisor event interfaces
     already published (importable from [SpinPublic] under the tags
     below), and the supervisor attached to the dispatcher's fault
     stream: a quarantined domain's handlers are evicted everywhere and
-    its interfaces are withdrawn from [SpinPublic]. *)
+    its interfaces are withdrawn from [SpinPublic].
+
+    [cpus] (default {!Spin_machine.Machine.default_cpus}, i.e. the
+    [SPIN_CPUS] environment variable or 1) boots a multiprocessor: the
+    scheduler runs per-CPU queues with IPI wakeups, the trap handler
+    is installed on every CPU, and TLB shootdowns are wired. *)
 
 val strand_event_tag :
   (Spin_sched.Strand.t, unit) Spin_core.Dispatcher.event Spin_core.Univ.tag

@@ -75,6 +75,21 @@ let watch_swap t sw =
   gauge t ~name:"swap.swept_handlers"
     (fun () -> (Swap.stats sw).Swap.swept_handlers)
 
+(* Scheduler health, summed machine-wide: on a multiprocessor the
+   queue-depth gauge spans every CPU's run queue and the in-flight
+   gauges count wakeups still travelling as IPIs — work a single-queue
+   view would silently miss. *)
+let watch_sched t sched =
+  let module S = Spin_sched.Sched in
+  gauge t ~name:"sched.runnable" (fun () -> S.runnable_count sched);
+  gauge t ~name:"sched.switches" (fun () -> (S.stats sched).S.switches);
+  gauge t ~name:"sched.preemptions" (fun () -> (S.stats sched).S.preemptions);
+  gauge t ~name:"sched.steals" (fun () -> (S.stats sched).S.steals);
+  gauge t ~name:"sched.ipi_wakeups" (fun () -> (S.stats sched).S.ipi_wakeups);
+  gauge t ~name:"sched.ipis_in_flight" (fun () -> S.pending_ipi_count sched);
+  gauge t ~name:"sched.pending_wakeups"
+    (fun () -> S.pending_wakeup_count sched)
+
 let watch_fuzz t fz =
   let module F = Spin_sched.Sched_fuzz in
   gauge t ~name:"fuzz.seed" (fun () -> (F.stats fz).F.seed);

@@ -45,6 +45,13 @@ val watch_swap : t -> Swap.t -> unit
 (** Gauges on hot-swap activity: committed and failed swaps, raises
     held at swap gates, and old handlers swept. *)
 
+val watch_sched : t -> Spin_sched.Sched.t -> unit
+(** Gauges on scheduler health, summed across every CPU: machine-wide
+    run-queue depth, switches, preemptions, steals, cross-CPU (IPI)
+    wakeups, wakeup IPIs still in flight, and raced wakeups recorded.
+    The in-flight gauges matter on multiprocessors: a wakeup travelling
+    as an IPI is pending work that no run-queue depth shows. *)
+
 val watch_fuzz : t -> Spin_sched.Sched_fuzz.t -> unit
 (** Gauges on a schedule-fuzzing run: the seed in play, scheduling
     decisions made, preemptions injected, and invariant violations

@@ -19,5 +19,5 @@ let create ?trans_costs machine dispatcher =
 let handle_trap t trap = Translation.handle_trap t.trans trap
 
 let install_trap_handler t =
-  Cpu.set_trap_handler t.machine.Machine.cpu
+  Machine.set_trap_handler t.machine
     (fun trap -> if handle_trap t trap then 0 else -1)

@@ -140,6 +140,122 @@ let test_clean_seed_is_quiet () =
       ((Sched_fuzz.stats fz).Sched_fuzz.decisions > 0)
   | None, _, _ -> fail "fuzzer was not attached"
 
+(* ------------------------------------------------------------------ *)
+(* Multi-CPU campaigns: CPU interleaving under a seed, exact replay   *)
+(* ------------------------------------------------------------------ *)
+
+(* A correctly synchronized multiprocessor workload: compute strands
+   that spread by stealing, plus a cross-CPU ping-pong whose unblocks
+   travel as IPIs. Any schedule the fuzzer explores must leave it
+   clean — violations here are scheduler bugs, not workload bugs. *)
+let run_smp_workload ~seed ~cpus ?(traced = false) () =
+  let m = Machine.create ~name:"fuzz-smp" ~mem_mb:4 ~cpus () in
+  let d = Dispatcher.create m.Machine.clock in
+  let s = Sched.create ~intr:m.Machine.intr m.Machine.sim d in
+  let tr = Trace.of_clock m.Machine.clock in
+  if traced then Trace.enable tr;
+  let fz =
+    Sched_fuzz.attach ~cpus:(Array.to_list m.Machine.cpus) ~dispatcher:d
+      ~mean_period:150 ~seed s in
+  let completed = ref 0 in
+  for i = 1 to 4 do
+    ignore (Sched.spawn s ~name:(Printf.sprintf "compute-%d" i) (fun () ->
+      for _ = 1 to 3 do
+        Clock.charge m.Machine.clock 300;
+        Sched.preempt_point s;
+        Sched.yield s
+      done;
+      incr completed))
+  done;
+  let sa = ref None and sb = ref None in
+  (* Yield until the peer is actually Blocked: the state check and the
+     unblock are not separated by a charge, so no injected preemption
+     can fire between them. *)
+  let wait_blocked cell =
+    let rec go () =
+      match !cell with
+      | Some str when str.Strand.state = Strand.Blocked -> str
+      | _ -> Sched.yield s; go () in
+    go () in
+  let a = Sched.spawn s ~name:"ping" (fun () ->
+    sa := Some (Sched.self s);
+    for _ = 1 to 5 do
+      Sched.unblock s (wait_blocked sb);
+      Sched.block_current s
+    done;
+    incr completed) in
+  Sched.set_affinity s a (Some 0);
+  let b = Sched.spawn s ~name:"pong" (fun () ->
+    sb := Some (Sched.self s);
+    for _ = 1 to 5 do
+      Sched.block_current s;
+      Sched.unblock s (wait_blocked sa)
+    done;
+    incr completed) in
+  Sched.set_affinity s b (Some (cpus - 1));
+  Sched.run s;
+  Sched_fuzz.check_quiescence fz;
+  Sched_fuzz.detach fz;
+  (fz, !completed, Clock.now m.Machine.clock, tr)
+
+let test_multi_cpu_campaign_is_clean () =
+  List.iter
+    (fun cpus ->
+      for seed = 1 to 10 do
+        let fz, completed, _, _ = run_smp_workload ~seed ~cpus () in
+        let st = Sched_fuzz.stats fz in
+        check int
+          (Printf.sprintf "all complete (seed %d, %d CPUs)" seed cpus)
+          6 completed;
+        check (list string)
+          (Printf.sprintf "no violations (seed %d, %d CPUs)" seed cpus)
+          [] (Sched_fuzz.violations fz);
+        check bool "the selector drove the run" true
+          (st.Sched_fuzz.decisions > 0);
+        check bool
+          (Printf.sprintf "CPU interleaving explored (seed %d, %d CPUs)"
+             seed cpus)
+          true (st.Sched_fuzz.cpu_decisions > 0)
+      done)
+    [ 2; 4 ]
+
+let test_multi_cpu_replay_is_deterministic () =
+  (* A seed names one schedule on a multiprocessor too: CPU choices
+     and steal decisions replay exactly, so cycle stamps, decision
+     counts and the full trace must be bit-identical across runs. *)
+  let strip_ids m =
+    String.concat "#"
+      (List.map
+         (fun part ->
+           let n = ref 0 in
+           while !n < String.length part
+                 && part.[!n] >= '0' && part.[!n] <= '9' do incr n done;
+           String.sub part !n (String.length part - !n))
+         (String.split_on_char '#' m)) in
+  let observe seed =
+    let fz, completed, final_cycle, tr =
+      run_smp_workload ~seed ~cpus:4 ~traced:true () in
+    let st = Sched_fuzz.stats fz in
+    let spans =
+      List.map (fun r -> (r.Trace.ts, r.Trace.cat, strip_ids r.Trace.name))
+        (Trace.records tr) in
+    (completed, final_cycle, st.Sched_fuzz.decisions,
+     st.Sched_fuzz.cpu_decisions, st.Sched_fuzz.injected_preempts, spans) in
+  List.iter
+    (fun seed ->
+      let c1, t1, d1, cd1, p1, spans1 = observe seed in
+      let c2, t2, d2, cd2, p2, spans2 = observe seed in
+      check int "same completions" c1 c2;
+      check int "same final cycle" t1 t2;
+      check int "same decision count" d1 d2;
+      check int "same CPU decisions" cd1 cd2;
+      check int "same injected preemptions" p1 p2;
+      check bool "non-empty trace" true (spans1 <> []);
+      check bool "bit-identical schedule trace" true (spans1 = spans2);
+      check bool "different seeds explore different schedules" true
+        (cd1 > 0))
+    [ 3; 17; 41 ]
+
 let () =
   Alcotest.run "spin_fuzz"
     [
@@ -152,5 +268,12 @@ let () =
           test_case "replay is deterministic" `Quick
             test_replay_is_deterministic;
           test_case "clean seeds stay quiet" `Quick test_clean_seed_is_quiet;
+        ] );
+      ( "multi-cpu",
+        [
+          test_case "seeded campaign at 2 and 4 CPUs is clean" `Quick
+            test_multi_cpu_campaign_is_clean;
+          test_case "multi-CPU replay is deterministic" `Quick
+            test_multi_cpu_replay_is_deterministic;
         ] );
     ]

@@ -387,6 +387,113 @@ let test_intr_handler_not_reentered () =
   check int "both delivered" 2 (Intr.delivered intr)
 
 (* ------------------------------------------------------------------ *)
+(* SMP: wall-vs-work clock, IPIs, TLB shootdown                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_parallel_division_and_carry () =
+  (* [now] counts wall cycles; charges are CPU-work cycles. With K
+     CPUs busy a charge advances the wall by c/K, the remainder banked
+     in a carry so no work cycle is ever lost to rounding. *)
+  let clock = Clock.create Cost.alpha_133 in
+  check int "uniprocessor by default" 1 (Clock.parallel clock);
+  Clock.set_parallel clock 3;
+  check int "reads back" 3 (Clock.parallel clock);
+  Clock.charge clock 10;                  (* 10/3 = 3 wall, carry 1 *)
+  check int "ten work cycles at K=3 advance the wall three" 3
+    (Clock.now clock);
+  Clock.charge clock 2;                   (* 2 + carry 1 = 3 -> +1 *)
+  check int "the carry completes a wall cycle" 4 (Clock.now clock);
+  Clock.charge clock 1;                   (* banks, advances nothing *)
+  check int "sub-cycle work is banked, not lost" 4 (Clock.now clock);
+  Clock.set_parallel clock 1;
+  Clock.charge clock 5;
+  check int "K=1 degenerates to exact addition" 9 (Clock.now clock);
+  Alcotest.check_raises "zero CPUs rejected"
+    (Invalid_argument "Clock.set_parallel: need at least one CPU")
+    (fun () -> Clock.set_parallel clock 0)
+
+let test_clock_parallel_hooks_fire_on_wall_advance_only () =
+  let clock = Clock.create Cost.alpha_133 in
+  let fired = ref 0 in
+  Clock.add_hook clock (fun _ -> incr fired);
+  Clock.set_parallel clock 4;
+  Clock.charge clock 3;                   (* carry 3, wall unmoved *)
+  check int "no hook without wall progress" 0 !fired;
+  Clock.charge clock 1;                   (* carry 4 -> +1 wall *)
+  check int "hook on the completed wall cycle" 1 !fired
+
+let test_ipi_fifo_order_and_counts () =
+  let clock = Clock.create Cost.alpha_133 in
+  let intr = Intr.create ~cpus:2 clock in
+  check int "routes two CPUs" 2 (Intr.cpus intr);
+  let log = ref [] in
+  Intr.post_ipi intr ~cpu:1 (fun () -> log := 1 :: !log);
+  Intr.post_ipi intr ~cpu:1 (fun () -> log := 2 :: !log);
+  Intr.post_ipi intr ~cpu:1 (fun () -> log := 3 :: !log);
+  check int "pending on the target" 3 (Intr.ipis_pending_on intr ~cpu:1);
+  check int "nothing on cpu 0" 0 (Intr.ipis_pending_on intr ~cpu:0);
+  check int "drain runs all three" 3 (Intr.drain_ipis intr ~cpu:1);
+  check (list int) "delivered in post order" [ 1; 2; 3 ] (List.rev !log);
+  check int "no inbox left loaded" 0 (Intr.ipis_pending intr);
+  check int "sends counted" 3 (Intr.ipis_sent intr);
+  check int "deliveries counted" 3 (Intr.ipis_delivered intr);
+  check int "an empty drain delivers nothing" 0 (Intr.drain_ipis intr ~cpu:1);
+  (* An action posted by an action being delivered lands in the same
+     drain — delivery at the next instruction boundary, not the next
+     scheduling epoch. *)
+  Intr.post_ipi intr ~cpu:0 (fun () ->
+    Intr.post_ipi intr ~cpu:0 (fun () -> log := 9 :: !log));
+  check int "chained IPI drains in the same call" 2
+    (Intr.drain_ipis intr ~cpu:0);
+  check bool "chained action ran" true (List.mem 9 !log)
+
+let test_ipi_broadcast_sync_hits_every_other_cpu () =
+  let clock = Clock.create Cost.alpha_133 in
+  let intr = Intr.create ~cpus:4 clock in
+  let hit = ref [] in
+  let n = Intr.broadcast_sync intr ~from:2 (fun ~cpu -> hit := cpu :: !hit) in
+  check int "three targets" 3 n;
+  check (list int) "every CPU but the initiator, once" [ 0; 1; 3 ]
+    (List.sort compare !hit);
+  check int "synchronous: nothing left pending" 0 (Intr.ipis_pending intr)
+
+let test_shootdown_completes_before_unmap_returns () =
+  let m = Machine.create ~name:"smp" ~mem_mb:4 ~cpus:4 () in
+  let mmu = m.Machine.mmu in
+  let ctx = Mmu.create_context mmu in
+  Mmu.map mmu ctx ~vpn:7 ~pfn:3 ~prot:Addr.prot_read_write;
+  check (pair int int) "mapping alone interrupts nobody"
+    (0, 0) (Machine.shootdown_stats m);
+  Mmu.unmap mmu ctx ~vpn:7;
+  (* The stats are bumped by the synchronous broadcast inside unmap,
+     so observing them here proves every remote CPU flushed and acked
+     before unmap returned. *)
+  check (pair int int) "one broadcast, every remote CPU acked" (1, 3)
+    (Machine.shootdown_stats m);
+  check int "no flush IPI still in flight" 0 (Intr.ipis_pending m.Machine.intr)
+
+let test_protect_narrowing_fires_widening_skips () =
+  let m = Machine.create ~name:"smp" ~mem_mb:4 ~cpus:2 () in
+  let mmu = m.Machine.mmu in
+  let ctx = Mmu.create_context mmu in
+  Mmu.map mmu ctx ~vpn:9 ~pfn:4 ~prot:Addr.prot_read;
+  ignore (Mmu.protect mmu ctx ~vpn:9 ~prot:Addr.prot_read_write);
+  (* A stale remote entry with narrower rights merely re-faults, so
+     widening keeps the Table 4 lazy-protect economics... *)
+  check (pair int int) "widening skips the shootdown" (0, 0)
+    (Machine.shootdown_stats m);
+  ignore (Mmu.protect mmu ctx ~vpn:9 ~prot:Addr.prot_read);
+  (* ...but a stale entry with wider rights is a protection hole. *)
+  check (pair int int) "narrowing interrupts the other CPU" (1, 1)
+    (Machine.shootdown_stats m);
+  let m1 = Machine.create ~name:"up" ~mem_mb:4 ~cpus:1 () in
+  let ctx1 = Mmu.create_context m1.Machine.mmu in
+  Mmu.map m1.Machine.mmu ctx1 ~vpn:9 ~pfn:4 ~prot:Addr.prot_read_write;
+  Mmu.unmap m1.Machine.mmu ctx1 ~vpn:9;
+  check (pair int int) "a uniprocessor never broadcasts" (0, 0)
+    (Machine.shootdown_stats m1)
+
+(* ------------------------------------------------------------------ *)
 (* Devices                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -599,6 +706,21 @@ let () =
           Alcotest.test_case "delivery and spurious" `Quick test_intr_delivery;
           Alcotest.test_case "masking defers" `Quick test_intr_masking;
           Alcotest.test_case "no reentrancy" `Quick test_intr_handler_not_reentered;
+        ] );
+      ( "smp",
+        [
+          Alcotest.test_case "parallel clock divides with carry" `Quick
+            test_clock_parallel_division_and_carry;
+          Alcotest.test_case "clock hooks fire on wall advance only" `Quick
+            test_clock_parallel_hooks_fire_on_wall_advance_only;
+          Alcotest.test_case "IPI FIFO order and counts" `Quick
+            test_ipi_fifo_order_and_counts;
+          Alcotest.test_case "broadcast hits every other cpu" `Quick
+            test_ipi_broadcast_sync_hits_every_other_cpu;
+          Alcotest.test_case "shootdown completes inside unmap" `Quick
+            test_shootdown_completes_before_unmap_returns;
+          Alcotest.test_case "narrowing fires, widening skips" `Quick
+            test_protect_narrowing_fires_widening_skips;
         ] );
       ( "devices",
         [

@@ -7,11 +7,23 @@ module Clock = Spin_machine.Clock
 module Sim = Spin_machine.Sim
 module Dispatcher = Spin_core.Dispatcher
 module Capability = Spin_core.Capability
+module Intr = Spin_machine.Intr
+module Monitor = Spin.Monitor
 
 let kernel () =
   let m = Machine.create ~name:"t" ~mem_mb:4 () in
   let d = Dispatcher.create m.Machine.clock in
   let s = Sched.create m.Machine.sim d in
+  (m, d, s)
+
+(* A multiprocessor kernel: the CPU count is explicit (not SPIN_CPUS)
+   so these tests exercise the same machine under every CI lane, and
+   the scheduler is wired to the interrupt controller so remote
+   wakeups travel as IPIs rather than direct enqueues. *)
+let smp_kernel ?(cpus = 2) () =
+  let m = Machine.create ~name:"smp" ~mem_mb:4 ~cpus () in
+  let d = Dispatcher.create m.Machine.clock in
+  let s = Sched.create ~intr:m.Machine.intr m.Machine.sim d in
   (m, d, s)
 
 (* ------------------------------------------------------------------ *)
@@ -624,6 +636,191 @@ let test_app_sched_multiplexes () =
   check bool "received the processor" true (st.App_sched.resumes >= 1);
   check bool "user switches counted" true (st.App_sched.user_switches >= 4)
 
+(* ------------------------------------------------------------------ *)
+(* SMP: per-CPU queues, IPI wakeups, stealing, machine-wide views     *)
+(* ------------------------------------------------------------------ *)
+
+(* Spin (yielding) until the strand behind [cell] is actually Blocked,
+   then return it. The check-then-unblock pair is race-free here:
+   between the state test and the unblock there is no charge, so no
+   injected preemption and — host-serial — no other strand can run. *)
+let wait_blocked s cell =
+  let rec go () =
+    match !cell with
+    | Some str when str.Strand.state = Strand.Blocked -> str
+    | _ -> Sched.yield s; go () in
+  go ()
+
+let test_ipi_unblock_lands_exactly_once () =
+  let _, _, s = smp_kernel () in
+  let wakes = ref 0 in
+  let sleeper = ref None in
+  let sl = Sched.spawn s ~name:"sleeper" (fun () ->
+    sleeper := Some (Sched.self s);
+    Sched.block_current s;
+    incr wakes) in
+  Sched.set_affinity s sl (Some 0);
+  let wk = Sched.spawn s ~name:"waker" (fun () ->
+    let str = wait_blocked s sleeper in
+    (* The waker is pinned to CPU 1 and the sleeper lives on CPU 0, so
+       this wakeup must travel as an IPI... *)
+    Sched.unblock s str;
+    (* ...and a second unblock while that IPI is still in flight must
+       collapse into it, not queue a second delivery. *)
+    Sched.unblock s str) in
+  Sched.set_affinity s wk (Some 1);
+  Sched.run s;
+  check int "woken exactly once" 1 !wakes;
+  let st = Sched.stats s in
+  check int "one wakeup travelled cross-CPU" 1 st.Sched.ipi_wakeups;
+  check bool "second unblock absorbed as redundant" true
+    (st.Sched.redundant_unblocks >= 1);
+  check int "no dropped deliveries" 0 st.Sched.ipi_dropped;
+  check int "no wakeup IPI left in flight" 0 (Sched.pending_ipi_count s);
+  check int "no IPI left in an inbox" 0 (Sched.ipis_undelivered s);
+  check int "both completed" 2 st.Sched.completed
+
+let test_cross_cpu_ping_pong_loses_no_wakeup () =
+  (* Strict alternation between a strand pinned on each CPU: every
+     wakeup in both directions is an IPI, and losing (or duplicating)
+     any single one deadlocks the pair or skews the round counts. *)
+  let _, _, s = smp_kernel () in
+  let rounds = 50 in
+  let a_rounds = ref 0 and b_rounds = ref 0 in
+  let sa = ref None and sb = ref None in
+  let a = Sched.spawn s ~name:"ping" (fun () ->
+    sa := Some (Sched.self s);
+    for _ = 1 to rounds do
+      Sched.unblock s (wait_blocked s sb);
+      Sched.block_current s;
+      incr a_rounds
+    done) in
+  Sched.set_affinity s a (Some 0);
+  let b = Sched.spawn s ~name:"pong" (fun () ->
+    sb := Some (Sched.self s);
+    for _ = 1 to rounds do
+      Sched.block_current s;
+      incr b_rounds;
+      Sched.unblock s (wait_blocked s sa)
+    done) in
+  Sched.set_affinity s b (Some 1);
+  Sched.run s;
+  check int "ping completed every round" rounds !a_rounds;
+  check int "pong completed every round" rounds !b_rounds;
+  let st = Sched.stats s in
+  check int "every wakeup was an IPI" (2 * rounds) st.Sched.ipi_wakeups;
+  check int "none dropped" 0 st.Sched.ipi_dropped;
+  check int "none in flight at quiescence" 0 (Sched.pending_ipi_count s);
+  check int "inboxes drained" 0 (Sched.ipis_undelivered s);
+  check int "no banked wakeup leaked" 0 (Sched.pending_wakeup_count s)
+
+let test_steal_spreads_unpinned_load () =
+  let m, _, s = smp_kernel () in
+  let seen = Array.make 4 (-1) in
+  for i = 0 to 3 do
+    (* All four enqueue on the spawning CPU (0); the idle CPU must
+       steal its share rather than watch. *)
+    ignore (Sched.spawn s ~name:(Printf.sprintf "worker-%d" i) (fun () ->
+      seen.(i) <- Intr.active_cpu m.Machine.intr;
+      Clock.charge m.Machine.clock 1000;
+      Sched.yield s;
+      Clock.charge m.Machine.clock 1000))
+  done;
+  Sched.run s;
+  let st = Sched.stats s in
+  check int "all completed" 4 st.Sched.completed;
+  check bool "the idle CPU stole work" true (st.Sched.steals >= 1);
+  check bool "both CPUs executed workers" true
+    (Array.exists (fun c -> c = 0) seen && Array.exists (fun c -> c = 1) seen)
+
+let test_affinity_exempts_from_stealing () =
+  let m, _, s = smp_kernel () in
+  let seen = ref [] in
+  for i = 0 to 3 do
+    let str = Sched.spawn s ~name:(Printf.sprintf "pinned-%d" i) (fun () ->
+      seen := Intr.active_cpu m.Machine.intr :: !seen;
+      Clock.charge m.Machine.clock 1000;
+      Sched.yield s;
+      seen := Intr.active_cpu m.Machine.intr :: !seen) in
+    Sched.set_affinity s str (Some 0);
+    if i = 0 then
+      (match Sched.set_affinity s str (Some 5) with
+       | () -> fail "affinity to a CPU the scheduler does not own"
+       | exception Invalid_argument _ -> ())
+  done;
+  Sched.run s;
+  let st = Sched.stats s in
+  check int "all completed despite the pile-up" 4 st.Sched.completed;
+  check int "pinned strands are never stolen" 0 st.Sched.steals;
+  check bool "every slice ran on the pinned CPU" true
+    (List.for_all (fun c -> c = 0) !seen);
+  check int "eight observations" 8 (List.length !seen)
+
+let test_multi_cpu_runnable_views_and_audit () =
+  let _, _, s = smp_kernel () in
+  let pin name pr cpu =
+    let str = Sched.spawn s ~priority:pr ~name (fun () -> ()) in
+    Sched.set_affinity s str (Some cpu) in
+  pin "a0" 10 0; pin "b0" 4 0; pin "c1" 20 1;
+  let names l = List.map (fun x -> x.Strand.name) l in
+  check int "runnable_count sums every CPU" 3 (Sched.runnable_count s);
+  check (list string) "cpu 0 queue, priority order" [ "a0"; "b0" ]
+    (names (Sched.runnable_on s ~cpu:0));
+  check (list string) "cpu 1 queue" [ "c1" ]
+    (names (Sched.runnable_on s ~cpu:1));
+  check (list string) "machine-wide: priority desc, CPU index within a level"
+    [ "c1"; "a0"; "b0" ]
+    (names (Sched.runnable_strands s));
+  check (list string) "audit clean with strands queued on both CPUs" []
+    (audit_reports s);
+  Sched.run s;
+  check int "all completed" 3 (Sched.stats s).Sched.completed;
+  check (list string) "audit clean at quiescence" [] (audit_reports s)
+
+let test_monitor_gauges_are_machine_wide () =
+  (* Regression for the single-CPU assumption audit: the monitor's
+     scheduler gauges must aggregate over every CPU, and must expose
+     in-flight IPI wakeups (pending work no run-queue depth shows). *)
+  let m, _, s = smp_kernel () in
+  let mon = Monitor.create m.Machine.clock in
+  Monitor.watch_sched mon s;
+  let sleeper = ref None in
+  let mid_flight = ref (-1) in
+  let sl = Sched.spawn s ~name:"sleeper" (fun () ->
+    sleeper := Some (Sched.self s);
+    Sched.block_current s) in
+  Sched.set_affinity s sl (Some 0);
+  let wk = Sched.spawn s ~name:"waker" (fun () ->
+    Sched.unblock s (wait_blocked s sleeper);
+    (* Sample while the wakeup IPI is posted but not yet delivered. *)
+    mid_flight := List.assoc "sched.ipis_in_flight" (Monitor.gauges mon)) in
+  Sched.set_affinity s wk (Some 1);
+  Sched.run s;
+  let g name = List.assoc name (Monitor.gauges mon) in
+  check int "in-flight gauge saw the travelling wakeup" 1 !mid_flight;
+  check int "in-flight gauge drains to zero" 0 (g "sched.ipis_in_flight");
+  check int "IPI wakeup gauge matches scheduler stats"
+    (Sched.stats s).Sched.ipi_wakeups (g "sched.ipi_wakeups");
+  check int "runnable gauge empty at quiescence" 0 (g "sched.runnable");
+  check bool "switches gauge counted both CPUs' slices" true
+    (g "sched.switches" >= 2);
+  check int "no raced wakeup banked" 0 (g "sched.pending_wakeups")
+
+let test_spawn_inherits_cpu_and_count_is_explicit () =
+  let m, _, s = smp_kernel ~cpus:4 () in
+  check int "scheduler matches the machine" 4 (Sched.ncpus s);
+  check int "controller routes the same set" 4 (Intr.cpus m.Machine.intr);
+  let child_cpu = ref (-1) in
+  let parent = Sched.spawn s ~name:"parent" (fun () ->
+    (* Children enqueue on the spawning CPU: locality by default. *)
+    let c = Sched.spawn s ~name:"child" (fun () ->
+      child_cpu := Intr.active_cpu m.Machine.intr) in
+    Sched.set_affinity s c None;
+    Clock.charge m.Machine.clock 100) in
+  Sched.set_affinity s parent (Some 2);
+  Sched.run s;
+  check int "child ran on the parent's CPU" 2 !child_cpu
+
 let () =
   Alcotest.run "spin_sched"
     [
@@ -685,5 +882,22 @@ let () =
             test_runnable_strands_order;
           test_case "double enqueue reported" `Quick
             test_double_enqueue_reported;
+        ] );
+      ( "smp",
+        [
+          test_case "IPI unblock lands exactly once" `Quick
+            test_ipi_unblock_lands_exactly_once;
+          test_case "cross-CPU ping-pong loses no wakeup" `Quick
+            test_cross_cpu_ping_pong_loses_no_wakeup;
+          test_case "idle CPU steals unpinned load" `Quick
+            test_steal_spreads_unpinned_load;
+          test_case "affinity pins and exempts from stealing" `Quick
+            test_affinity_exempts_from_stealing;
+          test_case "machine-wide runnable views and audit" `Quick
+            test_multi_cpu_runnable_views_and_audit;
+          test_case "monitor gauges are machine-wide" `Quick
+            test_monitor_gauges_are_machine_wide;
+          test_case "spawn inherits the parent's CPU" `Quick
+            test_spawn_inherits_cpu_and_count_is_explicit;
         ] );
     ]
