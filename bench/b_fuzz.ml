@@ -143,6 +143,19 @@ let run_seed ~seed ~traced =
    | _ -> bad "stale generation-1 capability survived the swaps");
   Spin_core.Dispatcher.audit client.Host.dispatcher bad;
   Spin_core.Dispatcher.audit server.Host.dispatcher bad;
+  (* The protocol stack's filters (ethertype, protocol and port demux)
+     install as verified bytecode, so every seed soaks the trusted-fast
+     path: a campaign where it never fired, or where the verifier
+     turned an install away, means the stack silently fell back to
+     guarded closures. *)
+  if Spin_core.Dispatcher.trusted_total server.Host.dispatcher = 0 then
+    bad "no trusted-fast dispatches on the server: bytecode path inactive";
+  let rejected =
+    Spin_core.Dispatcher.verifier_rejections client.Host.dispatcher
+    + Spin_core.Dispatcher.verifier_rejections server.Host.dispatcher in
+  if rejected > 0 then
+    bad (Printf.sprintf "%d bytecode install(s) rejected by the verifier"
+           rejected);
   let violations =
     List.rev !swap_violations
     @ Sched_fuzz.violations fz_client @ Sched_fuzz.violations fz_server in

@@ -138,6 +138,15 @@ let gated m =
     | "storm events processed" | "http events fired" | "fuzz decisions" ->
       Some Floor
     | _ -> None
+  else if m.experiment = "verifier" then
+    (* All deterministic virtual-time numbers. The speedups gate as
+       floors: losing one means verified handlers picked up a
+       per-event check somewhere (the whole point undone quietly).
+       The verified dispatch costs and the one-time verification cost
+       gate as ceilings. *)
+    (if has_sub "speedup" then Some Floor
+     else if has_sub "verified" || has_sub "install" then Some Ceiling
+     else None)
   else if m.experiment = "smp" then
     (* Virtual-time throughput is deterministic, so the scaling ratios
        gate as floors: a change that quietly serializes the multi-CPU

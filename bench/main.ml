@@ -29,6 +29,7 @@ let experiments = [
   ("mem", "memory pressure and reclamation (5.2)", B_mem.run);
   ("swap", "live extension hot-swap under load", B_swap.run);
   ("ablation", "design-choice ablations", B_ablation.run);
+  ("verifier", "install-time verification vs guarded dispatch", B_verifier.run);
   ("engine", "host-side engine throughput", B_engine.run);
   ("fuzz", "schedule fuzzing with seeded replay", B_fuzz.run);
   ("bechamel", "host-time simulation costs", B_bechamel.run);

@@ -4,15 +4,23 @@ type costs = {
   dispatch_fixed : int;
   guard_eval : int;
   handler_invoke : int;
+  trusted_eval : int;
+  trusted_invoke : int;
 }
 
 (* Section 5.5: 50 false guards add ~20 us to an Ethernet RTT (one
    dispatch per receiving host: ~0.4 us/guard); 50 invoked handlers add
-   ~72 us (~1.44 us each beyond the guard). *)
+   ~72 us (~1.44 us each beyond the guard). The trusted costs model a
+   handler whose predicate was verified at install time and compiled:
+   no guard-stack interpretation (a short straight-line compare), no
+   overrun stamping around the invocation — the Rex/bpftime observation
+   that moving verification offline leaves only the work itself. *)
 let default_costs = {
   dispatch_fixed = 25;
   guard_eval = 53;
   handler_invoke = 138;
+  trusted_eval = 12;
+  trusted_invoke = 40;
 }
 
 type failure_policy =
@@ -35,6 +43,47 @@ type fault = {
   fault_reinstall : unit -> unit;
 }
 
+(* The one install surface: everything a handler can ask for, in a
+   record, so facades stop re-plumbing optional arguments and the
+   restart/hot-swap machinery reads policies from one place. *)
+module Handler_spec = struct
+  type 'a t = {
+    guard : ('a -> bool) option;
+    bound_cycles : int option;
+    async : bool;
+    index_key : int option;
+    on_failure : failure_policy;
+    verified : Ebc.program option;
+    caps : Ebc.cap_slot array;
+  }
+
+  let default =
+    { guard = None; bound_cycles = None; async = false; index_key = None;
+      on_failure = Uninstall; verified = None; caps = [||] }
+
+  let guarded g = { default with guard = Some g }
+  let bounded b = { default with bound_cycles = Some b }
+  let indexed key = { default with index_key = Some key }
+  let verified ?(caps = [||]) prog =
+    { default with verified = Some prog; caps }
+
+  (* Type-erased per-handler view, exported through the registry so
+     supervisors and swaps can enumerate what is installed without
+     knowing event types. *)
+  type info = {
+    i_event : string;
+    i_installer : string;
+    i_handler_id : int;
+    i_policy : failure_policy;
+    i_indexed : bool;
+    i_trusted : bool;
+    i_async : bool;
+    i_bound : int option;
+    i_guards : int;
+    i_active : bool;
+  }
+end
+
 type t = {
   clock : Spin_machine.Clock.t;
   costs : costs;
@@ -50,6 +99,7 @@ type t = {
      exempt — e.g. the swap itself). *)
   mutable gate_wait : (unit -> bool) option;
   mutable next_handler_id : int;
+  mutable s_verifier_rejections : int;
 }
 
 and registration = {
@@ -60,6 +110,8 @@ and registration = {
   reg_audit : (string -> unit) -> unit;
   reg_set_gate : bool -> unit;
   reg_in_flight : unit -> int;
+  reg_specs : unit -> Handler_spec.info list;
+  reg_trusted : unit -> int;
 }
 
 type ('a, 'r) handler = {
@@ -67,10 +119,15 @@ type ('a, 'r) handler = {
   installer : string;
   fn : 'a -> 'r;
   mutable guards : ('a -> bool) list;
-  bound : int option;
+  mutable bound : int option;
   async : bool;
   policy : failure_policy;
   h_indexed : bool;                      (* lives in an index bucket *)
+  (* The trusted-fast predicate: present iff the handler's bytecode
+     passed the install-time verifier and no runtime check (closure
+     guard, cycle bound) was requested alongside it. Dispatch runs it
+     with zero per-event safety checks. *)
+  mutable trusted : ('a -> bool) option;
   mutable active : bool;
   mutable revive : unit -> unit;
 }
@@ -84,6 +141,7 @@ type stats = {
   handler_failures : int;
   stale_skips : int;
   gated_waits : int;
+  trusted_fast : int;
 }
 
 type 'a decision =
@@ -100,6 +158,7 @@ type ('a, 'r) event = {
   e_name : string;
   e_owner : string;
   e_ty : Ty.t option;
+  e_layout : 'a Ebc.layout option;
   disp : t;
   combine : 'r list -> 'r;
   auth : installer:string -> 'a decision;
@@ -129,6 +188,7 @@ type ('a, 'r) event = {
   mutable s_aborted : int;
   mutable s_failed : int;
   mutable s_stale_skips : int;
+  mutable s_trusted : int;
 }
 
 exception No_handler of string
@@ -137,7 +197,7 @@ let create ?(costs = default_costs) clock =
   { clock; costs; tracer = Trace.of_clock clock; spawn = None;
     deferred = Queue.create (); registry = [];
     on_fault = None; on_violation = None; gate_wait = None;
-    next_handler_id = 0 }
+    next_handler_id = 0; s_verifier_rejections = 0 }
 
 let tracer t = t.tracer
 
@@ -175,7 +235,8 @@ let deactivate e h =
     if h.h_indexed then e.n_indexed_active <- e.n_indexed_active - 1
   end
 
-let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary default =
+let declare t ~name ~owner ?ty ?layout ?combine ?auth ?index
+    ?allow_remove_primary default =
   let combine = match combine with Some f -> f | None -> last_result name in
   let auth = match auth with Some f -> f | None -> fun ~installer:_ -> allow in
   let allow_remove =
@@ -185,20 +246,36 @@ let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary defau
   let default_handler =
     { h_id = fresh_handler_id t; installer = owner; fn = default; guards = [];
       bound = None; async = false; policy = Uninstall; h_indexed = false;
-      active = true; revive = (fun () -> ()) } in
+      trusted = None; active = true; revive = (fun () -> ()) } in
   let e =
-    { e_name = name; e_owner = owner; e_ty = ty; disp = t; combine; auth;
+    { e_name = name; e_owner = owner; e_ty = ty; e_layout = layout;
+      disp = t; combine; auth;
       index; indexed = Hashtbl.create 8;
       allow_remove; default_handler; primary_active = true; extra = [];
       n_indexed_active = 0; in_flight = 0;
       gated = false; s_gated_waits = 0;
       s_raises = 0; s_fast = 0; s_invocations = 0;
       s_guard_rejections = 0; s_aborted = 0; s_failed = 0;
-      s_stale_skips = 0 } in
+      s_stale_skips = 0; s_trusted = 0 } in
+  (* Every per-handler enumeration below reads from this one view, so
+     hot-swap gating, supervisor sweeps, and audits agree on what is
+     installed (linear and indexed alike). *)
+  let spec_info h =
+    { Handler_spec.i_event = name; i_installer = h.installer;
+      i_handler_id = h.h_id; i_policy = h.policy; i_indexed = h.h_indexed;
+      i_trusted = h.trusted <> None; i_async = h.async; i_bound = h.bound;
+      i_guards = List.length h.guards; i_active = h.active } in
+  let reg_specs () =
+    List.map spec_info e.extra
+    @ Hashtbl.fold (fun _ b acc -> List.map spec_info !b @ acc) e.indexed [] in
   let reg_installers () =
     let primary = if e.primary_active then [ owner ] else [] in
-    primary @ List.filter_map
-      (fun h -> if h.active then Some h.installer else None) e.extra in
+    primary
+    @ List.filter_map
+        (fun (i : Handler_spec.info) ->
+          if i.Handler_spec.i_active then Some i.Handler_spec.i_installer
+          else None)
+        (reg_specs ()) in
   (* Per-installer eviction, type-erased: the supervisor quarantines a
      whole domain by sweeping every event through the registry. *)
   let reg_remove installer =
@@ -246,11 +323,25 @@ let declare t ~name ~owner ?ty ?combine ?auth ?index ?allow_remove_primary defau
     if e.in_flight <> 0 then
       report
         (Printf.sprintf "%s: %d raise(s) still marked in flight at audit"
-           name e.in_flight) in
+           name e.in_flight);
+    (* A trusted handler's whole point is zero per-event checks: if one
+       carries a guard stack or a runtime bound, some path installed or
+       mutated it around the demotion logic. *)
+    List.iter
+      (fun (i : Handler_spec.info) ->
+        if i.Handler_spec.i_trusted
+           && (i.Handler_spec.i_guards > 0 || i.Handler_spec.i_bound <> None)
+        then
+          report
+            (Printf.sprintf
+               "%s: trusted handler from %s carries runtime checks"
+               name i.Handler_spec.i_installer))
+      (reg_specs ()) in
   t.registry <-
     { reg_name = name; reg_owner = owner; reg_installers; reg_remove;
       reg_audit; reg_set_gate = (fun v -> e.gated <- v);
-      reg_in_flight = (fun () -> e.in_flight) }
+      reg_in_flight = (fun () -> e.in_flight);
+      reg_specs; reg_trusted = (fun () -> e.s_trusted) }
     :: t.registry;
   e
 
@@ -258,71 +349,154 @@ let event_name e = e.e_name
 
 let event_owner e = e.e_owner
 
-let install e ~installer ?guard ?bound_cycles ?(async = false)
-    ?(on_failure = Uninstall) fn =
-  match e.auth ~installer with
-  | Deny -> Error `Denied
-  | Allow { guard = auth_guard; bound_cycles = auth_bound; force_async } ->
-    let guards = List.filter_map Fun.id [ auth_guard; guard ] in
-    let bound =
-      match auth_bound, bound_cycles with
-      | None, b | b, None -> b
-      | Some a, Some b -> Some (min a b) in
-    let h =
-      { h_id = fresh_handler_id e.disp; installer; fn; guards; bound;
-        async = async || force_async; policy = on_failure; h_indexed = false;
-        active = true; revive = (fun () -> ()) } in
-    h.revive <- (fun () ->
-      if not h.active then begin
-        h.active <- true;
-        e.extra <- e.extra @ [ h ]
-      end);
-    e.extra <- e.extra @ [ h ];
-    Ok h
+type install_error =
+  | Denied
+  | No_index
+  | Rejected of Ebc.error
 
-let install_indexed e ~installer ~key ?bound_cycles ?(async = false)
-    ?(on_failure = Uninstall) fn =
-  if e.index = None then Error `No_index
+let install_error_to_string = function
+  | Denied -> "denied by the primary module"
+  | No_index -> "event has no index"
+  | Rejected e -> "verifier rejected: " ^ Ebc.error_to_string e
+
+(* The one install path. Bytecode in the spec is verified here —
+   against the event's published layout and the spec's capability
+   slots — before anything is linked in; a rejection installs nothing.
+   A program that verifies becomes the handler's trusted predicate iff
+   it is the entire runtime check surface (no closure guard from the
+   installer or the authorizer, no runtime cycle bound: a verified
+   program's bound is discharged at install time through its step
+   budget). Otherwise the compiled program is demoted to an ordinary
+   guard — same semantics, guarded-path cost. *)
+let install e ~installer ?(spec = Handler_spec.default) fn =
+  let s : _ Handler_spec.t = spec in
+  if s.Handler_spec.index_key <> None && e.index = None then Error No_index
   else
     match e.auth ~installer with
-    | Deny -> Error `Denied
+    | Deny -> Error Denied
     | Allow { guard = auth_guard; bound_cycles = auth_bound; force_async } ->
-      let guards = Option.to_list auth_guard in
-      let bound =
-        match auth_bound, bound_cycles with
-        | None, b | b, None -> b
-        | Some a, Some b -> Some (min a b) in
-      let h = { h_id = fresh_handler_id e.disp; installer; fn; guards; bound;
-                async = async || force_async; policy = on_failure;
-                h_indexed = true; active = true; revive = (fun () -> ()) } in
-      (* The bucket keeps inactive handlers (dispatch filters on
-         [active]), so reviving is just a flag flip. *)
-      h.revive <- (fun () ->
-        if not h.active then begin
-          h.active <- true;
-          e.n_indexed_active <- e.n_indexed_active + 1
-        end);
-      let bucket =
-        match Hashtbl.find_opt e.indexed key with
-        | Some b -> b
-        | None -> let b = ref [] in Hashtbl.replace e.indexed key b; b in
-      bucket := !bucket @ [ h ];
-      e.n_indexed_active <- e.n_indexed_active + 1;
-      Ok h
+      let verified =
+        match s.Handler_spec.verified with
+        | None -> Ok None
+        | Some prog ->
+          (match e.e_layout with
+           | None -> Error (Ebc.No_layout e.e_name)
+           | Some lay ->
+             let budget =
+               match s.Handler_spec.bound_cycles with
+               | Some b -> max 1 (b / Ebc.step_cycles)
+               | None -> Ebc.default_budget in
+             (match Ebc.verify ~layout:lay ~caps:s.Handler_spec.caps ~budget
+                      prog with
+              | Ok _cert ->
+                (* The install-time price of zero per-event checks. *)
+                Spin_machine.Clock.charge e.disp.clock (Ebc.verify_cycles prog);
+                Ok (Some (Ebc.compile ~layout:lay ~caps:s.Handler_spec.caps prog))
+              | Error err -> Error err)) in
+      (match verified with
+       | Error err ->
+         e.disp.s_verifier_rejections <- e.disp.s_verifier_rejections + 1;
+         if Trace.on e.disp.tracer then
+           Trace.instant e.disp.tracer ~cat:"dispatcher" ~name:"verifier_reject"
+             ~args:[ ("event", e.e_name); ("installer", installer);
+                     ("error", Ebc.error_to_string err) ] ();
+         Error (Rejected err)
+       | Ok compiled ->
+         let trusted, demoted =
+           match compiled with
+           | Some pred
+             when s.Handler_spec.guard = None && auth_guard = None
+                  && auth_bound = None ->
+             (Some pred, [])
+           | Some pred -> (None, [ pred ])
+           | None -> (None, []) in
+         let guards =
+           Option.to_list auth_guard @ demoted
+           @ Option.to_list s.Handler_spec.guard in
+         let bound =
+           if trusted <> None then None
+           else
+             match auth_bound, s.Handler_spec.bound_cycles with
+             | None, b | b, None -> b
+             | Some a, Some b -> Some (min a b) in
+         let h =
+           { h_id = fresh_handler_id e.disp; installer; fn; guards; bound;
+             async = s.Handler_spec.async || force_async;
+             policy = s.Handler_spec.on_failure;
+             h_indexed = s.Handler_spec.index_key <> None;
+             trusted; active = true; revive = (fun () -> ()) } in
+         (match s.Handler_spec.index_key with
+          | Some key ->
+            (* The bucket keeps inactive handlers (dispatch filters on
+               [active]), so reviving is just a flag flip. *)
+            h.revive <- (fun () ->
+              if not h.active then begin
+                h.active <- true;
+                e.n_indexed_active <- e.n_indexed_active + 1
+              end);
+            let bucket =
+              match Hashtbl.find_opt e.indexed key with
+              | Some b -> b
+              | None -> let b = ref [] in Hashtbl.replace e.indexed key b; b in
+            bucket := !bucket @ [ h ];
+            e.n_indexed_active <- e.n_indexed_active + 1
+          | None ->
+            h.revive <- (fun () ->
+              if not h.active then begin
+                h.active <- true;
+                e.extra <- e.extra @ [ h ]
+              end);
+            e.extra <- e.extra @ [ h ]);
+         Ok h)
+
+(* Deprecated shims (one release): the optional-argument entry points,
+   re-expressed over the spec record. *)
+
+let spec_of ?guard ?bound_cycles ?(async = false) ?(on_failure = Uninstall)
+    ?index_key () =
+  { Handler_spec.default with Handler_spec.guard; bound_cycles; async;
+    on_failure; index_key }
+
+let install_exn e ~installer ?guard ?bound_cycles ?async ?on_failure fn =
+  match
+    install e ~installer ~spec:(spec_of ?guard ?bound_cycles ?async ?on_failure ())
+      fn
+  with
+  | Ok h -> h
+  | Error err ->
+    invalid_arg
+      (Printf.sprintf "Dispatcher: %s rejected a handler from %s (%s)" e.e_name
+         installer (install_error_to_string err))
+
+let install_indexed e ~installer ~key ?bound_cycles ?async ?on_failure fn =
+  match
+    install e ~installer
+      ~spec:(spec_of ?bound_cycles ?async ?on_failure ~index_key:key ()) fn
+  with
+  | Ok h -> Ok h
+  | Error No_index -> Error `No_index
+  | Error _ -> Error `Denied
 
 let install_with_closure e ~installer ~closure ?guard ?bound_cycles ?async
     ?on_failure fn =
   let guard = Option.map (fun g -> g closure) guard in
-  install e ~installer ?guard ?bound_cycles ?async ?on_failure (fn closure)
+  match
+    install e ~installer ~spec:(spec_of ?guard ?bound_cycles ?async ?on_failure ())
+      (fn closure)
+  with
+  | Ok h -> Ok h
+  | Error _ -> Error `Denied
 
-let install_exn e ~installer ?guard ?bound_cycles ?async ?on_failure fn =
-  match install e ~installer ?guard ?bound_cycles ?async ?on_failure fn with
-  | Ok h -> h
-  | Error `Denied ->
-    invalid_arg
-      (Printf.sprintf "Dispatcher: %s denied a handler from %s" e.e_name installer)
-
-let add_guard h g = h.guards <- h.guards @ [ g ]
+(* Stacking a closure guard on a trusted handler forfeits the trusted
+   path: the compiled predicate demotes to the front of the guard
+   stack and dispatch reverts to the guarded (policed) path. *)
+let add_guard h g =
+  (match h.trusted with
+   | Some pred ->
+     h.trusted <- None;
+     h.guards <- h.guards @ [ pred ]
+   | None -> ());
+  h.guards <- h.guards @ [ g ]
 
 let uninstall e h =
   deactivate e h;
@@ -468,8 +642,27 @@ let raise_event e arg =
   e.in_flight <- e.in_flight + 1;
   Fun.protect ~finally:(fun () -> e.in_flight <- e.in_flight - 1) @@ fun () ->
   match active_handlers e with
-  | [ h ] when h.guards = [] && not h.async && h.bound = None
-            && e.n_indexed_active = 0 ->
+  | [ h ] when h.trusted <> None && not h.async && e.n_indexed_active = 0 ->
+    (* Trusted-fast path: the predicate was proven at install time, so
+       the raise charges only the compiled-predicate and trusted-call
+       costs — no guard-stack walk, no bound stamping. *)
+    let pred = match h.trusted with Some p -> p | None -> assert false in
+    Spin_machine.Clock.charge clock costs.trusted_eval;
+    if pred arg then begin
+      e.s_trusted <- e.s_trusted + 1;
+      Spin_machine.Clock.charge clock costs.trusted_invoke;
+      if Trace.on tr then begin
+        let sp =
+          Trace.begin_span tr ~cat:"dispatcher" ~name:e.e_name
+            ~args:[ ("path", "trusted") ] () in
+        Fun.protect ~finally:(fun () -> Trace.end_span tr sp)
+          (fun () -> e.combine (List.rev (run_sync e h arg [])))
+      end
+      else e.combine (List.rev (run_sync e h arg []))
+    end
+    else e.combine []
+  | [ h ] when h.guards = [] && h.trusted = None && not h.async
+            && h.bound = None && e.n_indexed_active = 0 ->
     (* Fast path: a raise is a protected procedure call. The guard
        checks the *active* indexed count — [Hashtbl.length e.indexed]
        counts buckets, which retain uninstalled handlers. *)
@@ -520,19 +713,40 @@ let raise_event e arg =
              quarantine triggered by an earlier handler's fault):
              honor the eviction before invoking. *)
           if not h.active then acc
-          else if not (guards_pass e h arg) then acc
-          else begin
-            Spin_machine.Clock.charge clock costs.handler_invoke;
-            if Trace.on tr then
-              Trace.instant tr ~cat:"dispatcher" ~name:"invoke"
-                ~args:[ ("event", e.e_name); ("installer", h.installer);
-                        ("async", string_of_bool h.async) ] ();
-            if h.async then begin
-              e.s_invocations <- e.s_invocations + 1;
-              run_async e h arg;
-              acc
-            end else run_sync e h arg acc
-          end)
+          else
+            match h.trusted with
+            | Some pred ->
+              (* Verified handler among many: still no guard stack and
+                 no bound stamping, just the compiled predicate. *)
+              Spin_machine.Clock.charge clock costs.trusted_eval;
+              if not (pred arg) then acc
+              else begin
+                e.s_trusted <- e.s_trusted + 1;
+                Spin_machine.Clock.charge clock costs.trusted_invoke;
+                if Trace.on tr then
+                  Trace.instant tr ~cat:"dispatcher" ~name:"invoke"
+                    ~args:[ ("event", e.e_name); ("installer", h.installer);
+                            ("path", "trusted") ] ();
+                if h.async then begin
+                  e.s_invocations <- e.s_invocations + 1;
+                  run_async e h arg;
+                  acc
+                end else run_sync e h arg acc
+              end
+            | None ->
+              if not (guards_pass e h arg) then acc
+              else begin
+                Spin_machine.Clock.charge clock costs.handler_invoke;
+                if Trace.on tr then
+                  Trace.instant tr ~cat:"dispatcher" ~name:"invoke"
+                    ~args:[ ("event", e.e_name); ("installer", h.installer);
+                            ("async", string_of_bool h.async) ] ();
+                if h.async then begin
+                  e.s_invocations <- e.s_invocations + 1;
+                  run_async e h arg;
+                  acc
+                end else run_sync e h arg acc
+              end)
         [] (handlers @ indexed_handlers) in
     match e.combine (List.rev results) with
     | r -> Trace.end_span tr sp; r
@@ -560,6 +774,7 @@ let stats e = {
   handler_failures = e.s_failed;
   stale_skips = e.s_stale_skips;
   gated_waits = e.s_gated_waits;
+  trusted_fast = e.s_trusted;
 }
 
 (* -------------------- swap-window gating -------------------------- *)
@@ -607,3 +822,19 @@ let handler_id h = h.h_id
 
 let uninstall_installer t ~installer =
   List.fold_left (fun acc r -> acc + r.reg_remove installer) 0 t.registry
+
+(* ------------------ trusted-path observability -------------------- *)
+
+let trusted_total t =
+  List.fold_left (fun acc r -> acc + r.reg_trusted ()) 0 t.registry
+
+let verifier_rejections t = t.s_verifier_rejections
+
+let handler_specs t =
+  List.concat_map (fun r -> r.reg_specs ()) (List.rev t.registry)
+
+let installed_specs t ~installer =
+  List.filter
+    (fun (i : Handler_spec.info) ->
+      String.equal i.Handler_spec.i_installer installer)
+    (handler_specs t)

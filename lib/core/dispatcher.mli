@@ -17,7 +17,16 @@
       latency) or bounded in time (aborted — result discarded — when
       they overrun);
     - one result is returned, by default that of the final handler
-      executed; an event may install a result-combination function. *)
+      executed; an event may install a result-combination function.
+
+    Beyond the paper: a handler whose predicate is expressed as
+    {!Ebc} bytecode and passes the install-time verifier takes the
+    {e trusted-fast} path — the dispatcher runs the compiled predicate
+    and invokes the handler with zero per-event safety checks (no
+    guard-stack interpretation, no overrun stamping), the runtime
+    checks having been discharged once at install. Installation goes
+    through a single entry point taking a {!Handler_spec.t}; the old
+    optional-argument entry points remain as deprecated shims. *)
 
 type t
 (** A dispatcher instance (one per kernel). *)
@@ -26,11 +35,14 @@ type costs = {
   dispatch_fixed : int;   (** slow-path entry bookkeeping *)
   guard_eval : int;       (** evaluating one guard predicate *)
   handler_invoke : int;   (** invoking one handler beyond its body *)
+  trusted_eval : int;     (** running one verified, compiled predicate *)
+  trusted_invoke : int;   (** invoking a verified handler: no policing *)
 }
 
 val default_costs : costs
 (** Calibrated against section 5.5: ~0.4 us per false guard, ~1.44 us
-    per additional invoked handler. *)
+    per additional invoked handler. The trusted costs reflect a
+    compiled predicate (no interpretation) and an unpoliced call. *)
 
 val create : ?costs:costs -> Spin_machine.Clock.t -> t
 
@@ -88,6 +100,56 @@ val set_fault_handler : t -> (fault -> unit) -> unit
     report; the primary implementation is trusted and its exceptions
     propagate to the raiser. *)
 
+(** {2 Handler specifications}
+
+    Everything an installation can ask for, in one record — the single
+    install surface the facades build on, and the one place restart
+    and hot-swap machinery reads policies from. *)
+
+module Handler_spec : sig
+  type 'a t = {
+    guard : ('a -> bool) option;
+        (** closure guard (conjoined with the authorizer's) *)
+    bound_cycles : int option;
+        (** runtime cycle bound; with [verified] set it becomes the
+            install-time step budget instead of a per-event stamp *)
+    async : bool;
+    index_key : int option;
+        (** install into the event's index bucket for this key *)
+    on_failure : failure_policy;
+    verified : Ebc.program option;
+        (** bytecode predicate, verified at install; on success and
+            with no [guard]/authorizer constraints the handler takes
+            the trusted-fast path *)
+    caps : Ebc.cap_slot array;
+        (** capability slots the program may name *)
+  }
+
+  val default : 'a t
+  (** No guard, no bound, synchronous, unindexed, {!Uninstall}. *)
+
+  val guarded : ('a -> bool) -> 'a t
+  val bounded : int -> 'a t
+  val indexed : int -> 'a t
+  val verified : ?caps:Ebc.cap_slot array -> Ebc.program -> 'a t
+
+  (** Type-erased per-handler view, enumerable through the dispatcher
+      ({!handler_specs}) so supervisors and swaps see every installed
+      handler — linear and indexed — without knowing event types. *)
+  type info = {
+    i_event : string;
+    i_installer : string;
+    i_handler_id : int;
+    i_policy : failure_policy;
+    i_indexed : bool;
+    i_trusted : bool;
+    i_async : bool;
+    i_bound : int option;
+    i_guards : int;
+    i_active : bool;
+  }
+end
+
 (** {2 Concurrency invariant probes}
 
     Hooks for the schedule-fuzzing checkers ({!Spin_sched.Sched_fuzz}
@@ -136,6 +198,7 @@ val declare :
   name:string ->
   owner:string ->
   ?ty:Ty.t ->
+  ?layout:'a Ebc.layout ->
   ?combine:('r list -> 'r) ->
   ?auth:(installer:string -> 'a decision) ->
   ?index:('a -> int) ->
@@ -146,26 +209,39 @@ val declare :
     implementation is [default], owned by module [owner]. The default
     [combine] returns the last result ([No_handler] when none). By
     default installations are allowed unconstrained and primary
-    removal is denied. *)
+    removal is denied. [?layout] publishes the event's typed field
+    table and payload to the bytecode verifier; without it, verified
+    installs are rejected with [Ebc.No_layout]. *)
 
 val event_name : ('a, 'r) event -> string
 
 val event_owner : ('a, 'r) event -> string
 
+type install_error =
+  | Denied                 (** the primary module refused the installer *)
+  | No_index               (** [index_key] on an event with no index *)
+  | Rejected of Ebc.error  (** the bytecode failed install-time verification *)
+
+val install_error_to_string : install_error -> string
+
 val install :
   ('a, 'r) event ->
   installer:string ->
-  ?guard:('a -> bool) ->
-  ?bound_cycles:int ->
-  ?async:bool ->
-  ?on_failure:failure_policy ->
+  ?spec:'a Handler_spec.t ->
   ('a -> 'r) ->
-  (('a, 'r) handler, [ `Denied ]) result
-(** Installs an additional handler, subject to the primary module's
-    authorization. Constraints from the authorizer are merged with
-    the installer's own (guards conjoin; the tighter bound wins;
-    async is forced if either asks). [on_failure] defaults to
-    {!Uninstall}. *)
+  (('a, 'r) handler, install_error) result
+(** The single install entry point. Installs an additional handler
+    per [spec] (default {!Handler_spec.default}), subject to the
+    primary module's authorization; authorizer constraints merge with
+    the spec's (guards conjoin; the tighter bound wins; async is
+    forced if either asks). A [spec.verified] program is checked by
+    {!Ebc.verify} against the event's layout before anything is
+    linked in — a rejection installs nothing and returns [Rejected].
+    On success the handler takes the trusted-fast path, unless a
+    closure guard or bound was also requested, in which case the
+    compiled program demotes to an ordinary guard. Closure
+    pre-application (the old [install_with_closure]) is expressed by
+    partially applying [fn]. *)
 
 val install_exn :
   ('a, 'r) event ->
@@ -176,6 +252,8 @@ val install_exn :
   ?on_failure:failure_policy ->
   ('a -> 'r) ->
   ('a, 'r) handler
+(** @deprecated Shim over {!install} + {!Handler_spec} (one release);
+    raises [Invalid_argument] on any install error. *)
 
 val install_indexed :
   ('a, 'r) event ->
@@ -190,9 +268,8 @@ val install_indexed :
     guard predicates as decision trees"): when the event was declared
     with an [index] function, handlers registered under a key are
     found by hashing the raised argument's index instead of walking a
-    linear guard list — equality guards in O(1). Only applicable to
-    events with an index; the primary module's authorization applies
-    as usual. *)
+    linear guard list — equality guards in O(1).
+    @deprecated Shim over {!install} with [Handler_spec.indexed]. *)
 
 val install_with_closure :
   ('a, 'r) event ->
@@ -207,10 +284,14 @@ val install_with_closure :
 (** The paper's footnote 1: "the dispatcher also allows a handler to
     specify an additional closure to be passed to the handler during
     event processing", letting one handler procedure serve several
-    contexts. The closure is passed to the guard as well. *)
+    contexts. The closure is passed to the guard as well.
+    @deprecated Shim over {!install}: partially apply the closure. *)
 
 val add_guard : ('a, 'r) handler -> ('a -> bool) -> unit
-(** Stacks one more guard on a handler (conjunction). *)
+(** Stacks one more guard on a handler (conjunction). On a trusted
+    handler this forfeits the trusted-fast path: the compiled verified
+    predicate demotes to the front of the guard stack and the handler
+    reverts to the guarded (policed) path. *)
 
 val uninstall : ('a, 'r) event -> ('a, 'r) handler -> unit
 
@@ -257,9 +338,28 @@ type stats = {
   gated_waits : int;
   (** raises that arrived while the event was gated (a hot-swap window)
       and were held until the gate reopened. *)
+  trusted_fast : int;
+  (** dispatches delivered through the trusted-fast path: a verified
+      predicate matched and the handler ran with zero per-event
+      guard/bound checks. *)
 }
 
 val stats : ('a, 'r) event -> stats
+
+val trusted_total : t -> int
+(** Trusted-fast dispatches summed across every declared event — the
+    quiescence counter for the verified path. *)
+
+val verifier_rejections : t -> int
+(** Installs refused because their bytecode failed verification. *)
+
+val handler_specs : t -> Handler_spec.info list
+(** Every installed extension handler (linear and indexed, active and
+    quarantined) across every event, in declaration order — the one
+    enumeration supervisors and swap tooling share. *)
+
+val installed_specs : t -> installer:string -> Handler_spec.info list
+(** {!handler_specs} filtered to one installer (a domain). *)
 
 val topology : t -> (string * string * string list) list
 (** [(event, owner, handler installers)] for every declared event, in

@@ -1,0 +1,204 @@
+(** Extension bytecode: safety decided at install time, not run time.
+
+    SPIN's thesis is that safety is a link-time decision; the
+    dispatcher nonetheless pays runtime guard evaluation and
+    bounded-time policing on every event. This module moves both to
+    install time, the way Rex and bpftime move eBPF-style verification
+    offline: an extension expresses its predicate as a small
+    register-based bytecode, an install-time {!verify} proves it safe
+    (termination via statically bounded loops, typed event-field loads
+    checked against {!Ty}, payload and capability accesses checked
+    against declared tables), and {!compile} turns the proven program
+    into a closure the dispatcher may run with {b zero per-event
+    checks} — no guard stack walk, no overrun stamping.
+
+    Programs run over an {e event image} described by a {!layout}: a
+    typed field table (the event argument projected to scalar slots),
+    an optional byte payload (a packet view, a request path), and a
+    typed capability slot table. All runtime values are integers;
+    types ([Rint], [Rbool], [Rtext], [Rcap]) exist only in the
+    verifier, which rejects ill-typed programs before they ever
+    execute. *)
+
+type reg = int
+(** Register index, [0..7]. *)
+
+val nregs : int
+
+type instr =
+  | Ldi of reg * int            (** load immediate *)
+  | Ldf of reg * int            (** load typed event field by slot *)
+  | Ldb of reg * int            (** payload byte at offset (0 beyond end) *)
+  | Ldw of reg * int            (** payload u16, little-endian *)
+  | Len of reg                  (** payload length *)
+  | Ldc of reg * int            (** capability slot id; -1 once revoked *)
+  | Mov of reg * reg
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | And of reg * reg * reg      (** int/int or bool/bool *)
+  | Or of reg * reg * reg
+  | Eq of reg * reg * reg       (** operands must share a type; yields bool *)
+  | Lt of reg * reg * reg       (** ints only; yields bool *)
+  | Not of reg * reg            (** bool only *)
+  | Jmp of int                  (** relative skip; forward only *)
+  | Jz of reg * int             (** skip if zero; forward only *)
+  | Jnz of reg * int
+  | Loop of int * int           (** [Loop (n, k)]: run the next [k]
+                                    instructions [n] times — the only
+                                    back edge, statically bounded *)
+  | Ret of reg                  (** exit with the register's truth *)
+
+type program = instr array
+
+(** {2 Event layouts and capability slots} *)
+
+type 'a layout = {
+  l_name : string;
+  l_fields : (string * Ty.t) array;     (** slot order, typed *)
+  l_read : 'a -> int -> int;            (** project a slot to a scalar *)
+  l_payload : ('a -> Bytes.t * int * int) option;
+      (** (buffer, offset, length) — read where the data lies *)
+}
+
+val layout :
+  name:string ->
+  ?fields:(string * Ty.t) list ->
+  ?read:('a -> int -> int) ->
+  ?payload:('a -> Bytes.t * int * int) ->
+  unit -> 'a layout
+
+type cap_slot = {
+  cs_name : string;
+  cs_ty : Ty.t;
+  cs_read : unit -> int;        (** current id, or -1 once revoked *)
+}
+
+val cap_slot : name:string -> ty:Ty.t -> 'a Capability.t -> cap_slot
+(** A slot over a live capability: loads the capability's id while it
+    is valid, -1 after revocation or an epoch advance. *)
+
+val cap_slots_of_object : Object_file.t -> cap_slot array
+(** The typed symbol table of an object file as capability slots, in
+    export order: slot [i] reads as [i] and carries the export's
+    declared type, so programs verified against a domain's exports
+    cannot name a slot the domain never granted. *)
+
+(** {2 Verification} *)
+
+type rty = Rint | Rbool | Rtext | Rcap of Ty.t
+
+val rty_to_string : rty -> string
+
+type error =
+  | Empty
+  | Too_long of int
+  | Bad_register of { pc : int; reg : int }
+  | Uninitialized of { pc : int; reg : int }
+  | Field_out_of_range of { pc : int; slot : int; fields : int }
+  | Ill_typed_field of { pc : int; slot : int; ty : Ty.t }
+      (** the slot exists but its type cannot be loaded into a register *)
+  | No_payload of { pc : int }
+  | Payload_out_of_range of { pc : int; off : int }
+  | Cap_out_of_range of { pc : int; slot : int; caps : int }
+      (** capability index forgery: the slot was never granted *)
+  | Ill_typed of { pc : int; expected : rty; found : rty }
+  | Ill_typed_compare of { pc : int; left : rty; right : rty }
+  | Backward_jump of { pc : int; target : int }
+      (** the unbounded-loop attempt: only {!Loop} may go back *)
+  | Jump_out_of_block of { pc : int; target : int }
+  | Bad_loop of { pc : int }
+  | Over_budget of { steps : int; budget : int }
+      (** terminates, but not within the declared bound *)
+  | Missing_ret
+  | No_layout of string
+      (** installed on an event that published no layout *)
+
+val error_to_string : error -> string
+
+type cert = {
+  c_steps : int;          (** static bound on instructions executed *)
+  c_loops : int;
+  c_field_loads : int;
+  c_payload_loads : int;
+  c_cap_loads : int;
+}
+
+val default_budget : int
+(** Step budget when the installer declares no bound (4096). *)
+
+val max_offset : int
+val max_program : int
+
+val verify :
+  layout:'a layout -> ?caps:cap_slot array -> ?budget:int ->
+  program -> (cert, error) result
+(** The install-time verifier. Accepts exactly the programs that (a)
+    terminate within [budget] interpreted steps on every input —
+    forward-only jumps plus statically bounded [Loop]s make the bound
+    a static sum; (b) read only declared, loadable-typed event fields,
+    in-range payload offsets, and granted capability slots; (c) never
+    read an uninitialized register, compare across types, or fall off
+    the end without [Ret]. *)
+
+val compile :
+  layout:'a layout -> ?caps:cap_slot array -> program -> ('a -> bool)
+(** The trusted-fast form: a closure with no per-event safety checks.
+    {b Only call on a program {!verify} accepted} — compiled code
+    indexes registers unchecked on the strength of the certificate.
+    (Payload reads still honor the datum's dynamic length: bytes
+    beyond the payload read as 0, exactly as {!verify} assumed.) *)
+
+val run_counted :
+  layout:'a layout -> ?caps:cap_slot array -> program -> 'a -> bool * int
+(** Checked reference interpreter, returning the result and the number
+    of instructions executed — the oracle the certificate is tested
+    against ([steps <= cert.c_steps] for every verified program). *)
+
+(** {2 Install-time cost} *)
+
+val verify_cycles : program -> int
+(** Virtual cycles an install charges for verification: one linear
+    pass, [verify_instruction_cost] per instruction plus a fixed
+    entry. This is the cost Table 2-style numbers move from every
+    event to one install. *)
+
+val verify_instruction_cost : int
+
+val step_cycles : int
+(** Virtual cycles per {e compiled} instruction, used to convert a
+    caller's cycle bound into a step budget at install time. *)
+
+(** {2 Program builders} *)
+
+val match_field : slot:int -> int -> program
+(** [field slot = v]. *)
+
+val match_field_any : slot:int -> int list -> program
+(** [field slot ∈ vs] (constant-false program when [vs] is empty). *)
+
+val match_string : ?prefix:bool -> string -> program
+(** Payload equals the string ([?prefix] drops the length check). *)
+
+(** {2 Verified object files}
+
+    Bytecode travels through domains like any other export: packed
+    under {!program_tag} with type {!program_ty}. {!verify_object}
+    checks every packed program an object file exports, so a file
+    whose extension logic is bytecode can be marked
+    [Object_file.Verified] and admitted to domain creation on the
+    verifier's word rather than the compiler's signature. *)
+
+val program_ty : Ty.t
+
+val program_tag : program Univ.tag
+
+val export_program :
+  Object_file.Builder.t -> intf:string -> name:string -> program -> unit
+
+val verify_object :
+  layout:'a layout -> Object_file.t -> (int, string * error) result
+(** Verifies every exported program against the layout (capability
+    slots are the file's own typed symbol table). Returns how many
+    programs were checked, or the first failing export's name and
+    error. On success the builder may be sealed
+    [Verified { verifier; programs }]. *)

@@ -1,6 +1,7 @@
 type safety =
   | Compiler_signed
   | Asserted_safe of string
+  | Verified of { verifier : string; programs : int }
   | Unsigned
 
 type import = {
@@ -26,7 +27,7 @@ module Builder = struct
 
   type t = {
     b_name : string;
-    b_safety : safety;
+    mutable b_safety : safety;
     b_lines : int;
     b_text : int;
     b_data : int;
@@ -58,6 +59,10 @@ module Builder = struct
 
   let set_init b f = b.b_init <- Some f
 
+  (* Verification happens after the exports exist, so safety may be
+     upgraded on the builder once a verifier has seen them. *)
+  let set_safety b s = b.b_safety <- s
+
   let build b =
     (* Size estimates default to something proportional to the symbol
        count so that the size reports have sane values even for
@@ -88,5 +93,5 @@ let run_init t =
 
 let is_safe t =
   match t.safety with
-  | Compiler_signed | Asserted_safe _ -> true
+  | Compiler_signed | Asserted_safe _ | Verified _ -> true
   | Unsigned -> false

@@ -12,6 +12,10 @@
 type safety =
   | Compiler_signed               (** signed by the Modula-3 compiler *)
   | Asserted_safe of string       (** trusted by fiat; argument says who *)
+  | Verified of { verifier : string; programs : int }
+      (** every exported bytecode program passed an install-time
+          verifier (see [Ebc.verify_object]) — admitted on the
+          verifier's proof rather than the compiler's signature *)
   | Unsigned
 
 type t
@@ -38,6 +42,10 @@ module Builder : sig
 
   val set_init : t -> (unit -> unit) -> unit
   (** Run once when the containing domain is initialized. *)
+
+  val set_safety : t -> safety -> unit
+  (** Upgrade (or downgrade) the builder's safety, e.g. to [Verified]
+      after a verifier has checked the exported programs. *)
 
   val set_version : t -> int -> unit
   (** Version stamp reported by hot-swap tooling; defaults to 1.

@@ -50,11 +50,22 @@ val is_local : t -> addr -> bool
 
 val packet_arrived : t -> (packet, unit) Spin_core.Dispatcher.event
 
+val packet_layout : packet Spin_core.Ebc.layout
+(** The bytecode view of a packet, published on [IP.PacketArrived]:
+    typed fields [src]/[dst]/[proto]/[ttl] (slots 0-3), payload = the
+    datagram bytes. *)
+
+val proto_slot : int
+(** The [proto] field's slot in {!packet_layout} — what a
+    protocol-demux program loads. *)
+
 val attach :
   t -> protos:int list -> installer:string -> (packet -> unit) ->
   (packet, unit) Spin_core.Dispatcher.handler
 (** Installs a handler; the IP module supplies the protocol-type
-    guard. *)
+    guard, compiled to verified bytecode — protocol demux dispatches
+    on the trusted-fast path (closure-guard fallback if verification
+    ever fails). *)
 
 val encode_frame :
   src:addr -> dst:addr -> proto:int -> Bytes.t -> Pkt.t

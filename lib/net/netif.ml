@@ -5,6 +5,8 @@ module Clock = Spin_machine.Clock
 module Trace = Spin_machine.Trace
 module Sched = Spin_sched.Sched
 module Dispatcher = Spin_core.Dispatcher
+module Ebc = Spin_core.Ebc
+module Ty = Spin_core.Ty
 
 type t = {
   machine : Machine.t;
@@ -45,8 +47,15 @@ let create ?(optimized = false) ?(rx_batch = 8) ?(rx_shards = 1) machine sched
   if rx_batch < 1 then invalid_arg "Netif.create: rx_batch";
   if rx_shards < 1 then invalid_arg "Netif.create: rx_shards";
   let tx_overhead, rx_overhead = overheads ~optimized (Nic.kind nic) in
+  (* The rx event publishes the raw frame as a bytecode payload: a
+     verified packet filter reads wire bytes directly, the way SPIN's
+     section-2 foil compiles filters into the kernel. *)
   let rx_event =
     Dispatcher.declare dispatcher ~name:(name ^ ".PktArrived") ~owner:name
+      ~layout:(Ebc.layout ~name:(name ^ ".PktArrived")
+                 ~fields:[ ("len", Ty.Int) ]
+                 ~read:(fun pkt _ -> Pkt.length pkt)
+                 ~payload:Pkt.view ())
       ~combine:(fun _ -> ()) (fun (_ : Pkt.t) -> ()) in
   { machine; sched; nic; name; rx_event;
     rx_shards;
@@ -56,6 +65,15 @@ let create ?(optimized = false) ?(rx_batch = 8) ?(rx_shards = 1) machine sched
     shard_rx = Array.make rx_shards 0 }
 
 let rx_event t = t.rx_event
+
+(* Install a verified packet filter on the receive path: the program
+   is checked at install time and dispatches trusted-fast, with zero
+   per-frame guard or bound checks. Rejections install nothing. *)
+let add_filter t ~installer ?(spec = Dispatcher.Handler_spec.default) program
+    handler =
+  Dispatcher.install t.rx_event ~installer
+    ~spec:{ spec with Dispatcher.Handler_spec.verified = Some program }
+    handler
 
 let name t = t.name
 

@@ -52,6 +52,26 @@ val create :
     {!Host.wire} passes the scheduler's CPU count. *)
 
 val rx_event : t -> (Pkt.t, unit) Spin_core.Dispatcher.event
+(** The per-frame event. Declared with an {!Spin_core.Ebc} layout
+    (field 0 = frame length; payload = the wire bytes), so packet
+    filters expressed as bytecode verify at install time and dispatch
+    trusted-fast. *)
+
+val add_filter :
+  t ->
+  installer:string ->
+  ?spec:Pkt.t Spin_core.Dispatcher.Handler_spec.t ->
+  Spin_core.Ebc.program ->
+  (Pkt.t -> unit) ->
+  ((Pkt.t, unit) Spin_core.Dispatcher.handler,
+   Spin_core.Dispatcher.install_error) result
+(** Installs a verified packet filter on the receive path: [program]
+    is checked once at install (against the frame layout) and then
+    runs as the handler's trusted predicate with zero per-frame
+    checks. A program that fails verification installs nothing — the
+    caller decides whether to fall back to a closure guard (e.g. via
+    [Pkt_filter.run_view]). [?spec] supplies policy/async/bound; its
+    [verified] field is overwritten with [program]. *)
 
 val name : t -> string
 

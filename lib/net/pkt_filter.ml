@@ -1,4 +1,5 @@
 module Clock = Spin_machine.Clock
+module Ebc = Spin_core.Ebc
 
 type instr =
   | Push_byte of int
@@ -83,6 +84,81 @@ let run_view clock program pkt =
     ~byte:(fun off -> if off < len then Bytes.get_uint8 buf (base + off) else 0)
     ~u16:(fun off ->
       if off + 1 < len then Bytes.get_uint16_le buf (base + off) else 0)
+
+(* Translation to register bytecode: stack slot [d] lives in register
+   [d], so the register file bounds the stack depth. The stack machine
+   is untyped — its logical connectives coerce any integer — while the
+   register verifier is not, so integer operands of And/Or/Not are
+   first normalized to booleans ([x <> 0], two extra instructions,
+   using the register just above the stack as scratch). Programs that
+   compare a boolean with an integer have no meaning under the typed
+   ABI and stay on the interpreter. *)
+type slot_ty = Sint | Sbool
+
+exception Untranslatable of string
+
+let to_ebc program =
+  try
+    let code = ref [] in
+    let emit i = code := i :: !code in
+    let boolify r ~scratch =
+      (* r := (r <> 0) *)
+      if scratch >= Ebc.nregs then
+        raise (Untranslatable "no scratch register to coerce an operand");
+      emit (Ebc.Ldi (scratch, 0));
+      emit (Ebc.Eq (r, r, scratch));
+      emit (Ebc.Not (r, r)) in
+    let push ty tys =
+      if List.length tys >= Ebc.nregs then
+        raise (Untranslatable "stack deeper than the register file");
+      ty :: tys in
+    let binop tys =
+      match tys with
+      | a :: b :: rest -> (a, b, rest, List.length tys)
+      | _ -> raise (Untranslatable "stack underflow") in
+    let tys =
+      List.fold_left
+        (fun tys instr ->
+          let d = List.length tys in
+          match instr with
+          | Push_byte off -> emit (Ebc.Ldb (d, off)); push Sint tys
+          | Push_u16 off -> emit (Ebc.Ldw (d, off)); push Sint tys
+          | Push_const v -> emit (Ebc.Ldi (d, v)); push Sint tys
+          | Eq ->
+            let a, b, rest, d = binop tys in
+            if a <> b then
+              raise (Untranslatable "compares a boolean with an integer");
+            emit (Ebc.Eq (d - 2, d - 2, d - 1));
+            Sbool :: rest
+          | Lt ->
+            let a, b, rest, d = binop tys in
+            if a <> Sint || b <> Sint then
+              raise (Untranslatable "orders booleans");
+            emit (Ebc.Lt (d - 2, d - 2, d - 1));
+            Sbool :: rest
+          | And | Or ->
+            let a, b, rest, d = binop tys in
+            if a = Sint then boolify (d - 1) ~scratch:d;
+            if b = Sint then boolify (d - 2) ~scratch:d;
+            emit
+              (match instr with
+               | And -> Ebc.And (d - 2, d - 2, d - 1)
+               | _ -> Ebc.Or (d - 2, d - 2, d - 1));
+            Sbool :: rest
+          | Not ->
+            (match tys with
+             | a :: rest ->
+               if a = Sint then boolify (d - 1) ~scratch:d;
+               emit (Ebc.Not (d - 1, d - 1));
+               Sbool :: rest
+             | [] -> raise (Untranslatable "stack underflow")))
+        [] program in
+    (match tys with
+     | [ _ ] -> ()
+     | _ -> raise (Untranslatable "program must leave one value"));
+    emit (Ebc.Ret 0);
+    Ok (Array.of_list (List.rev !code))
+  with Untranslatable why -> Error why
 
 (* Over this stack's wire format: link header is 2 bytes of ethertype,
    the IP protocol byte sits at offset 2, and the UDP destination port

@@ -46,6 +46,16 @@ val run_view : Spin_machine.Clock.t -> program -> Pkt.t -> bool
 val instruction_cost : int
 (** Cycles per interpreted instruction. *)
 
+val to_ebc : program -> (Spin_core.Ebc.program, string) result
+(** Compile the stack program to {!Spin_core.Ebc} register bytecode:
+    stack slot [d] maps to register [d], integer operands of the
+    logical connectives are normalized to booleans, and the result
+    verifies at install time — the filter then dispatches on the
+    trusted-fast path with zero per-packet interpretation (see
+    {!Netif.add_filter}). [Error] names why the program cannot leave
+    the interpreter: deeper than the register file, or typed nonsense
+    such as comparing a boolean with an integer. *)
+
 val match_udp_port : port:int -> program
 (** A ready-made filter: IP protocol is UDP and the UDP destination
     port equals [port] (over this stack's wire format). *)

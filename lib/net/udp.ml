@@ -3,6 +3,8 @@ module Clock = Spin_machine.Clock
 module Cost = Spin_machine.Cost
 module Trace = Spin_machine.Trace
 module Dispatcher = Spin_core.Dispatcher
+module Ebc = Spin_core.Ebc
+module Ty = Spin_core.Ty
 
 type datagram = {
   src : Ip.addr;
@@ -49,9 +51,26 @@ let input t (pkt : Ip.packet) =
     end
   end
 
+(* The bytecode view of a datagram; [dst_port_slot] is the ABI every
+   port-demux program loads. *)
+let dst_port_slot = 2
+
+let datagram_layout : datagram Ebc.layout =
+  Ebc.layout ~name:"UDP.PacketArrived"
+    ~fields:[ ("src", Ty.Int); ("src_port", Ty.Int); ("dst_port", Ty.Int) ]
+    ~read:(fun d slot ->
+      match slot with
+      | 0 -> d.src
+      | 1 -> d.src_port
+      | 2 -> d.dst_port
+      | _ -> 0)
+    ~payload:(fun d -> Pkt.view d.payload)
+    ()
+
 let create machine dispatcher ip =
   let event =
     Dispatcher.declare dispatcher ~name:"UDP.PacketArrived" ~owner:"UDP"
+      ~layout:datagram_layout
       ~combine:(fun _ -> ()) (fun (_ : datagram) -> ()) in
   let t = { machine; ip; event; s_sent = 0; s_received = 0 } in
   ignore (Ip.attach ip ~protos:[ Ip.proto_udp ] ~installer:"UDP" (input t));
@@ -59,11 +78,29 @@ let create machine dispatcher ip =
 
 let packet_arrived t = t.event
 
-(* The UDP module supplies the port guard on every installation. *)
+(* The UDP module supplies the port guard on every installation — as
+   verified bytecode when no runtime bound was requested, so port
+   demux dispatches trusted-fast. A caller asking for [bound_cycles]
+   wants the handler body policed per event, which is exactly what the
+   trusted path forgoes: that case (and any verification failure)
+   installs the closure guard instead. *)
 let listen ?bound_cycles ?async ?on_failure t ~port ~installer handler =
-  Dispatcher.install_exn t.event ~installer ?bound_cycles ?async ?on_failure
-    ~guard:(fun d -> d.dst_port = port)
-    handler
+  let closure_install () =
+    Dispatcher.install_exn t.event ~installer ?bound_cycles ?async ?on_failure
+      ~guard:(fun d -> d.dst_port = port)
+      handler in
+  match bound_cycles with
+  | Some _ -> closure_install ()
+  | None ->
+    let spec =
+      { (Dispatcher.Handler_spec.verified
+           (Ebc.match_field ~slot:dst_port_slot port))
+        with Dispatcher.Handler_spec.async = Option.value async ~default:false;
+             on_failure =
+               Option.value on_failure ~default:Dispatcher.Uninstall } in
+    (match Dispatcher.install t.event ~installer ~spec handler with
+     | Ok h -> h
+     | Error _ -> closure_install ())
 
 let unlisten t h = Dispatcher.uninstall t.event h
 

@@ -37,7 +37,13 @@ let default_send server (payload, _seq) =
    codec generation's handler and install the next under the
    replacement domain's name. *)
 let install_mcast ?(patch_cost = 45) server ~installer =
-  Dispatcher.install_exn server.send_packet ~installer
+  (function
+    | Ok h -> h
+    | Error err ->
+      invalid_arg
+        (Printf.sprintf "Video.install_mcast: %s"
+           (Dispatcher.install_error_to_string err))) @@
+  Dispatcher.install server.send_packet ~installer
     (fun (payload, _seq) ->
       let datagram =
         Udp.encode_datagram ~src_port:server.port ~dst_port:server.port

@@ -630,9 +630,17 @@ let set_affinity t s affinity =
   | Some _ | None -> ()
 
 let install_handler_guarded event ~installer ~cap fn =
-  Dispatcher.install_exn event ~installer
-    ~guard:(fun s -> Strand.holds_capability cap s)
-    fn
+  match
+    Dispatcher.install event ~installer
+      ~spec:(Dispatcher.Handler_spec.guarded (fun s ->
+                 Strand.holds_capability cap s))
+      fn
+  with
+  | Ok h -> h
+  | Error err ->
+    invalid_arg
+      (Printf.sprintf "Sched.install_handler_guarded: %s"
+         (Dispatcher.install_error_to_string err))
 
 let stats t = {
   switches = t.s_switches;

@@ -28,15 +28,18 @@ let counter t name =
 let watch t event =
   let c = counter t (Dispatcher.event_name event) in
   ignore
-    (Dispatcher.install_exn event ~installer:"Monitor"
-       ~guard:(fun _ -> incr c; false)
+    (Dispatcher.install event ~installer:"Monitor"
+       ~spec:(Dispatcher.Handler_spec.guarded (fun _ -> incr c; false))
        (fun _ -> assert false))
 
 let watch_with t event ~interest =
   let c = counter t (Dispatcher.event_name event) in
   ignore
-    (Dispatcher.install_exn event ~installer:"Monitor"
-       ~guard:(fun arg -> if interest arg then incr c; false)
+    (Dispatcher.install event ~installer:"Monitor"
+       ~spec:
+         (Dispatcher.Handler_spec.guarded (fun arg ->
+              if interest arg then incr c;
+              false))
        (fun _ -> assert false))
 
 (* Gauges sample state owned elsewhere (device drop counters, the
@@ -66,6 +69,25 @@ let watch_supervisor t sup =
     (fun () -> (Supervisor.stats sup).Supervisor.s_backoff_resets);
   gauge t ~name:"supervisor.revoked_uses"
     (fun () -> (Supervisor.stats sup).Supervisor.s_revoked)
+
+(* The trusted path's observability: how many handlers currently
+   dispatch with zero per-event checks, how many raises went through
+   them, and how many install attempts the verifier turned away. A
+   nonzero rejection gauge during a fuzz campaign means some extension
+   is feeding the verifier garbage — visible here instead of silent. *)
+let watch_dispatcher t disp =
+  gauge t ~name:"dispatch.trusted_handlers"
+    (fun () ->
+      List.length
+        (List.filter
+           (fun (i : Dispatcher.Handler_spec.info) ->
+             i.Dispatcher.Handler_spec.i_trusted
+             && i.Dispatcher.Handler_spec.i_active)
+           (Dispatcher.handler_specs disp)));
+  gauge t ~name:"dispatch.trusted_fast"
+    (fun () -> Dispatcher.trusted_total disp);
+  gauge t ~name:"dispatch.verifier_rejections"
+    (fun () -> Dispatcher.verifier_rejections disp)
 
 let watch_swap t sw =
   gauge t ~name:"swap.swaps" (fun () -> (Swap.stats sw).Swap.swaps);

@@ -41,6 +41,12 @@ val watch_supervisor : t -> Supervisor.t -> unit
     reset after a healthy grace period) and stale-reference
     ([Capability.Revoked]) fault count. *)
 
+val watch_dispatcher : t -> Spin_core.Dispatcher.t -> unit
+(** Gauges on the trusted-fast (verified bytecode) path: handlers
+    currently dispatching with zero per-event checks, raises that went
+    through them, and install attempts the verifier rejected — so a
+    fuzz campaign's quiescence checks cover the new path. *)
+
 val watch_swap : t -> Swap.t -> unit
 (** Gauges on hot-swap activity: committed and failed swaps, raises
     held at swap gates, and old handlers swept. *)

@@ -52,6 +52,7 @@ type outcome = {
   sw_gated_events : string list;
   sw_held_raises : int;
   sw_handlers_swept : int;
+  sw_verified_swept : int;
   sw_restarts_cancelled : int;
   sw_cap_epoch : int;
   sw_extern_epoch : int option;
@@ -242,6 +243,23 @@ let hot_swap t ~old_domain ~replacement
                  handlers everywhere, cancel restarts aimed at them,
                  unlink the old domain, and bring the replacement
                  up (its initializer installs the new handlers). *)
+              (* Count the trusted-path handlers going down with the
+                 old instance — read from the registry's Handler_spec
+                 view before the sweep destroys it. The replacement
+                 must re-verify its own bytecode at install; a drop in
+                 this number after a swap means the new version fell
+                 back to guarded closures. *)
+              let verified_swept =
+                List.fold_left
+                  (fun acc i ->
+                     acc
+                     + List.length
+                         (List.filter
+                            (fun (s : Dispatcher.Handler_spec.info) ->
+                              s.Dispatcher.Handler_spec.i_trusted
+                              && s.Dispatcher.Handler_spec.i_active)
+                            (Dispatcher.installed_specs t.disp ~installer:i)))
+                  0 installers in
               let swept =
                 List.fold_left
                   (fun acc i ->
@@ -286,6 +304,7 @@ let hot_swap t ~old_domain ~replacement
                 sw_gated_events = gated;
                 sw_held_raises = held;
                 sw_handlers_swept = swept;
+                sw_verified_swept = verified_swept;
                 sw_restarts_cancelled = cancelled;
                 sw_cap_epoch = cap_epoch;
                 sw_extern_epoch = extern_epoch;

@@ -386,11 +386,14 @@ let test_dispatch_auth_deny () =
         else Dispatcher.Deny)
       (fun () -> ()) in
   (match Dispatcher.install e ~installer:"rogue" (fun () -> ()) with
-   | Error `Denied -> ()
+   | Error Dispatcher.Denied -> ()
+   | Error err ->
+     fail ("rogue install: " ^ Dispatcher.install_error_to_string err)
    | Ok _ -> fail "rogue install admitted");
   (match Dispatcher.install e ~installer:"trusted" (fun () -> ()) with
    | Ok _ -> ()
-   | Error `Denied -> fail "trusted install denied")
+   | Error err ->
+     fail ("trusted install: " ^ Dispatcher.install_error_to_string err))
 
 let test_dispatch_auth_imposed_guard () =
   (* The primary attaches its own guard to every installation, as the

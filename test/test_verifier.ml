@@ -1,0 +1,423 @@
+(* The install-time bytecode verifier and the trusted-fast dispatch
+   path: an adversarial corpus that must be turned away at install
+   with the right typed error, a QCheck property that every program
+   the verifier accepts honors its termination certificate, and the
+   Handler_spec behaviours the API redesign promises — trusted
+   installs dispatch with zero per-event checks (measurably cheaper
+   than guards), demote the moment a closure guard appears, and reuse
+   a requested cycle bound as the verification budget. *)
+
+open Alcotest
+module Dispatcher = Spin_core.Dispatcher
+module Handler_spec = Dispatcher.Handler_spec
+module Ebc = Spin_core.Ebc
+module Ty = Spin_core.Ty
+module Object_file = Spin_core.Object_file
+module Kdomain = Spin_core.Kdomain
+module Capability = Spin_core.Capability
+module Clock = Spin_machine.Clock
+module Cost = Spin_machine.Cost
+
+type ev = { a : int; b : int }
+
+(* Two int fields and a 5-byte payload: enough surface for every
+   instruction class the corpus attacks. *)
+let layout : ev Ebc.layout =
+  Ebc.layout ~name:"Test.Ev"
+    ~fields:[ ("a", Ty.Int); ("b", Ty.Int) ]
+    ~read:(fun e slot -> if slot = 0 then e.a else e.b)
+    ~payload:(fun _ -> (Bytes.of_string "spin!", 0, 5))
+    ()
+
+(* No payload, and slot 1 has a type no register can hold. *)
+let bare_layout : ev Ebc.layout =
+  Ebc.layout ~name:"Test.Bare"
+    ~fields:[ ("a", Ty.Int); ("fn", Ty.Proc ([], Ty.Int)) ]
+    ~read:(fun e _ -> e.a)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial corpus: every attack rejected, each with its own error *)
+(* ------------------------------------------------------------------ *)
+
+let corpus : (string * Ebc.program * (Ebc.error -> bool)) list =
+  [
+    ( "unbounded loop via backward jump",
+      [| Ebc.Ldi (0, 0); Ebc.Jmp (-2); Ebc.Ret 0 |],
+      function Ebc.Backward_jump _ -> true | _ -> false );
+    ( "loop body past the program end",
+      [| Ebc.Loop (3, 9); Ebc.Ret 0 |],
+      function Ebc.Bad_loop _ -> true | _ -> false );
+    ( "terminates but over the step budget",
+      [| Ebc.Ldi (0, 1); Ebc.Loop (Ebc.default_budget, 1); Ebc.Mov (0, 0);
+         Ebc.Ret 0 |],
+      function Ebc.Over_budget _ -> true | _ -> false );
+    ( "field load beyond the declared table",
+      [| Ebc.Ldf (0, 9); Ebc.Ret 0 |],
+      function Ebc.Field_out_of_range _ -> true | _ -> false );
+    ( "capability forgery: slot never granted",
+      [| Ebc.Ldc (0, 0); Ebc.Ret 0 |],
+      function Ebc.Cap_out_of_range _ -> true | _ -> false );
+    ( "ill-typed compare: bool against int",
+      [| Ebc.Ldi (0, 1); Ebc.Ldi (1, 1); Ebc.Eq (2, 0, 1);
+         Ebc.Eq (3, 2, 0); Ebc.Ret 3 |],
+      function Ebc.Ill_typed_compare _ -> true | _ -> false );
+    ( "ordering booleans",
+      [| Ebc.Ldi (0, 1); Ebc.Ldi (1, 2); Ebc.Eq (2, 0, 1);
+         Ebc.Eq (3, 0, 1); Ebc.Lt (4, 2, 3); Ebc.Ret 4 |],
+      function Ebc.Ill_typed _ -> true | _ -> false );
+    ( "boolean-not of an integer",
+      [| Ebc.Ldi (0, 3); Ebc.Not (0, 0); Ebc.Ret 0 |],
+      function Ebc.Ill_typed _ -> true | _ -> false );
+    ( "uninitialized register read",
+      [| Ebc.Add (0, 1, 2); Ebc.Ret 0 |],
+      function Ebc.Uninitialized _ -> true | _ -> false );
+    ( "register index out of range",
+      [| Ebc.Ldi (Ebc.nregs, 1); Ebc.Ret 0 |],
+      function Ebc.Bad_register _ -> true | _ -> false );
+    ( "jump escaping a loop body",
+      [| Ebc.Loop (2, 2); Ebc.Ldi (0, 1); Ebc.Jmp 3; Ebc.Ret 0 |],
+      function Ebc.Jump_out_of_block _ -> true | _ -> false );
+    ( "negative payload offset",
+      [| Ebc.Ldb (0, -1); Ebc.Ret 0 |],
+      function Ebc.Payload_out_of_range _ -> true | _ -> false );
+    ( "falls off the end without Ret",
+      [| Ebc.Ldi (0, 1) |],
+      function Ebc.Missing_ret -> true | _ -> false );
+    ( "empty program",
+      [||],
+      function Ebc.Empty -> true | _ -> false );
+    ( "longer than any declarable program",
+      Array.make (Ebc.max_program + 1) (Ebc.Ldi (0, 0)),
+      function Ebc.Too_long _ -> true | _ -> false );
+  ]
+
+let test_corpus () =
+  List.iter
+    (fun (name, prog, matches) ->
+      match Ebc.verify ~layout prog with
+      | Ok _ -> failf "%s: verifier accepted it" name
+      | Error e ->
+        if not (matches e) then
+          failf "%s: rejected with the wrong error: %s" name
+            (Ebc.error_to_string e))
+    corpus
+
+let test_layout_gaps () =
+  (match Ebc.verify ~layout:bare_layout [| Ebc.Ldb (0, 0); Ebc.Ret 0 |] with
+   | Error (Ebc.No_payload _) -> ()
+   | Ok _ -> fail "payload read accepted on a payload-less layout"
+   | Error e -> failf "wrong error: %s" (Ebc.error_to_string e));
+  match Ebc.verify ~layout:bare_layout [| Ebc.Ldf (0, 1); Ebc.Ret 0 |] with
+  | Error (Ebc.Ill_typed_field _) -> ()
+  | Ok _ -> fail "procedure-typed field loaded into a register"
+  | Error e -> failf "wrong error: %s" (Ebc.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Install-level rejection: nothing linked in, the refusal counted    *)
+(* ------------------------------------------------------------------ *)
+
+let fixture () =
+  let clock = Clock.create Cost.alpha_133 in
+  (clock, Dispatcher.create clock)
+
+let declare ?(name = "Test.Ev") d =
+  Dispatcher.declare d ~name ~owner:"test" ~layout
+    ~combine:(fun _ -> ())
+    ~allow_remove_primary:(fun ~requester:_ -> true)
+    (fun (_ : ev) -> ())
+
+let retire_primary e =
+  match Dispatcher.remove_primary e ~requester:"test" with
+  | Ok () -> ()
+  | Error `Denied -> fail "remove_primary denied"
+
+let must = function
+  | Ok h -> h
+  | Error err -> failf "install: %s" (Dispatcher.install_error_to_string err)
+
+let test_install_rejection () =
+  let _, d = fixture () in
+  let e = declare d in
+  (match
+     Dispatcher.install e ~installer:"adversary"
+       ~spec:(Handler_spec.verified [| Ebc.Jmp (-1); Ebc.Ret 0 |])
+       (fun _ -> ())
+   with
+   | Error (Dispatcher.Rejected (Ebc.Backward_jump _)) -> ()
+   | Ok _ -> fail "adversarial install accepted"
+   | Error err ->
+     failf "wrong install error: %s" (Dispatcher.install_error_to_string err));
+  check int "rejection counted" 1 (Dispatcher.verifier_rejections d);
+  check (list unit) "nothing linked in" []
+    (List.map (fun _ -> ())
+       (Dispatcher.installed_specs d ~installer:"adversary"))
+
+let test_install_without_layout () =
+  let _, d = fixture () in
+  let e =
+    Dispatcher.declare d ~name:"Test.NoLayout" ~owner:"test"
+      ~combine:(fun _ -> ())
+      (fun (_ : ev) -> ()) in
+  match
+    Dispatcher.install e ~installer:"ext"
+      ~spec:(Handler_spec.verified (Ebc.match_field ~slot:0 1))
+      (fun _ -> ())
+  with
+  | Error (Dispatcher.Rejected (Ebc.No_layout _)) -> ()
+  | Ok _ -> fail "verified install accepted on an event with no layout"
+  | Error err ->
+    failf "wrong install error: %s" (Dispatcher.install_error_to_string err)
+
+(* ------------------------------------------------------------------ *)
+(* Trusted-fast dispatch: counted, correct, and measurably cheaper    *)
+(* ------------------------------------------------------------------ *)
+
+let test_trusted_fast_dispatch () =
+  let _, d = fixture () in
+  let e = declare d in
+  retire_primary e;
+  let hits = ref 0 in
+  ignore
+    (must
+       (Dispatcher.install e ~installer:"ext"
+          ~spec:(Handler_spec.verified (Ebc.match_field ~slot:0 7))
+          (fun _ -> incr hits)));
+  let trusted_installed =
+    List.exists
+      (fun i -> i.Handler_spec.i_trusted && i.Handler_spec.i_active)
+      (Dispatcher.installed_specs d ~installer:"ext") in
+  check bool "spec enumerates as trusted" true trusted_installed;
+  for n = 0 to 99 do
+    Dispatcher.raise_default e () { a = n mod 10; b = n }
+  done;
+  check int "predicate selected its subset" 10 !hits;
+  let st = Dispatcher.stats e in
+  check int "trusted-fast dispatches counted" 10 st.Dispatcher.trusted_fast;
+  check int "no per-event guard evaluations" 0 st.Dispatcher.guard_rejections;
+  check int "dispatcher-wide total agrees" 10 (Dispatcher.trusted_total d)
+
+let dispatch_cycles spec =
+  let clock, d = fixture () in
+  let e = declare d in
+  retire_primary e;
+  ignore (must (Dispatcher.install e ~installer:"ext" ~spec (fun _ -> ())));
+  Clock.stamp clock (fun () ->
+      for n = 1 to 200 do
+        Dispatcher.raise_default e () { a = 3; b = n }
+      done)
+
+let test_trusted_twice_as_cheap () =
+  let guarded =
+    dispatch_cycles (Handler_spec.guarded (fun ev -> ev.a = 3)) in
+  let verified =
+    dispatch_cycles (Handler_spec.verified (Ebc.match_field ~slot:0 3)) in
+  if verified * 2 > guarded then
+    failf "verified dispatch not 2x cheaper: %d vs %d cycles" verified guarded
+
+let test_guard_demotes_trusted () =
+  let _, d = fixture () in
+  let e = declare d in
+  retire_primary e;
+  let hits = ref 0 in
+  let h =
+    must
+      (Dispatcher.install e ~installer:"ext"
+         ~spec:(Handler_spec.verified (Ebc.match_field ~slot:0 1))
+         (fun _ -> incr hits)) in
+  Dispatcher.add_guard h (fun ev -> ev.b > 0);
+  let still_trusted =
+    List.exists
+      (fun i -> i.Handler_spec.i_trusted)
+      (Dispatcher.installed_specs d ~installer:"ext") in
+  check bool "add_guard forfeits the trusted path" false still_trusted;
+  Dispatcher.raise_default e () { a = 1; b = 1 };
+  Dispatcher.raise_default e () { a = 1; b = 0 };
+  Dispatcher.raise_default e () { a = 2; b = 1 };
+  check int "predicate and guard conjoin" 1 !hits;
+  check int "no trusted-fast dispatches after demotion" 0
+    (Dispatcher.trusted_total d)
+
+let test_spec_guard_never_trusted () =
+  let _, d = fixture () in
+  let e = declare d in
+  let spec =
+    { (Handler_spec.verified (Ebc.match_field ~slot:0 1)) with
+      guard = Some (fun ev -> ev.b > 0) } in
+  ignore (must (Dispatcher.install e ~installer:"ext" ~spec (fun _ -> ())));
+  check bool "guard in the spec keeps the closure path" false
+    (List.exists
+       (fun i -> i.Handler_spec.i_trusted)
+       (Dispatcher.installed_specs d ~installer:"ext"))
+
+let test_bound_becomes_budget () =
+  let _, d = fixture () in
+  let e = declare d in
+  let prog =
+    [| Ebc.Ldi (0, 1); Ebc.Loop (40, 1); Ebc.Mov (0, 0); Ebc.Ret 0 |] in
+  (match Ebc.verify ~layout prog with
+   | Ok _ -> ()
+   | Error err ->
+     failf "loop rejected under the default budget: %s"
+       (Ebc.error_to_string err));
+  let spec =
+    { (Handler_spec.verified prog) with bound_cycles = Some 20 } in
+  match Dispatcher.install e ~installer:"ext" ~spec (fun _ -> ()) with
+  | Error (Dispatcher.Rejected (Ebc.Over_budget _)) -> ()
+  | Ok _ -> fail "bound_cycles ignored: over-budget program admitted"
+  | Error err ->
+    failf "wrong install error: %s" (Dispatcher.install_error_to_string err)
+
+(* ------------------------------------------------------------------ *)
+(* Capability slots                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_capability_slots () =
+  let cap = Capability.mint ~owner:"test" 42 in
+  let slot = Ebc.cap_slot ~name:"c" ~ty:Ty.Int cap in
+  let caps = [| slot |] in
+  let prog =
+    [| Ebc.Ldc (0, 0); Ebc.Ldc (1, 0); Ebc.Eq (2, 0, 1); Ebc.Ret 2 |] in
+  (match Ebc.verify ~layout ~caps prog with
+   | Ok _ -> ()
+   | Error err ->
+     failf "granted slot rejected: %s" (Ebc.error_to_string err));
+  check bool "live capability equals itself" true
+    (Ebc.compile ~layout ~caps prog { a = 0; b = 0 });
+  (match Ebc.verify ~layout ~caps [| Ebc.Ldc (0, 1); Ebc.Ret 0 |] with
+   | Error (Ebc.Cap_out_of_range _) -> ()
+   | Ok _ -> fail "undeclared capability slot admitted"
+   | Error err -> failf "wrong error: %s" (Ebc.error_to_string err));
+  check bool "slot reads a live id" true (slot.Ebc.cs_read () >= 0);
+  Capability.revoke cap;
+  check int "revoked slot reads -1" (-1) (slot.Ebc.cs_read ())
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: acceptance carries obligations                             *)
+(* ------------------------------------------------------------------ *)
+
+let instr_gen =
+  let open QCheck2.Gen in
+  let reg = int_range 0 3 in
+  oneof
+    [
+      map2 (fun r v -> Ebc.Ldi (r, v)) reg (int_range (-4) 12);
+      map2 (fun r s -> Ebc.Ldf (r, s)) reg (int_range 0 1);
+      map2 (fun r o -> Ebc.Ldb (r, o)) reg (int_range 0 8);
+      map2 (fun r o -> Ebc.Ldw (r, o)) reg (int_range 0 6);
+      map (fun r -> Ebc.Len r) reg;
+      map2 (fun d s -> Ebc.Mov (d, s)) reg reg;
+      map3 (fun d a b -> Ebc.Add (d, a, b)) reg reg reg;
+      map3 (fun d a b -> Ebc.Sub (d, a, b)) reg reg reg;
+      map3 (fun d a b -> Ebc.And (d, a, b)) reg reg reg;
+      map3 (fun d a b -> Ebc.Or (d, a, b)) reg reg reg;
+      map3 (fun d a b -> Ebc.Eq (d, a, b)) reg reg reg;
+      map3 (fun d a b -> Ebc.Lt (d, a, b)) reg reg reg;
+      map2 (fun d s -> Ebc.Not (d, s)) reg reg;
+      map (fun k -> Ebc.Jmp k) (int_range 0 3);
+      map2 (fun r k -> Ebc.Jz (r, k)) reg (int_range 0 3);
+      map2 (fun r k -> Ebc.Jnz (r, k)) reg (int_range 0 3);
+      map2 (fun n k -> Ebc.Loop (n, k)) (int_range 0 6) (int_range 1 3);
+    ]
+
+let prog_gen =
+  let open QCheck2.Gen in
+  map2
+    (fun body r -> Array.of_list (body @ [ Ebc.Ret r ]))
+    (list_size (int_range 0 14) instr_gen)
+    (int_range 0 3)
+
+(* For every random program the verifier accepts: the checked
+   interpreter finishes within the certificate's static step bound,
+   and the trusted compiled form (zero runtime checks) agrees with it
+   on the result. Rejected programs carry no obligations. *)
+let prop_certificate =
+  QCheck2.Test.make ~name:"accepted programs honor their certificate"
+    ~count:500
+    QCheck2.Gen.(triple prog_gen (int_range (-8) 8) (int_range (-8) 8))
+    (fun (prog, a, b) ->
+      match Ebc.verify ~layout prog with
+      | Error _ -> true
+      | Ok cert ->
+        let ev = { a; b } in
+        let result, steps = Ebc.run_counted ~layout prog ev in
+        steps <= cert.c_steps && Ebc.compile ~layout prog ev = result)
+
+(* ------------------------------------------------------------------ *)
+(* Verified object files                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_verified_object () =
+  let b =
+    Object_file.Builder.create ~name:"filter.o" ~safety:Object_file.Unsigned
+      () in
+  Ebc.export_program b ~intf:"Filter" ~name:"accept"
+    (Ebc.match_field ~slot:0 5);
+  Ebc.export_program b ~intf:"Filter" ~name:"port"
+    (Ebc.match_field_any ~slot:1 [ 7; 53 ]);
+  let draft = Object_file.Builder.build b in
+  check bool "unsigned draft is unsafe" false (Object_file.is_safe draft);
+  (match Kdomain.create draft with
+   | Error (Kdomain.Unsafe_object _) -> ()
+   | Error err -> failf "wrong refusal: %s" (Kdomain.error_to_string err)
+   | Ok _ -> fail "unsigned object admitted to domain creation");
+  (match Ebc.verify_object ~layout draft with
+   | Ok n -> check int "every exported program checked" 2 n
+   | Error (name, err) ->
+     failf "verify_object %s: %s" name (Ebc.error_to_string err));
+  Object_file.Builder.set_safety b
+    (Object_file.Verified { verifier = "ebc"; programs = 2 });
+  let obj = Object_file.Builder.build b in
+  check bool "verifier's word makes it safe" true (Object_file.is_safe obj);
+  (match Kdomain.create obj with
+   | Ok _ -> ()
+   | Error err ->
+     failf "verified object refused: %s" (Kdomain.error_to_string err));
+  (match Object_file.safety obj with
+   | Object_file.Verified { programs; _ } ->
+     check int "safety records the program count" 2 programs
+   | _ -> fail "safety tag lost");
+  let bad =
+    Object_file.Builder.create ~name:"bad.o" ~safety:Object_file.Unsigned ()
+  in
+  Ebc.export_program bad ~intf:"Filter" ~name:"spin"
+    [| Ebc.Jmp (-1); Ebc.Ret 0 |];
+  match Ebc.verify_object ~layout (Object_file.Builder.build bad) with
+  | Error (_, Ebc.Backward_jump _) -> ()
+  | Error (name, err) ->
+    failf "wrong rejection for %s: %s" name (Ebc.error_to_string err)
+  | Ok _ -> fail "object with a looping export verified"
+
+let () =
+  run "verifier"
+    [
+      ( "corpus",
+        [
+          test_case "adversarial programs rejected, typed" `Quick test_corpus;
+          test_case "layout gaps rejected" `Quick test_layout_gaps;
+        ] );
+      ( "install",
+        [
+          test_case "rejection installs nothing, is counted" `Quick
+            test_install_rejection;
+          test_case "no layout, no verified installs" `Quick
+            test_install_without_layout;
+        ] );
+      ( "trusted-fast",
+        [
+          test_case "dispatch counted and correct" `Quick
+            test_trusted_fast_dispatch;
+          test_case "at least 2x cheaper than a guard" `Quick
+            test_trusted_twice_as_cheap;
+          test_case "add_guard demotes" `Quick test_guard_demotes_trusted;
+          test_case "spec guard keeps the closure path" `Quick
+            test_spec_guard_never_trusted;
+          test_case "bound_cycles becomes the verify budget" `Quick
+            test_bound_becomes_budget;
+        ] );
+      ("capabilities", [ test_case "typed slots" `Quick test_capability_slots ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_certificate ]);
+      ( "object-files",
+        [ test_case "Verified via verify_object" `Quick test_verified_object ]
+      );
+    ]
